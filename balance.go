@@ -1,0 +1,52 @@
+package rips
+
+import (
+	"rips/internal/sched"
+	"rips/internal/sched/flow"
+	"rips/internal/sched/mwa"
+	"rips/internal/topo"
+)
+
+// Move directs Count tasks from node From to an adjacent node To on
+// the mesh (nodes are numbered row-major).
+type Move = sched.Move
+
+// BalanceResult is the outcome of one load-balancing plan.
+type BalanceResult struct {
+	// Moves is the feasible, ordered per-link transfer sequence.
+	Moves []Move
+	// Quota is each node's post-balance task count (within one of the
+	// average everywhere — the paper's Theorem 1).
+	Quota []int
+	// Cost is the per-link transfer total ∑e_k.
+	Cost int
+	// Steps is the number of communication steps the distributed
+	// algorithm needs: 3(rows+cols).
+	Steps int
+}
+
+// BalanceMesh runs the Mesh Walking Algorithm — the paper's parallel
+// scheduling algorithm — on a rows x cols mesh whose node i holds
+// load[i] tasks (row-major order). It is the pure planning form; the
+// RIPS runtime executes the same algorithm with messages.
+func BalanceMesh(rows, cols int, load []int) (BalanceResult, error) {
+	r, err := mwa.Plan(topo.NewMesh(rows, cols), load)
+	if err != nil {
+		return BalanceResult{}, err
+	}
+	return BalanceResult{
+		Moves: r.Plan.Moves,
+		Quota: r.Quota,
+		Cost:  r.Plan.Cost(),
+		Steps: r.Plan.Steps,
+	}, nil
+}
+
+// OptimalCost returns the minimum possible per-link transfer total for
+// balancing the load on a rows x cols mesh, computed with the paper's
+// minimum-cost maximum-flow formulation. It is the Figure 4 reference
+// MWA is measured against (and too slow to use at runtime, which is
+// the point of MWA).
+func OptimalCost(rows, cols int, load []int) (int, error) {
+	return flow.Cost(topo.NewMesh(rows, cols), load)
+}

@@ -1,0 +1,63 @@
+// Command queens runs the exhaustive N-Queens search on the simulated
+// machine under a chosen scheduling algorithm and reports the paper's
+// metrics for that single run.
+//
+// Usage:
+//
+//	queens [-n N] [-procs P] [-alg rips|random|gradient|rid] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rips"
+)
+
+var (
+	n     = flag.Int("n", 13, "board size")
+	procs = flag.Int("procs", 32, "number of processors")
+	alg   = flag.String("alg", "rips", "scheduler: rips, random, gradient, rid or static")
+	seed  = flag.Int64("seed", 1, "simulation seed")
+)
+
+func main() {
+	flag.Parse()
+	var algorithm rips.Algorithm
+	switch *alg {
+	case "rips":
+		algorithm = rips.RIPS
+	case "random":
+		algorithm = rips.Random
+	case "gradient":
+		algorithm = rips.Gradient
+	case "rid":
+		algorithm = rips.RID
+	case "static":
+		algorithm = rips.Static
+	default:
+		fmt.Fprintf(os.Stderr, "queens: unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+
+	a := rips.NQueens(*n)
+	start := time.Now()
+	res, err := rips.Run(a, rips.Config{Procs: *procs, Algorithm: algorithm, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "queens:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s under %s on %d processors (simulated in %v)\n",
+		a.Name(), algorithm, *procs, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  tasks:         %d (%d executed off their origin node)\n", res.Tasks, res.Nonlocal)
+	fmt.Printf("  sequential Ts: %v\n", res.SeqTime)
+	fmt.Printf("  parallel T:    %v\n", res.Time)
+	fmt.Printf("  overhead Th:   %v per node\n", res.Overhead)
+	fmt.Printf("  idle Ti:       %v per node\n", res.Idle)
+	fmt.Printf("  speedup:       %.1f   efficiency: %.0f%%\n", res.Speedup, 100*res.Efficiency)
+	if res.Phases > 0 {
+		fmt.Printf("  system phases: %d\n", res.Phases)
+	}
+}

@@ -1,0 +1,3 @@
+module rips
+
+go 1.22

@@ -1,0 +1,136 @@
+// Package app defines the workload abstraction shared by the RIPS
+// runtime and the dynamic-scheduling baselines, plus a sequential
+// profiler used to compute the paper's sequential time Ts and optimal
+// efficiencies (Table II).
+//
+// An App is a deterministic task-parallel computation organised in
+// globally-synchronized rounds: N-Queens and the GROMOS surrogate are
+// single-round task pools; IDA* runs one round per cost-bound
+// iteration (the synchronization the paper blames for IDA*'s lower
+// efficiency). Within a round, executing a task may spawn child tasks;
+// the runtime decides where children run — that placement policy is
+// exactly what the paper compares.
+package app
+
+import (
+	"fmt"
+
+	"rips/internal/sim"
+)
+
+// Spawn is a task payload emitted by an App: the data the runtime
+// ships between nodes and its serialized size in bytes.
+type Spawn struct {
+	Data any
+	Size int
+}
+
+// App is a deterministic task-parallel computation. Execute must be a
+// pure function of its payload (shared state set up at construction
+// must be treated as immutable), so that a sequential profile and any
+// simulated parallel execution perform identical work.
+type App interface {
+	// Name identifies the workload in reports, e.g. "15-queens".
+	Name() string
+	// Rounds is the number of globally-synchronized rounds.
+	Rounds() int
+	// Roots returns the tasks that seed the given round. They enter
+	// the system at node 0 (the paper's SPMD programs start the root
+	// computation on one processor and let the scheduler spread it).
+	Roots(round int) []Spawn
+	// Execute runs one task, emitting any children via emit and
+	// returning the virtual compute time the task consumed.
+	Execute(data any, emit func(Spawn)) sim.Time
+}
+
+// BlockDistributed marks apps whose root tasks start block-distributed
+// across the machine — the static SPMD decomposition a real code like
+// GROMOS performs at startup (each processor owns its atom block).
+// Roots of such apps enter the system at node floor(k*N/len(roots))
+// for root index k; apps without this marker start at node 0.
+type BlockDistributed interface {
+	BlockDistributed() bool
+}
+
+// RootsDistributed reports whether a's roots start block-distributed.
+func RootsDistributed(a App) bool {
+	b, ok := a.(BlockDistributed)
+	return ok && b.BlockDistributed()
+}
+
+// RootBlock returns the half-open index range of a round's roots that
+// start on the given node, under the block distribution.
+func RootBlock(numRoots, n, node int) (lo, hi int) {
+	return numRoots * node / n, numRoots * (node + 1) / n
+}
+
+// RoundProfile is the sequential execution profile of one round.
+type RoundProfile struct {
+	Tasks   int
+	Work    sim.Time // total work in the round
+	MaxTask sim.Time // largest single task
+}
+
+// Profile is the sequential execution profile of a whole App.
+type Profile struct {
+	Name   string
+	Tasks  int
+	Work   sim.Time // Ts: the sequential execution time
+	Rounds []RoundProfile
+}
+
+// Measure executes the App sequentially (children run depth-first on
+// the spot) and profiles it. Because Execute is deterministic, the
+// totals equal what any simulated parallel run performs.
+func Measure(a App) Profile {
+	p := Profile{Name: a.Name(), Rounds: make([]RoundProfile, a.Rounds())}
+	for r := 0; r < a.Rounds(); r++ {
+		rp := &p.Rounds[r]
+		stack := a.Roots(r)
+		for len(stack) > 0 {
+			t := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			w := a.Execute(t.Data, func(s Spawn) { stack = append(stack, s) })
+			rp.Tasks++
+			rp.Work += w
+			if w > rp.MaxTask {
+				rp.MaxTask = w
+			}
+		}
+		p.Tasks += rp.Tasks
+		p.Work += rp.Work
+	}
+	return p
+}
+
+// OptimalTime is the best possible parallel execution time of the
+// profiled computation on n processors under the paper's Table II
+// assumptions — optimal scheduling, zero overhead: each round takes
+// max(round work / n, longest task), and rounds are serialized by the
+// global synchronization.
+func (p Profile) OptimalTime(n int) sim.Time {
+	if n <= 0 {
+		panic(fmt.Sprintf("app: OptimalTime on %d processors", n))
+	}
+	var t sim.Time
+	for _, r := range p.Rounds {
+		per := r.Work / sim.Time(n)
+		if r.Work%sim.Time(n) != 0 {
+			per++
+		}
+		if per < r.MaxTask {
+			per = r.MaxTask
+		}
+		t += per
+	}
+	return t
+}
+
+// OptimalEfficiency is Ts / (N * OptimalTime): the paper's Table II.
+func (p Profile) OptimalEfficiency(n int) float64 {
+	ot := p.OptimalTime(n)
+	if ot == 0 {
+		return 1
+	}
+	return float64(p.Work) / (float64(n) * float64(ot))
+}

@@ -1,0 +1,123 @@
+package app
+
+import (
+	"testing"
+
+	"rips/internal/sim"
+)
+
+// fakeApp: round r has (r+1) root tasks; each root spawns `fan`
+// children of unit work; roots cost rootWork.
+type fakeApp struct {
+	rounds, fan int
+	rootWork    sim.Time
+}
+
+func (f fakeApp) Name() string { return "fake" }
+func (f fakeApp) Rounds() int  { return f.rounds }
+func (f fakeApp) Roots(r int) []Spawn {
+	out := make([]Spawn, r+1)
+	for i := range out {
+		out[i] = Spawn{Data: "root", Size: 8}
+	}
+	return out
+}
+func (f fakeApp) Execute(data any, emit func(Spawn)) sim.Time {
+	if data == "root" {
+		for i := 0; i < f.fan; i++ {
+			emit(Spawn{Data: "leaf", Size: 8})
+		}
+		return f.rootWork
+	}
+	return sim.Millisecond
+}
+
+func TestMeasureCountsTasksAndWork(t *testing.T) {
+	a := fakeApp{rounds: 3, fan: 4, rootWork: 10 * sim.Millisecond}
+	p := Measure(a)
+	// Roots per round: 1,2,3 = 6 roots; leaves = 6*4 = 24.
+	if p.Tasks != 30 {
+		t.Errorf("Tasks = %d, want 30", p.Tasks)
+	}
+	want := 6*10*sim.Millisecond + 24*sim.Millisecond
+	if p.Work != want {
+		t.Errorf("Work = %v, want %v", p.Work, want)
+	}
+	if len(p.Rounds) != 3 {
+		t.Fatalf("Rounds = %d", len(p.Rounds))
+	}
+	if p.Rounds[1].Tasks != 2+8 {
+		t.Errorf("round 1 tasks = %d", p.Rounds[1].Tasks)
+	}
+	if p.Rounds[0].MaxTask != 10*sim.Millisecond {
+		t.Errorf("round 0 max task = %v", p.Rounds[0].MaxTask)
+	}
+}
+
+func TestOptimalTimeWorkBound(t *testing.T) {
+	// One round, 100 unit tasks: on 10 procs optimal is 10 units.
+	p := Profile{Rounds: []RoundProfile{{Tasks: 100, Work: 100 * sim.Millisecond, MaxTask: sim.Millisecond}}}
+	p.Work = 100 * sim.Millisecond
+	if got := p.OptimalTime(10); got != 10*sim.Millisecond {
+		t.Errorf("OptimalTime = %v, want 10ms", got)
+	}
+	if e := p.OptimalEfficiency(10); e != 1.0 {
+		t.Errorf("OptimalEfficiency = %v, want 1", e)
+	}
+}
+
+func TestOptimalTimeCriticalTaskBound(t *testing.T) {
+	// A single huge task dominates regardless of processor count.
+	p := Profile{
+		Work: 20 * sim.Millisecond,
+		Rounds: []RoundProfile{
+			{Tasks: 11, Work: 20 * sim.Millisecond, MaxTask: 10 * sim.Millisecond},
+		},
+	}
+	if got := p.OptimalTime(32); got != 10*sim.Millisecond {
+		t.Errorf("OptimalTime = %v, want 10ms (longest task)", got)
+	}
+	e := p.OptimalEfficiency(32)
+	if e < 0.06 || e > 0.07 {
+		t.Errorf("OptimalEfficiency = %v, want 20/320", e)
+	}
+}
+
+func TestOptimalTimeRoundsSerialize(t *testing.T) {
+	// Two rounds with barriers cost more than their merged pool would.
+	p := Profile{
+		Work: 20 * sim.Millisecond,
+		Rounds: []RoundProfile{
+			{Work: 10 * sim.Millisecond, MaxTask: 8 * sim.Millisecond},
+			{Work: 10 * sim.Millisecond, MaxTask: 8 * sim.Millisecond},
+		},
+	}
+	if got := p.OptimalTime(4); got != 16*sim.Millisecond {
+		t.Errorf("OptimalTime = %v, want 16ms", got)
+	}
+}
+
+func TestOptimalTimeRoundsUpDivision(t *testing.T) {
+	p := Profile{
+		Work:   sim.Time(10),
+		Rounds: []RoundProfile{{Work: sim.Time(10), MaxTask: 1}},
+	}
+	if got := p.OptimalTime(3); got != 4 {
+		t.Errorf("OptimalTime = %v, want ceil(10/3)=4", got)
+	}
+}
+
+func TestOptimalTimePanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for n=0")
+		}
+	}()
+	Profile{}.OptimalTime(0)
+}
+
+func TestEmptyProfileEfficiency(t *testing.T) {
+	if e := (Profile{}).OptimalEfficiency(8); e != 1 {
+		t.Errorf("empty profile efficiency = %v", e)
+	}
+}

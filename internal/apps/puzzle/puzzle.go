@@ -1,0 +1,318 @@
+// Package puzzle is the paper's second test application: iterative
+// deepening A* (IDA*, Korf 1985) on the sliding-tile puzzle, with the
+// 15-puzzle and three start configurations as in the paper. The search
+// is real — boards, Manhattan-distance heuristic and the bounded DFS
+// are all executed — and each IDA* iteration is one globally
+// synchronized round, which is exactly the structure the paper blames
+// for this workload's reduced effective parallelism.
+//
+// The final round completes the whole f <= bound search space rather
+// than stopping at the first solution; this keeps runs deterministic
+// across schedulers (a standard simplification in parallel IDA*
+// studies — the paper's own runs likewise execute whole iterations
+// between synchronizations).
+package puzzle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rips/internal/app"
+	"rips/internal/sim"
+)
+
+// CostPerNode is the virtual compute charged per search node; 3 us
+// puts the paper's three configurations in Table I's time range.
+const CostPerNode = 3 * sim.Microsecond
+
+// spawnCost is the bookkeeping work to emit one child task.
+const spawnCost = 5 * sim.Microsecond
+
+// Board is a width x width sliding puzzle, tiles packed 4 bits per
+// cell (so width <= 4); 0 is the blank.
+type Board struct {
+	cells uint64
+	blank int8
+	width int8
+}
+
+// tile returns the tile at position p.
+func (b Board) tile(p int8) int8 { return int8(b.cells >> (uint(p) * 4) & 0xF) }
+
+// setTile places tile t at position p.
+func (b *Board) setTile(p, t int8) {
+	shift := uint(p) * 4
+	b.cells = b.cells&^(0xF<<shift) | uint64(t)<<shift
+}
+
+// Goal returns the solved board: tiles 1..w*w-1 in order, blank last.
+func Goal(width int) Board {
+	if width < 2 || width > 4 {
+		panic(fmt.Sprintf("puzzle: width %d out of range", width))
+	}
+	b := Board{width: int8(width)}
+	n := int8(width * width)
+	for p := int8(0); p < n-1; p++ {
+		b.setTile(p, p+1)
+	}
+	b.blank = n - 1
+	return b
+}
+
+// manhattan returns the sum of tile Manhattan distances to goal.
+func (b Board) manhattan() int {
+	w := int(b.width)
+	h := 0
+	for p := 0; p < w*w; p++ {
+		t := int(b.tile(int8(p)))
+		if t == 0 {
+			continue
+		}
+		gp := t - 1
+		dr := p/w - gp/w
+		if dr < 0 {
+			dr = -dr
+		}
+		dc := p%w - gp%w
+		if dc < 0 {
+			dc = -dc
+		}
+		h += dr + dc
+	}
+	return h
+}
+
+// moves lists the blank's destination cells.
+func (b Board) moves() []int8 {
+	w := b.width
+	p := b.blank
+	out := make([]int8, 0, 4)
+	if p >= w {
+		out = append(out, p-w)
+	}
+	if p < w*w-w {
+		out = append(out, p+w)
+	}
+	if p%w != 0 {
+		out = append(out, p-1)
+	}
+	if p%w != w-1 {
+		out = append(out, p+1)
+	}
+	return out
+}
+
+// apply slides the tile at cell src into the blank, returning the new
+// board and the heuristic delta.
+func (b Board) apply(src int8) (Board, int) {
+	t := b.tile(src)
+	w := int(b.width)
+	gp := int(t) - 1
+	dist := func(p int) int {
+		dr := p/w - gp/w
+		if dr < 0 {
+			dr = -dr
+		}
+		dc := p%w - gp%w
+		if dc < 0 {
+			dc = -dc
+		}
+		return dr + dc
+	}
+	nb := b
+	nb.setTile(b.blank, t)
+	nb.setTile(src, 0)
+	nb.blank = src
+	return nb, dist(int(b.blank)) - dist(int(src))
+}
+
+// Scramble returns the board reached by a walk of n random moves from
+// the goal (never undoing the previous move), so it is always solvable
+// with optimal depth of the same parity as the walk.
+func Scramble(width, n int, seed int64) Board {
+	rng := rand.New(rand.NewSource(seed))
+	b := Goal(width)
+	prev := int8(-1)
+	for i := 0; i < n; i++ {
+		ms := b.moves()
+		// Filter the inverse of the previous move.
+		k := 0
+		for _, m := range ms {
+			if m != prev {
+				ms[k] = m
+				k++
+			}
+		}
+		ms = ms[:k]
+		pick := ms[rng.Intn(len(ms))]
+		prev = b.blank
+		b, _ = b.apply(pick)
+	}
+	return b
+}
+
+// node is a task payload: a search-frontier state of one iteration.
+type node struct {
+	b     Board
+	g     int16 // moves so far
+	h     int16 // Manhattan heuristic
+	prev  int8  // blank's previous cell (to avoid 2-cycles), -1 at root
+	bound int16 // this iteration's f bound
+}
+
+// nodeSize is the serialized payload size in bytes.
+const nodeSize = 16
+
+// App runs IDA* from one start configuration.
+type App struct {
+	name   string
+	start  Board
+	budget int
+	bounds []int16 // f bound of each iteration
+	depth  int     // optimal solution length
+}
+
+// New builds the workload, running a sequential IDA* to discover the
+// iteration bounds (and thereby the solution depth). budget caps the
+// remaining search depth (bound - g) a single task may carry: states
+// closer to the root than that are expanded into child tasks. A depth
+// budget — rather than a fixed split depth — bounds every leaf task's
+// subtree to roughly branching^budget nodes, keeping grain sizes in
+// the paper's low-millisecond range across all iterations.
+func New(name string, start Board, budget int) *App {
+	if budget < 0 {
+		panic("puzzle: negative split budget")
+	}
+	a := &App{name: name, start: start, budget: budget}
+	h := int16(start.manhattan())
+	bound := h
+	for {
+		a.bounds = append(a.bounds, bound)
+		found, next := probe(start, 0, h, bound, -1)
+		if found {
+			a.depth = int(bound)
+			break
+		}
+		if next == maxF {
+			panic("puzzle: search space exhausted without a solution (unsolvable board?)")
+		}
+		bound = next
+	}
+	return a
+}
+
+const maxF = int16(1<<15 - 1)
+
+// probe is the discovery-time IDA* iteration: reports whether a
+// solution exists within bound and the next bound otherwise. Unlike
+// Execute, it may stop at the first solution — only the bound sequence
+// matters here.
+func probe(b Board, g, h, bound int16, prev int8) (bool, int16) {
+	f := g + h
+	if f > bound {
+		return false, f
+	}
+	if h == 0 {
+		return true, f
+	}
+	next := maxF
+	for _, m := range b.moves() {
+		if m == prev {
+			continue
+		}
+		nb, dh := b.apply(m)
+		found, nf := probe(nb, g+1, h+int16(dh), bound, b.blank)
+		if found {
+			return true, nf
+		}
+		if nf < next {
+			next = nf
+		}
+	}
+	return false, next
+}
+
+// Name returns the configuration name, e.g. "15-puzzle #3".
+func (a *App) Name() string { return a.name }
+
+// Rounds is the number of IDA* iterations.
+func (a *App) Rounds() int { return len(a.bounds) }
+
+// SolutionDepth returns the optimal solution length.
+func (a *App) SolutionDepth() int { return a.depth }
+
+// Bounds returns the f bound of every iteration.
+func (a *App) Bounds() []int16 { return append([]int16(nil), a.bounds...) }
+
+// Roots seeds round r with the start state at that round's bound.
+func (a *App) Roots(round int) []app.Spawn {
+	return []app.Spawn{{
+		Data: node{b: a.start, h: int16(a.start.manhattan()), prev: -1, bound: a.bounds[round]},
+		Size: nodeSize,
+	}}
+}
+
+// Execute expands a frontier state into child tasks until the split
+// depth; beyond it, the task runs the bounded DFS to completion and is
+// charged its real node count.
+func (a *App) Execute(data any, emit func(app.Spawn)) sim.Time {
+	nd := data.(node)
+	if nd.g+nd.h > nd.bound {
+		return CostPerNode // pruned on arrival
+	}
+	if int(nd.bound)-int(nd.g) > a.budget && nd.h != 0 {
+		children := 0
+		for _, m := range nd.b.moves() {
+			if m == nd.prev {
+				continue
+			}
+			nb, dh := nd.b.apply(m)
+			child := node{b: nb, g: nd.g + 1, h: nd.h + int16(dh), prev: nd.b.blank, bound: nd.bound}
+			if child.g+child.h <= nd.bound {
+				emit(app.Spawn{Data: child, Size: nodeSize})
+				children++
+			}
+		}
+		return CostPerNode + sim.Time(children)*spawnCost
+	}
+	nodes := search(nd.b, nd.g, nd.h, nd.bound, nd.prev)
+	return sim.Time(nodes) * CostPerNode
+}
+
+// search is the full bounded DFS (no early exit), returning the number
+// of nodes visited (including this one).
+func search(b Board, g, h, bound int16, prev int8) uint64 {
+	if g+h > bound {
+		return 1
+	}
+	if h == 0 {
+		return 1
+	}
+	var nodes uint64 = 1
+	for _, m := range b.moves() {
+		if m == prev {
+			continue
+		}
+		nb, dh := b.apply(m)
+		nodes += search(nb, g+1, h+int16(dh), bound, b.blank)
+	}
+	return nodes
+}
+
+// Configs returns the paper's three 15-puzzle configurations, realized
+// as deterministic scrambles of increasing difficulty (the paper's
+// start states are not published). They are calibrated to the paper's
+// Table I/II workloads: sequential work of roughly 10 s, 30 s and
+// 110 s, with configuration #3 dwarfing #1 and #2 and every
+// configuration spending its first iterations nearly serial. The
+// depth budget of 24 keeps leaf-task grains in the low milliseconds;
+// our decomposition is therefore finer than the paper's (tens of
+// thousands of tasks rather than thousands), which EXPERIMENTS.md
+// discusses.
+func Configs() []*App {
+	return []*App{
+		New("15-puzzle #1", Scramble(4, 48, 401), 24),
+		New("15-puzzle #2", Scramble(4, 60, 404), 24),
+		New("15-puzzle #3", Scramble(4, 56, 402), 24),
+	}
+}

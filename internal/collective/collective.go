@@ -1,0 +1,206 @@
+// Package collective implements the cooperative communication
+// operations the RIPS system phase is built from: barrier, broadcast,
+// reduce, all-reduce and prefix scan over the simulated machine.
+//
+// All operations are synchronous SPMD calls — every node must invoke
+// the same operation with the same root and tag — and are implemented
+// on binomial trees over node ranks, giving the O(log N) step counts
+// the paper's "fast global operations" assume. Link costs still follow
+// the machine topology through the simulator's latency model.
+package collective
+
+import (
+	"fmt"
+
+	"rips/internal/sim"
+)
+
+// Comm scopes collective traffic to a tag range so that concurrent
+// application traffic (task migration, load updates) cannot be confused
+// with protocol traffic. Operations use tags TagBase..TagBase+2.
+type Comm struct {
+	Node    *sim.Node
+	TagBase int
+}
+
+// Tags used relative to TagBase.
+const (
+	tagUp   = iota // reduction / barrier arrivals
+	tagDown        // broadcast / barrier release
+	tagScan        // prefix-scan traffic
+	numTags        // reserved width of a Comm's tag space
+)
+
+// TagSpan is the number of consecutive tags a Comm consumes; callers
+// carving up a tag space should leave this much room.
+const TagSpan = numTags
+
+// Op combines two reduction operands.
+type Op func(a, b int64) int64
+
+// Standard reduction operators.
+func Sum(a, b int64) int64 { return a + b }
+func Max(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func Min(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func Or(a, b int64) int64 { return a | b }
+
+// rel translates a node id to its rank relative to root, so any node
+// can be the root of the binomial tree.
+func rel(id, root, n int) int { return (id - root + n) % n }
+
+// abs translates a relative rank back to a node id.
+func abs(rank, root, n int) int { return (rank + root) % n }
+
+// parentChildren returns the binomial-tree parent (or -1 for the root)
+// and children of this node for the given root.
+func (c *Comm) parentChildren(root int) (parent int, children []int) {
+	n := c.Node.N()
+	r := rel(c.Node.ID(), root, n)
+	if r == 0 {
+		parent = -1
+	} else {
+		// Clear the lowest set bit to find the parent rank.
+		parent = abs(r&(r-1), root, n)
+	}
+	// Children are r + 2^k for 2^k > lowest set bit of r (or all powers
+	// of two for the root), while still < n.
+	low := r & (-r)
+	if r == 0 {
+		low = 0
+	}
+	for bit := 1; r+bit < n; bit <<= 1 {
+		if low != 0 && bit >= low {
+			break
+		}
+		children = append(children, abs(r+bit, root, n))
+	}
+	return parent, children
+}
+
+// Bcast distributes data of the given size from root to all nodes and
+// returns the received value (root returns its own argument).
+func (c *Comm) Bcast(root int, data any, size int) any {
+	parent, children := c.parentChildren(root)
+	if parent >= 0 {
+		m := c.Node.RecvFrom(parent, c.TagBase+tagDown)
+		data = m.Data
+		size = m.Size
+	}
+	for _, ch := range children {
+		c.Node.SendTag(ch, c.TagBase+tagDown, data, size)
+	}
+	return data
+}
+
+// Reduce combines every node's value with op; the result is defined
+// only at root (other nodes receive their partial combination).
+func (c *Comm) Reduce(root int, value int64, op Op) int64 {
+	parent, children := c.parentChildren(root)
+	// Receive children in reverse order: the largest subtree (latest
+	// child rank) is the deepest and arrives last.
+	for i := len(children) - 1; i >= 0; i-- {
+		m := c.Node.RecvFrom(children[i], c.TagBase+tagUp)
+		value = op(value, m.Data.(int64))
+	}
+	if parent >= 0 {
+		c.Node.SendTag(parent, c.TagBase+tagUp, value, 8)
+	}
+	return value
+}
+
+// AllReduce combines every node's value with op and distributes the
+// result to all nodes.
+func (c *Comm) AllReduce(value int64, op Op) int64 {
+	v := c.Reduce(0, value, op)
+	r := c.Bcast(0, v, 8)
+	return r.(int64)
+}
+
+// ReduceVec element-wise reduces equal-length vectors to root. The
+// slice passed in is not modified; the root's return value holds the
+// combination. Panics if lengths differ across nodes (a protocol bug).
+func (c *Comm) ReduceVec(root int, value []int64, op Op) []int64 {
+	acc := make([]int64, len(value))
+	copy(acc, value)
+	parent, children := c.parentChildren(root)
+	for i := len(children) - 1; i >= 0; i-- {
+		m := c.Node.RecvFrom(children[i], c.TagBase+tagUp)
+		v := m.Data.([]int64)
+		if len(v) != len(acc) {
+			panic(fmt.Sprintf("collective: ReduceVec length mismatch %d vs %d", len(v), len(acc)))
+		}
+		for j := range acc {
+			acc[j] = op(acc[j], v[j])
+		}
+	}
+	if parent >= 0 {
+		c.Node.SendTag(parent, c.TagBase+tagUp, acc, 8*len(acc))
+	}
+	return acc
+}
+
+// AllReduceVec element-wise reduces and redistributes a vector.
+func (c *Comm) AllReduceVec(value []int64, op Op) []int64 {
+	v := c.ReduceVec(0, value, op)
+	r := c.Bcast(0, v, 8*len(v))
+	return r.([]int64)
+}
+
+// Barrier blocks until every node has entered it.
+func (c *Comm) Barrier() {
+	c.AllReduce(0, Sum)
+}
+
+// Scan computes the inclusive prefix combination of value over node
+// ids: node i returns op(v_0, ..., v_i). It runs the classic
+// Hillis-Steele doubling scheme in ceil(log2 N) rounds.
+func (c *Comm) Scan(value int64, op Op) int64 {
+	n := c.Node.N()
+	id := c.Node.ID()
+	incl := value // inclusive prefix so far
+	for d := 1; d < n; d <<= 1 {
+		if id+d < n {
+			c.Node.SendTag(id+d, c.TagBase+tagScan, incl, 8)
+		}
+		if id-d >= 0 {
+			m := c.Node.RecvFrom(id-d, c.TagBase+tagScan)
+			incl = op(m.Data.(int64), incl)
+		}
+	}
+	return incl
+}
+
+// Gather collects every node's value at root, indexed by node id; only
+// the root's return value is meaningful (others return nil).
+func (c *Comm) Gather(root int, value int64) []int64 {
+	n := c.Node.N()
+	parent, children := c.parentChildren(root)
+	// Each subtree sends a map of id->value up the tree; sizes are
+	// small (N <= a few hundred in our experiments).
+	acc := map[int]int64{c.Node.ID(): value}
+	for i := len(children) - 1; i >= 0; i-- {
+		m := c.Node.RecvFrom(children[i], c.TagBase+tagUp)
+		for k, v := range m.Data.(map[int]int64) {
+			acc[k] = v
+		}
+	}
+	if parent >= 0 {
+		c.Node.SendTag(parent, c.TagBase+tagUp, acc, 12*len(acc))
+		return nil
+	}
+	out := make([]int64, n)
+	for k, v := range acc {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package collective
+
+import (
+	"testing"
+
+	"rips/internal/sim"
+	"rips/internal/topo"
+)
+
+// runOn executes body on every node of an n-node ring with free
+// communication and returns the aggregate result.
+func runOn(t *testing.T, tp topo.Topology, body func(c *Comm)) sim.Result {
+	t.Helper()
+	res, err := sim.Run(sim.Config{Topo: tp, Latency: sim.DefaultLatency(), Seed: 5}, func(n *sim.Node) {
+		body(&Comm{Node: n, TagBase: 100})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sizes() []int { return []int{1, 2, 3, 4, 7, 8, 16, 25, 32} }
+
+func TestAllReduceSum(t *testing.T) {
+	for _, n := range sizes() {
+		want := int64(n * (n - 1) / 2)
+		runOn(t, topo.NewRing(n), func(c *Comm) {
+			if got := c.AllReduce(int64(c.Node.ID()), Sum); got != want {
+				t.Errorf("n=%d node %d: AllReduce = %d, want %d", n, c.Node.ID(), got, want)
+			}
+		})
+	}
+}
+
+func TestAllReduceMaxMinOr(t *testing.T) {
+	runOn(t, topo.NewMesh(4, 4), func(c *Comm) {
+		id := int64(c.Node.ID())
+		if got := c.AllReduce(id, Max); got != 15 {
+			t.Errorf("Max = %d", got)
+		}
+		if got := c.AllReduce(id, Min); got != 0 {
+			t.Errorf("Min = %d", got)
+		}
+		var bit int64
+		if c.Node.ID() == 7 {
+			bit = 4
+		}
+		if got := c.AllReduce(bit, Or); got != 4 {
+			t.Errorf("Or = %d", got)
+		}
+	})
+}
+
+func TestReduceAtNonzeroRoot(t *testing.T) {
+	for _, root := range []int{0, 3, 7} {
+		runOn(t, topo.NewRing(8), func(c *Comm) {
+			got := c.Reduce(root, 1, Sum)
+			if c.Node.ID() == root && got != 8 {
+				t.Errorf("root %d: Reduce = %d, want 8", root, got)
+			}
+		})
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, root := range []int{0, 5} {
+		runOn(t, topo.NewMesh(8, 4), func(c *Comm) {
+			var data any
+			if c.Node.ID() == root {
+				data = "payload"
+			}
+			got := c.Bcast(root, data, 16)
+			if got.(string) != "payload" {
+				t.Errorf("node %d got %v", c.Node.ID(), got)
+			}
+		})
+	}
+}
+
+func TestScanInclusivePrefix(t *testing.T) {
+	for _, n := range sizes() {
+		runOn(t, topo.NewRing(n), func(c *Comm) {
+			id := int64(c.Node.ID())
+			got := c.Scan(id+1, Sum) // values 1..n
+			want := (id + 1) * (id + 2) / 2
+			if got != want {
+				t.Errorf("n=%d node %d: Scan = %d, want %d", n, id, got, want)
+			}
+		})
+	}
+}
+
+func TestScanMax(t *testing.T) {
+	vals := []int64{5, 1, 9, 2, 8, 3, 7, 0}
+	runOn(t, topo.NewRing(8), func(c *Comm) {
+		id := c.Node.ID()
+		want := vals[0]
+		for _, v := range vals[1 : id+1] {
+			if v > want {
+				want = v
+			}
+		}
+		if got := c.Scan(vals[id], Max); got != want {
+			t.Errorf("node %d: Scan(Max) = %d, want %d", id, got, want)
+		}
+	})
+}
+
+func TestReduceVecAndAllReduceVec(t *testing.T) {
+	runOn(t, topo.NewMesh(4, 4), func(c *Comm) {
+		v := []int64{int64(c.Node.ID()), 1, -int64(c.Node.ID())}
+		got := c.AllReduceVec(v, Sum)
+		if got[0] != 120 || got[1] != 16 || got[2] != -120 {
+			t.Errorf("AllReduceVec = %v", got)
+		}
+		// input must be unmodified
+		if v[1] != 1 {
+			t.Errorf("input vector mutated: %v", v)
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	runOn(t, topo.NewRing(9), func(c *Comm) {
+		got := c.Gather(4, int64(c.Node.ID()*10))
+		if c.Node.ID() == 4 {
+			if len(got) != 9 {
+				t.Fatalf("Gather len = %d", len(got))
+			}
+			for i, v := range got {
+				if v != int64(i*10) {
+					t.Errorf("Gather[%d] = %d", i, v)
+				}
+			}
+		} else if got != nil {
+			t.Errorf("non-root node %d got %v", c.Node.ID(), got)
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	var after []sim.Time
+	res, err := sim.Run(sim.Config{Topo: topo.NewRing(8), Latency: sim.ZeroLatency(), Seed: 1}, func(n *sim.Node) {
+		c := &Comm{Node: n, TagBase: 0}
+		n.Compute(sim.Time(n.ID()) * sim.Millisecond)
+		c.Barrier()
+		after = append(after, n.Now())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	for _, tm := range after {
+		if tm < 7*sim.Millisecond {
+			t.Errorf("node left barrier at %v, before slowest node arrived", tm)
+		}
+	}
+}
+
+func TestConsecutiveCollectivesDoNotCrosstalk(t *testing.T) {
+	runOn(t, topo.NewRing(16), func(c *Comm) {
+		for round := int64(0); round < 5; round++ {
+			if got := c.AllReduce(round, Max); got != round {
+				t.Errorf("round %d: AllReduce = %d", round, got)
+			}
+			if got := c.Scan(1, Sum); got != int64(c.Node.ID()+1) {
+				t.Errorf("round %d: Scan = %d", round, got)
+			}
+		}
+	})
+}
+
+func TestLogarithmicDepth(t *testing.T) {
+	// On a 64-node machine with uniform latency, an AllReduce should
+	// finish in O(log N) message latencies, not O(N).
+	lat := sim.LatencyModel{Base: sim.Millisecond}
+	res, err := sim.Run(sim.Config{Topo: topo.NewRing(64), Latency: lat, Seed: 1}, func(n *sim.Node) {
+		c := &Comm{Node: n, TagBase: 0}
+		c.AllReduce(1, Sum)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth is ~log2(64)=6 up plus 6 down; allow slack for tree shape.
+	if res.End > 14*sim.Millisecond {
+		t.Errorf("AllReduce on 64 nodes took %v, want O(log N) ~ <= 14ms", res.End)
+	}
+}

@@ -1,0 +1,256 @@
+package dynsched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rips/internal/app"
+	"rips/internal/apps/nqueens"
+	"rips/internal/sim"
+	"rips/internal/topo"
+)
+
+func cfgFor(strat func() Strategy) Config {
+	return Config{
+		Topo:     topo.NewMesh(4, 4),
+		App:      nqueens.New(10, 3),
+		Strategy: strat,
+		Seed:     7,
+	}
+}
+
+func strategies() map[string]func() Strategy {
+	return map[string]func() Strategy{
+		"random":   NewRandom(),
+		"gradient": NewGradient(),
+		"rid":      NewRID(DefaultRIDParams()),
+	}
+}
+
+// TestAllStrategiesComplete: every baseline runs the workload to
+// completion, executing each generated task exactly once, with total
+// busy time equal to the sequential profile (work conservation).
+func TestAllStrategiesComplete(t *testing.T) {
+	profile := app.Measure(nqueens.New(10, 3))
+	for name, strat := range strategies() {
+		res, err := Run(cfgFor(strat))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Executed != int64(profile.Tasks) {
+			t.Errorf("%s: executed %d tasks, want %d", name, res.Executed, profile.Tasks)
+		}
+		var busy sim.Time
+		for _, st := range res.Sim.Nodes {
+			busy += st.Busy
+		}
+		if busy != profile.Work {
+			t.Errorf("%s: busy %v, want %v", name, busy, profile.Work)
+		}
+		if res.Time <= 0 {
+			t.Errorf("%s: time %v", name, res.Time)
+		}
+	}
+}
+
+func TestRandomNonlocalFraction(t *testing.T) {
+	// Random allocation sends a fraction ~ (N-1)/N of tasks away from
+	// their origin (Table I: e.g. 15459/15941 on 32 nodes).
+	res, err := Run(cfgFor(NewRandom()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.Nonlocal) / float64(res.Executed)
+	if frac < 0.85 || frac > 1.0 {
+		t.Errorf("random nonlocal fraction = %.3f, want ~ 15/16", frac)
+	}
+}
+
+func TestGradientMoreLocalThanRandom(t *testing.T) {
+	rnd, err := Run(cfgFor(NewRandom()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad, err := Run(cfgFor(NewGradient()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grad.Nonlocal >= rnd.Nonlocal {
+		t.Errorf("gradient nonlocal %d >= random %d — Table I shows gradient is more local", grad.Nonlocal, rnd.Nonlocal)
+	}
+}
+
+func TestRIDMoreLocalThanRandom(t *testing.T) {
+	rid, err := Run(cfgFor(NewRID(DefaultRIDParams())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := Run(cfgFor(NewRandom()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rid.Nonlocal >= rnd.Nonlocal*3/4 {
+		t.Errorf("rid nonlocal %d vs random %d — RID should be clearly more local", rid.Nonlocal, rnd.Nonlocal)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	for name, strat := range strategies() {
+		a, err := Run(cfgFor(strat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(cfgFor(strat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Time != b.Time || a.Nonlocal != b.Nonlocal || a.Sim.Messages != b.Sim.Messages {
+			t.Errorf("%s: runs differ", name)
+		}
+	}
+}
+
+// multiRound exercises the termination + round-barrier machinery.
+type multiRound struct{ rounds int }
+
+func (m multiRound) Name() string { return "multi" }
+func (m multiRound) Rounds() int  { return m.rounds }
+func (m multiRound) Roots(r int) []app.Spawn {
+	out := make([]app.Spawn, 3+r)
+	for i := range out {
+		out[i] = app.Spawn{Data: 0, Size: 8}
+	}
+	return out
+}
+func (m multiRound) Execute(data any, emit func(app.Spawn)) sim.Time {
+	if d := data.(int); d < 2 {
+		emit(app.Spawn{Data: d + 1, Size: 8})
+	}
+	return 100 * sim.Microsecond
+}
+
+func TestMultiRoundTermination(t *testing.T) {
+	for name, strat := range strategies() {
+		cfg := Config{Topo: topo.NewMesh(2, 2), App: multiRound{rounds: 3}, Strategy: strat, Seed: 3}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Roots: 3+4+5 = 12, each chains 2 children: 36 total.
+		if res.Executed != 36 {
+			t.Errorf("%s: executed %d, want 36", name, res.Executed)
+		}
+	}
+}
+
+func TestSingleNodeMachine(t *testing.T) {
+	cfg := Config{Topo: topo.NewMesh(1, 1), App: multiRound{rounds: 2}, Strategy: NewRandom(), Seed: 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 21 || res.Nonlocal != 0 {
+		t.Errorf("executed=%d nonlocal=%d", res.Executed, res.Nonlocal)
+	}
+}
+
+func TestEmptyRoundApp(t *testing.T) {
+	cfg := Config{Topo: topo.NewMesh(2, 2), App: multiRound{rounds: 0}, Strategy: NewRandom(), Seed: 1}
+	// Zero rounds: node 0 injects nothing; first token probe succeeds
+	// and the final term broadcast shuts everything down.
+	cfg.App = zeroApp{}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 0 {
+		t.Errorf("executed %d", res.Executed)
+	}
+}
+
+type zeroApp struct{}
+
+func (zeroApp) Name() string                          { return "zero" }
+func (zeroApp) Rounds() int                           { return 1 }
+func (zeroApp) Roots(int) []app.Spawn                 { return nil }
+func (zeroApp) Execute(any, func(app.Spawn)) sim.Time { return 0 }
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestRIDParamsDefault(t *testing.T) {
+	p := DefaultRIDParams()
+	if p.LLow != 2 || p.LThreshold != 1 || p.U != 0.4 {
+		t.Errorf("defaults = %+v, want the paper's 2/1/0.4", p)
+	}
+}
+
+// hash is splitmix64 for the chaos workload below.
+func hash(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+type chaosTask struct {
+	depth int
+	key   uint64
+}
+
+// chaosApp mirrors the RIPS chaos workload: hash-derived irregular
+// task trees, deterministic per seed.
+type chaosApp struct {
+	seed     uint64
+	maxDepth int
+}
+
+func (c chaosApp) Name() string { return "chaos" }
+func (c chaosApp) Rounds() int  { return 1 }
+func (c chaosApp) Roots(int) []app.Spawn {
+	return []app.Spawn{{Data: chaosTask{key: hash(c.seed)}, Size: 16}}
+}
+func (c chaosApp) Execute(data any, emit func(app.Spawn)) sim.Time {
+	t := data.(chaosTask)
+	h := hash(t.key)
+	if t.depth < c.maxDepth {
+		for i := uint64(0); i < h%4; i++ {
+			emit(app.Spawn{Data: chaosTask{depth: t.depth + 1, key: hash(t.key + i + 1)}, Size: 16})
+		}
+	}
+	return sim.Time(10+h%2500) * sim.Microsecond
+}
+
+// TestChaosTreesAllStrategies: random irregular trees complete under
+// every strategy with exact task accounting.
+func TestChaosTreesAllStrategies(t *testing.T) {
+	f := func(seed uint64, stratBits uint8) bool {
+		a := chaosApp{seed: seed, maxDepth: 4 + int(seed%4)}
+		want := app.Measure(a).Tasks
+		strats := []func() Strategy{
+			NewRandom(), NewGradient(), NewRID(DefaultRIDParams()), NewStatic(),
+		}
+		cfg := Config{
+			Topo:     topo.NewMesh(3, 3),
+			App:      a,
+			Strategy: strats[int(stratBits)%len(strats)],
+			Seed:     int64(seed),
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if res.Executed != int64(want) {
+			t.Logf("seed %d: executed %d, want %d", seed, res.Executed, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,28 @@
+package dynsched
+
+import (
+	"testing"
+
+	"rips/internal/apps/puzzle"
+	"rips/internal/topo"
+)
+
+// TestMultiRoundSparseRootsRegression: rounds whose tasks never send a
+// message to node 0 must still terminate — node 0 has to relaunch a
+// termination probe right after starting a round, not wait for
+// incoming traffic (this deadlocked once).
+func TestMultiRoundSparseRootsRegression(t *testing.T) {
+	cfg := Config{
+		Topo:     topo.NewMesh(4, 4),
+		App:      puzzle.New("15-puzzle mini", puzzle.Scramble(4, 30, 5), 6),
+		Strategy: NewRandom(),
+		Seed:     1,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed == 0 {
+		t.Fatal("nothing executed")
+	}
+}

@@ -1,0 +1,285 @@
+package dynsched
+
+import (
+	"rips/internal/sim"
+	"rips/internal/task"
+)
+
+// ---------------------------------------------------------------- random
+
+// randomStrategy is the paper's baseline: every task is allocated to a
+// uniformly random node at generation time. Load balance is
+// statistically good, locality is the worst possible (a fraction
+// 1-1/N of tasks run away from home), and there is no other traffic.
+type randomStrategy struct{}
+
+// NewRandom returns the randomized-allocation strategy factory.
+func NewRandom() func() Strategy {
+	return func() Strategy { return randomStrategy{} }
+}
+
+func (randomStrategy) Name() string { return "random" }
+func (randomStrategy) Init(*Ctx)    {}
+func (randomStrategy) Place(c *Ctx, t task.Task) {
+	dest := c.N.Rand().Intn(c.N.N())
+	if dest == c.N.ID() {
+		c.Enqueue(t)
+		return
+	}
+	c.SendTasks(dest, []task.Task{t})
+}
+func (randomStrategy) OnMessage(*Ctx, sim.Message) {}
+func (randomStrategy) Poll(*Ctx)                   {}
+
+// --------------------------------------------------------------- gradient
+
+// gradientStrategy implements the gradient model: every node maintains
+// a proximity value — 0 when it is underloaded, otherwise one more
+// than the smallest neighbour proximity — whose gradient surface
+// points toward the nearest demand. Overloaded nodes push one task at
+// a time down the gradient. The paper's critique ("the load is spread
+// slowly... information and tasks are frequently exchanged") falls out
+// of exactly this structure.
+type gradientStrategy struct {
+	wmax      int
+	prox      int
+	neighbors []int // in topology order, for deterministic iteration
+	neighProx []int // parallel to neighbors
+	lowWater  int   // queue length at/below which the node is a demand
+	highWater int   // queue length above which the node pushes tasks
+}
+
+// NewGradient returns the gradient-model strategy factory.
+func NewGradient() func() Strategy {
+	return func() Strategy { return &gradientStrategy{lowWater: 0, highWater: 1} }
+}
+
+func (g *gradientStrategy) Name() string { return "gradient" }
+
+func (g *gradientStrategy) Init(c *Ctx) {
+	// wmax caps proximities: anything at wmax means "no demand known".
+	g.wmax = c.N.N() // a safe overestimate of the diameter
+	g.neighbors = c.Topo().Neighbors(c.N.ID())
+	g.neighProx = make([]int, len(g.neighbors))
+	for i := range g.neighProx {
+		g.neighProx[i] = g.wmax
+	}
+	g.prox = g.wmax
+	g.update(c)
+}
+
+// Place: tasks enter the local queue; the gradient moves them later.
+func (g *gradientStrategy) Place(c *Ctx, t task.Task) {
+	c.Enqueue(t)
+	g.update(c)
+}
+
+// update recomputes this node's proximity and tells the neighbours
+// when it changed.
+func (g *gradientStrategy) update(c *Ctx) {
+	p := g.wmax
+	if c.Q.Len() <= g.lowWater {
+		p = 0
+	} else {
+		for _, v := range g.neighProx {
+			if v+1 < p {
+				p = v + 1
+			}
+		}
+	}
+	if p != g.prox {
+		g.prox = p
+		c.N.Overhead(2 * sim.Microsecond)
+		for _, nb := range g.neighbors {
+			c.N.SendTag(nb, TagLoad, p, 8)
+		}
+	}
+}
+
+func (g *gradientStrategy) OnMessage(c *Ctx, m sim.Message) {
+	switch m.Tag {
+	case TagLoad:
+		g.neighProx[g.indexOf(m.From)] = m.Data.(int)
+		g.update(c)
+	case TagTask:
+		g.update(c)
+	}
+}
+
+// Poll pushes surplus toward the nearest demand: half the excess goes
+// one hop down the gradient per call, so load still diffuses
+// neighbour-by-neighbour (the model's characteristic slow spread) but
+// without degenerating into one-task messages.
+func (g *gradientStrategy) Poll(c *Ctx) {
+	if c.Q.Len() <= g.highWater {
+		g.update(c)
+		return
+	}
+	best, bestProx := -1, g.wmax
+	for i, v := range g.neighProx {
+		if v < bestProx {
+			best, bestProx = g.neighbors[i], v
+		}
+	}
+	if best < 0 {
+		return // no demand anywhere in sight
+	}
+	give := (c.Q.Len() - g.highWater + 1) / 2
+	c.SendTasks(best, c.Q.TakeBack(give))
+	g.update(c)
+}
+
+// indexOf maps a neighbor id to its slot; neighbor sets are tiny.
+func (g *gradientStrategy) indexOf(id int) int {
+	for i, nb := range g.neighbors {
+		if nb == id {
+			return i
+		}
+	}
+	panic("dynsched: message from non-neighbor")
+}
+
+// ------------------------------------------------------------------- rid
+
+// RIDParams are the receiver-initiated-diffusion tuning knobs; the
+// paper sets LLow=2, LThreshold=1 and the load-update factor u=0.4
+// (0.7 for IDA* on large machines — u=0.9, the value suggested by
+// Willebeek-LeMair & Reeves, exchanged information too often).
+type RIDParams struct {
+	LLow       int
+	LThreshold int
+	U          float64
+}
+
+// DefaultRIDParams returns the paper's tuned values.
+func DefaultRIDParams() RIDParams { return RIDParams{LLow: 2, LThreshold: 1, U: 0.4} }
+
+// ridStrategy implements receiver-initiated diffusion: nodes advertise
+// their load to neighbours when it changes by a fraction U, and a node
+// whose queue falls below LLow requests work from its most-loaded
+// neighbour, which transfers half the difference.
+type ridStrategy struct {
+	p         RIDParams
+	neighbors []int // in topology order, for deterministic iteration
+	neighLoad []int // parallel to neighbors
+	lastSent  int
+	pending   bool // a request is outstanding
+}
+
+// NewRID returns the RID strategy factory with the given parameters.
+func NewRID(p RIDParams) func() Strategy {
+	return func() Strategy { return &ridStrategy{p: p} }
+}
+
+func (r *ridStrategy) Name() string { return "rid" }
+
+func (r *ridStrategy) Init(c *Ctx) {
+	r.neighbors = c.Topo().Neighbors(c.N.ID())
+	r.neighLoad = make([]int, len(r.neighbors))
+}
+
+func (r *ridStrategy) Place(c *Ctx, t task.Task) {
+	c.Enqueue(t)
+	r.maybeAdvertise(c)
+}
+
+// maybeAdvertise sends a load update to the neighbours when the local
+// load moved by more than a fraction U since the last update.
+func (r *ridStrategy) maybeAdvertise(c *Ctx) {
+	l := c.Q.Len()
+	d := l - r.lastSent
+	if d < 0 {
+		d = -d
+	}
+	bar := int(r.p.U * float64(r.lastSent))
+	if bar < 1 {
+		bar = 1
+	}
+	if d < bar {
+		return
+	}
+	r.lastSent = l
+	c.N.Overhead(2 * sim.Microsecond)
+	for _, nb := range r.neighbors {
+		c.N.SendTag(nb, TagLoad, l, 8)
+	}
+}
+
+func (r *ridStrategy) OnMessage(c *Ctx, m sim.Message) {
+	switch m.Tag {
+	case TagLoad:
+		r.neighLoad[r.indexOf(m.From)] = m.Data.(int)
+	case TagTask:
+		// A bundle doubles as the provider's reply: clear the pending
+		// flag and absorb the piggybacked load so we do not re-request
+		// from a drained neighbour.
+		r.neighLoad[r.indexOf(m.From)] = m.Data.(taskMsg).load
+		r.pending = false
+		r.maybeAdvertise(c)
+	case TagRequest:
+		reqLoad := m.Data.(int)
+		give := (c.Q.Len() - reqLoad) / 2
+		if max := c.Q.Len() - 1; give > max {
+			give = max
+		}
+		if give < 0 {
+			give = 0
+		}
+		c.SendTasks(m.From, c.Q.TakeBack(give))
+		r.maybeAdvertise(c)
+	}
+}
+
+// Poll issues a work request when underloaded and a more-loaded
+// neighbour is known.
+func (r *ridStrategy) Poll(c *Ctx) {
+	r.maybeAdvertise(c)
+	if r.pending || c.Q.Len() >= r.p.LLow {
+		return
+	}
+	best, bestLoad := -1, 0
+	for i, l := range r.neighLoad {
+		if l > bestLoad {
+			best, bestLoad = r.neighbors[i], l
+		}
+	}
+	if best < 0 || bestLoad <= r.p.LThreshold || bestLoad <= c.Q.Len() {
+		return
+	}
+	r.pending = true
+	// Assume the neighbour grants half the difference until its reply
+	// corrects the estimate; this throttles repeat requests.
+	r.neighLoad[r.indexOf(best)] = (bestLoad + c.Q.Len()) / 2
+	c.N.Overhead(2 * sim.Microsecond)
+	c.N.SendTag(best, TagRequest, c.Q.Len(), 8)
+}
+
+// indexOf maps a neighbor id to its slot; neighbor sets are tiny.
+func (r *ridStrategy) indexOf(id int) int {
+	for i, nb := range r.neighbors {
+		if nb == id {
+			return i
+		}
+	}
+	panic("dynsched: message from non-neighbor")
+}
+
+// ---------------------------------------------------------------- static
+
+// staticStrategy performs no load balancing at all: tasks run where
+// they are generated. For block-distributed apps this is exactly the
+// paper's "static scheduling" strawman — a compile-time distribution
+// with no runtime correction — and it shows why nonuniform workloads
+// (GROMOS's density skew, any dynamic tree) need a balancer.
+type staticStrategy struct{}
+
+// NewStatic returns the no-balancing strategy factory.
+func NewStatic() func() Strategy {
+	return func() Strategy { return staticStrategy{} }
+}
+
+func (staticStrategy) Name() string                { return "static" }
+func (staticStrategy) Init(*Ctx)                   {}
+func (staticStrategy) Place(c *Ctx, t task.Task)   { c.Enqueue(t) }
+func (staticStrategy) OnMessage(*Ctx, sim.Message) {}
+func (staticStrategy) Poll(*Ctx)                   {}

@@ -1,0 +1,149 @@
+package dynsched
+
+import (
+	"testing"
+
+	"rips/internal/app"
+	"rips/internal/sim"
+	"rips/internal/topo"
+)
+
+// lineApp puts `count` unit tasks at node 0 of a 1xN line and nothing
+// anywhere else — the sharpest possible initial imbalance.
+type lineApp struct{ count int }
+
+func (l lineApp) Name() string { return "line" }
+func (l lineApp) Rounds() int  { return 1 }
+func (l lineApp) Roots(int) []app.Spawn {
+	out := make([]app.Spawn, l.count)
+	for i := range out {
+		out[i] = app.Spawn{Data: i, Size: 8}
+	}
+	return out
+}
+func (l lineApp) Execute(any, func(app.Spawn)) sim.Time { return 2 * sim.Millisecond }
+
+// TestGradientDiffusesAlongLine: with all load at one end of a line,
+// the gradient model must move work hop by hop so that even the far
+// end executes some tasks.
+func TestGradientDiffusesAlongLine(t *testing.T) {
+	res, err := Run(Config{
+		Topo:     topo.NewMesh(1, 4),
+		App:      lineApp{count: 200},
+		Strategy: NewGradient(),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node must have been busy: check per-node busy time.
+	for id, st := range res.Sim.Nodes {
+		if st.Busy == 0 {
+			t.Errorf("node %d executed nothing — gradient did not diffuse", id)
+		}
+	}
+	if res.Nonlocal == 0 {
+		t.Error("no tasks moved at all")
+	}
+}
+
+// TestRIDPullsWork: same scenario under RID — the idle right end must
+// request and receive work from its neighbour chain.
+func TestRIDPullsWork(t *testing.T) {
+	res, err := Run(Config{
+		Topo:     topo.NewMesh(1, 4),
+		App:      lineApp{count: 200},
+		Strategy: NewRID(DefaultRIDParams()),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, st := range res.Sim.Nodes {
+		if st.Busy == 0 {
+			t.Errorf("node %d executed nothing — RID did not pull work", id)
+		}
+	}
+}
+
+// TestRIDNoRequestStorm: on a machine that is idle because there is
+// simply no work anywhere, RID must quiesce (terminate) rather than
+// ping-pong requests forever. Termination itself is the assertion —
+// the run would deadlock or hit the event limit otherwise.
+func TestRIDNoRequestStorm(t *testing.T) {
+	res, err := Run(Config{
+		Topo:      topo.NewMesh(2, 2),
+		App:       lineApp{count: 2}, // far fewer tasks than nodes
+		Strategy:  NewRID(DefaultRIDParams()),
+		Seed:      1,
+		MaxEvents: 200000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 2 {
+		t.Errorf("executed %d", res.Executed)
+	}
+}
+
+// TestRandomUsesAllNodes: randomized allocation spreads 200 tasks from
+// node 0 across a 16-node machine; every node should get some.
+func TestRandomUsesAllNodes(t *testing.T) {
+	res, err := Run(Config{
+		Topo:     topo.NewMesh(4, 4),
+		App:      lineApp{count: 320},
+		Strategy: NewRandom(),
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, st := range res.Sim.Nodes {
+		if st.Busy == 0 {
+			t.Errorf("node %d executed nothing under random allocation", id)
+		}
+	}
+	// Expect close to (N-1)/N nonlocal.
+	frac := float64(res.Nonlocal) / float64(res.Executed)
+	if frac < 0.8 {
+		t.Errorf("nonlocal fraction %f too low for random", frac)
+	}
+}
+
+// TestGradientQuiescesWithLoadBelowThreshold: nodes holding just one
+// task (at or below the high-water mark) must not push it around.
+func TestGradientNoThrashingAtLowLoad(t *testing.T) {
+	res, err := Run(Config{
+		Topo:     topo.NewMesh(2, 2),
+		App:      lineApp{count: 1},
+		Strategy: NewGradient(),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrated > 2 {
+		t.Errorf("single task migrated %d times", res.Migrated)
+	}
+}
+
+// TestStaticNeverMoves: the static strategy executes everything where
+// it was generated.
+func TestStaticNeverMoves(t *testing.T) {
+	res, err := Run(Config{
+		Topo:     topo.NewMesh(2, 2),
+		App:      lineApp{count: 40},
+		Strategy: NewStatic(),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nonlocal != 0 || res.Migrated != 0 {
+		t.Errorf("static moved tasks: nonlocal=%d migrated=%d", res.Nonlocal, res.Migrated)
+	}
+	// All 40 tasks ran on node 0: its busy time is the whole workload.
+	if res.Sim.Nodes[0].Busy != 40*2*sim.Millisecond {
+		t.Errorf("node 0 busy %v", res.Sim.Nodes[0].Busy)
+	}
+}

@@ -1,0 +1,249 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rips/internal/app"
+	"rips/internal/apps/kernels"
+	"rips/internal/apps/nqueens"
+	"rips/internal/sim"
+	"rips/internal/topo"
+)
+
+func TestFig4ShapeAndMonotonicity(t *testing.T) {
+	pts := Fig4([]int{8, 64}, []int{5, 50}, 15, 1)
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	byKey := map[[2]int]float64{}
+	for _, p := range pts {
+		if p.Normalized < 0 {
+			t.Errorf("procs=%d w=%d: negative normalized cost %f (MWA beat 'optimal')", p.Procs, p.Weight, p.Normalized)
+		}
+		byKey[[2]int{p.Procs, p.Weight}] = p.Normalized
+	}
+	// Paper Figure 4: small meshes are near-optimal; cost grows with
+	// machine size.
+	if byKey[[2]int{8, 50}] > 0.10 {
+		t.Errorf("8 procs, w=50: %f, want <= 0.10", byKey[[2]int{8, 50}])
+	}
+	if byKey[[2]int{64, 5}] <= byKey[[2]int{8, 5}] {
+		t.Errorf("normalized cost did not grow with machine size: 64p %f vs 8p %f",
+			byKey[[2]int{64, 5}], byKey[[2]int{8, 5}])
+	}
+}
+
+func TestPrintFig4(t *testing.T) {
+	var buf bytes.Buffer
+	PrintFig4(&buf, Fig4([]int{8}, []int{2, 10}, 3, 1))
+	out := buf.String()
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "w=10") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestTable1QuickShape(t *testing.T) {
+	ws := []Workload{NewWorkload(nqueens.New(11, 3), 0.4)}
+	mesh := topo.NewMesh(4, 4)
+	rows, err := Table1(ws, mesh, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var ripsRow, randRow *rowRef
+	for i := range rows {
+		switch rows[i].Sched {
+		case "rips":
+			ripsRow = &rowRef{i}
+		case "random":
+			randRow = &rowRef{i}
+		}
+		if rows[i].Eff <= 0 || rows[i].Eff > 1 {
+			t.Errorf("row %d: efficiency %f", i, rows[i].Eff)
+		}
+		if rows[i].Tasks != rows[0].Tasks {
+			t.Errorf("task counts differ across schedulers: %d vs %d", rows[i].Tasks, rows[0].Tasks)
+		}
+	}
+	if ripsRow == nil || randRow == nil {
+		t.Fatal("missing schedulers")
+	}
+	if rows[ripsRow.i].Nonlocal >= rows[randRow.i].Nonlocal {
+		t.Errorf("rips nonlocal %d >= random %d", rows[ripsRow.i].Nonlocal, rows[randRow.i].Nonlocal)
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "11-queens") {
+		t.Error("render missing workload name")
+	}
+}
+
+type rowRef struct{ i int }
+
+func TestTable2AndFig5(t *testing.T) {
+	ws := []Workload{NewWorkload(nqueens.New(10, 3), 0.4)}
+	opt := Table2(ws, 16)
+	if v := opt["10-queens"]; v <= 0 || v > 1 {
+		t.Fatalf("optimal efficiency %f", v)
+	}
+	rows, err := Table1(ws, topo.NewMesh(4, 4), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Fig5(rows, opt)
+	for _, p := range pts {
+		if p.Sched == "random" && (p.Quality < 0.999 || p.Quality > 1.001) {
+			t.Errorf("random quality = %f, want 1.0", p.Quality)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig5(&buf, pts)
+	PrintTable2(&buf, ws, 16)
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Error("render missing Table II")
+	}
+}
+
+func TestTable3SpeedupGrowsWithProcs(t *testing.T) {
+	ws := []Workload{NewWorkload(nqueens.New(11, 3), 0.4)}
+	rows, err := Table3(ws, []int{8, 32}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := map[[2]string]map[int]float64{}
+	for _, r := range rows {
+		k := [2]string{r.App, r.Sched}
+		if sp[k] == nil {
+			sp[k] = map[int]float64{}
+		}
+		sp[k][r.Procs] = r.Speedup
+	}
+	// RIPS and random must scale up (paper Table III's headline).
+	for _, s := range []string{"rips", "random"} {
+		k := [2]string{"11-queens", s}
+		if sp[k][32] <= sp[k][8] {
+			t.Errorf("%s: speedup 32p %.1f <= 8p %.1f", s, sp[k][32], sp[k][8])
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "Table III") {
+		t.Error("render missing")
+	}
+}
+
+func TestAblationRunsAllPolicies(t *testing.T) {
+	w := NewWorkload(nqueens.New(10, 3), 0.4)
+	rows, err := Ablation(w, topo.NewMesh(4, 2), 2*sim.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d ablation rows", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Policy] = true
+		if r.Eff <= 0 {
+			t.Errorf("%s: efficiency %f", r.Policy, r.Eff)
+		}
+	}
+	for _, want := range []string{"any-lazy", "any-eager", "all-lazy", "all-eager", "any-lazy periodic", "any-lazy eureka"} {
+		if !names[want] {
+			t.Errorf("missing policy %q", want)
+		}
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "any-lazy") {
+		t.Error("render missing")
+	}
+}
+
+func TestQuickWorkloads(t *testing.T) {
+	ws := QuickWorkloads()
+	if len(ws) != 3 {
+		t.Fatalf("%d quick workloads", len(ws))
+	}
+	for _, w := range ws {
+		if w.Profile.Tasks == 0 || w.Profile.Work <= 0 {
+			t.Errorf("%s: empty profile", w.App.Name())
+		}
+	}
+}
+
+func TestSchedulerStrings(t *testing.T) {
+	if len(Schedulers()) != 4 {
+		t.Error("scheduler set changed")
+	}
+	if SchedRIPS.String() != "rips" || Scheduler(9).String() == "" {
+		t.Error("bad scheduler names")
+	}
+}
+
+func TestTopologiesComparison(t *testing.T) {
+	w := NewWorkload(nqueens.New(10, 3), 0.4)
+	rows, err := Topologies(w, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Eff <= 0 || r.Eff > 1 {
+			t.Errorf("%s: efficiency %f", r.Topology, r.Eff)
+		}
+		if r.Phases < 1 {
+			t.Errorf("%s: phases %d", r.Topology, r.Phases)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTopologies(&buf, rows)
+	if !strings.Contains(buf.String(), "hypercube-cwa") {
+		t.Error("render missing")
+	}
+	if _, err := Topologies(w, 12, 1); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+}
+
+func TestTaxonomy(t *testing.T) {
+	// A compact taxonomy set: one static kernel, one dynamic search.
+	gauss := kernels.NewGauss(64, 2)
+	queens := nqueens.New(10, 3)
+	ws := []TaxonomyWorkload{
+		{App: gauss, Profile: app.Measure(gauss), Class: "static"},
+		{App: queens, Profile: app.Measure(queens), Class: "dynamic"},
+	}
+	rows, err := Taxonomy(ws, topo.NewMesh(4, 4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := map[[2]string]float64{}
+	for _, r := range rows {
+		eff[[2]string{r.App, r.Sched}] = r.Eff
+	}
+	// The paper's Section 1 claim, in relative terms: on a static
+	// problem the compile-time distribution already matches the
+	// runtime scheduler...
+	if eff[[2]string{gauss.Name(), "static"}] < 0.7*eff[[2]string{gauss.Name(), "rips"}] {
+		t.Errorf("static scheduling on gauss = %.2f vs rips %.2f — should be comparable",
+			eff[[2]string{gauss.Name(), "static"}], eff[[2]string{gauss.Name(), "rips"}])
+	}
+	// ...while on a dynamic problem it collapses (everything sits on
+	// node 0) and RIPS recovers the difference.
+	if eff[[2]string{queens.Name(), "rips"}] < 3*eff[[2]string{queens.Name(), "static"}] {
+		t.Errorf("rips %.2f vs static %.2f on queens — expected a collapse for static",
+			eff[[2]string{queens.Name(), "rips"}], eff[[2]string{queens.Name(), "static"}])
+	}
+	var buf bytes.Buffer
+	PrintTaxonomy(&buf, rows)
+	if !strings.Contains(buf.String(), "taxonomy") {
+		t.Error("render missing")
+	}
+}

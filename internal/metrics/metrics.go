@@ -1,0 +1,63 @@
+// Package metrics computes the paper's evaluation measures: parallel
+// efficiency, speedup, optimal efficiency (Table II) and the
+// normalized quality factor of Figure 5.
+package metrics
+
+import (
+	"fmt"
+
+	"rips/internal/sim"
+)
+
+// Efficiency is the paper's mu = Ts / (Tp * N).
+func Efficiency(ts sim.Time, n int, tp sim.Time) float64 {
+	if tp <= 0 || n <= 0 {
+		return 0
+	}
+	return float64(ts) / (float64(tp) * float64(n))
+}
+
+// Speedup is Ts / Tp.
+func Speedup(ts, tp sim.Time) float64 {
+	if tp <= 0 {
+		return 0
+	}
+	return float64(ts) / float64(tp)
+}
+
+// QualityFactor is the paper's normalized quality factor
+// (muOpt - muRand) / (muOpt - muG): 1 for the randomized baseline,
+// above 1 for algorithms that beat it, below 1 for those that don't.
+// A scheduler at (or above) the optimal efficiency yields +Inf, which
+// callers should clamp for display.
+func QualityFactor(muOpt, muRand, muG float64) float64 {
+	den := muOpt - muG
+	if den <= 0 {
+		return inf
+	}
+	return (muOpt - muRand) / den
+}
+
+const inf = 1e9
+
+// Row is one Table I line: a workload under one scheduling algorithm.
+type Row struct {
+	App      string
+	Sched    string
+	Tasks    int64    // total tasks generated
+	Nonlocal int64    // tasks executed away from their origin node
+	Overhead sim.Time // Th: average per-node system overhead
+	Idle     sim.Time // Ti: average per-node idle time
+	Time     sim.Time // T: parallel execution time
+	Eff      float64  // mu
+	SeqTime  sim.Time // Ts (same for every scheduler of an app)
+	Phases   int64    // RIPS only: number of system phases
+	Migrated int64    // task·link transfers (RIPS system phases / baseline sends)
+}
+
+// String formats the row roughly like the paper's Table I.
+func (r Row) String() string {
+	return fmt.Sprintf("%-14s %-9s %7d %9d %8.2f %8.2f %8.2f %5.0f%%",
+		r.App, r.Sched, r.Tasks, r.Nonlocal,
+		r.Overhead.Seconds(), r.Idle.Seconds(), r.Time.Seconds(), 100*r.Eff)
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rips/internal/sim"
+)
+
+func TestEfficiency(t *testing.T) {
+	// 32 s of work on 4 processors finishing in 10 s: 80%.
+	if got := Efficiency(32*sim.Second, 4, 10*sim.Second); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("Efficiency = %v, want 0.8", got)
+	}
+	if got := Efficiency(sim.Second, 4, 0); got != 0 {
+		t.Errorf("Efficiency with zero time = %v", got)
+	}
+	if got := Efficiency(sim.Second, 0, sim.Second); got != 0 {
+		t.Errorf("Efficiency with zero procs = %v", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(30*sim.Second, 3*sim.Second); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Speedup = %v", got)
+	}
+	if got := Speedup(sim.Second, 0); got != 0 {
+		t.Errorf("Speedup with zero time = %v", got)
+	}
+}
+
+func TestQualityFactor(t *testing.T) {
+	// Random itself is always exactly 1.
+	if got := QualityFactor(0.99, 0.65, 0.65); math.Abs(got-1) > 1e-9 {
+		t.Errorf("random quality = %v", got)
+	}
+	// Better than random: > 1 (e.g. the paper's 15-queens RIPS).
+	if got := QualityFactor(0.994, 0.87, 0.95); got <= 1 {
+		t.Errorf("better-than-random quality = %v", got)
+	}
+	// Worse than random: < 1.
+	if got := QualityFactor(0.994, 0.87, 0.53); got >= 1 {
+		t.Errorf("worse-than-random quality = %v", got)
+	}
+	// At or above the optimum: clamped +huge, not a divide-by-zero.
+	if got := QualityFactor(0.9, 0.8, 0.95); got < 1e6 {
+		t.Errorf("above-optimal quality = %v", got)
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Row{
+		App: "15-queens", Sched: "rips", Tasks: 15941, Nonlocal: 922,
+		Overhead: 510 * sim.Millisecond, Idle: 30 * sim.Millisecond,
+		Time: sim.Time(10.9 * float64(sim.Second)), Eff: 0.95,
+	}
+	s := r.String()
+	for _, want := range []string{"15-queens", "rips", "15941", "922", "95%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Row.String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package ripsrt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rips/internal/app"
+	"rips/internal/sim"
+	"rips/internal/topo"
+)
+
+// chaosApp is a synthetic workload whose task tree is derived entirely
+// from payload hashes, so it is deterministic per seed yet arbitrarily
+// irregular — fan-out, depth and grain all vary pseudo-randomly.
+type chaosApp struct {
+	seed     uint64
+	maxDepth int
+	roots    int
+}
+
+// hash is splitmix64; cheap, stateless determinism per payload.
+func hash(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+type chaosTask struct {
+	depth int
+	key   uint64
+}
+
+func (c chaosApp) Name() string { return "chaos" }
+func (c chaosApp) Rounds() int  { return 1 }
+func (c chaosApp) Roots(int) []app.Spawn {
+	out := make([]app.Spawn, c.roots)
+	for i := range out {
+		out[i] = app.Spawn{Data: chaosTask{depth: 0, key: hash(c.seed + uint64(i))}, Size: 16}
+	}
+	return out
+}
+func (c chaosApp) Execute(data any, emit func(app.Spawn)) sim.Time {
+	t := data.(chaosTask)
+	h := hash(t.key)
+	if t.depth < c.maxDepth {
+		// 0..3 children, hash-determined.
+		for i := uint64(0); i < h%4; i++ {
+			emit(app.Spawn{Data: chaosTask{depth: t.depth + 1, key: hash(t.key + i + 1)}, Size: 16})
+		}
+	}
+	// 10us..2.5ms of work, hash-determined.
+	return sim.Time(10+h%2500) * sim.Microsecond
+}
+
+// countTasks sizes the tree sequentially for the oracle.
+func (c chaosApp) countTasks() int {
+	p := app.Measure(c)
+	return p.Tasks
+}
+
+// TestChaosTrees drives random irregular task trees through random
+// policy/machine combinations and checks the core invariants: every
+// generated task executes exactly once and total busy time equals the
+// sequential work.
+func TestChaosTrees(t *testing.T) {
+	f := func(seed uint64, policyBits, meshBits uint8) bool {
+		a := chaosApp{seed: seed, maxDepth: 3 + int(seed%4), roots: 1 + int(seed%5)}
+		meshes := []topo.Topology{
+			topo.NewMesh(2, 2), topo.NewMesh(4, 2), topo.NewMesh(3, 3),
+			topo.NewTree(7), topo.NewHypercube(3),
+		}
+		cfg := Config{
+			Topo:   meshes[int(meshBits)%len(meshes)],
+			App:    a,
+			Local:  LocalPolicy(policyBits % 2),
+			Global: GlobalPolicy((policyBits / 2) % 2),
+			Seed:   int64(seed),
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want := a.countTasks()
+		if res.Executed != int64(want) {
+			t.Logf("seed %d: executed %d, want %d", seed, res.Executed, want)
+			return false
+		}
+		profile := app.Measure(a)
+		var busy sim.Time
+		for _, st := range res.Sim.Nodes {
+			busy += st.Busy
+		}
+		if busy != profile.Work {
+			t.Logf("seed %d: busy %v, want %v", seed, busy, profile.Work)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

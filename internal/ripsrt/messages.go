@@ -1,0 +1,66 @@
+package ripsrt
+
+import "rips/internal/task"
+
+// Protocol tags. Collective operations (broadcast of wavg/R/T, the
+// periodic detector's reductions) use tagColl upward.
+const (
+	tagInit   = iota // phase-transfer init broadcast (data: int phase)
+	tagReady         // ALL-policy ready signal (data: int phase)
+	tagScanW         // MWA step 1: row prefix of load values
+	tagColT          // MWA step 2: column scan of prefix sums t
+	tagSpread        // MWA step 2: row spread of (s, t, tPrev)
+	tagDown          // MWA step 4: downward tasks + d prefix vector
+	tagUp            // MWA step 4: upward tasks + u prefix vector
+	tagRight         // MWA step 5: rightward task bundle
+	tagLeft          // MWA step 5: leftward task bundle
+	tagColl          // base tag for collective operations
+)
+
+// initMsg announces a phase transfer: the ANY policy relays it down a
+// binomial broadcast tree rooted at the initiator; the phase index
+// cancels redundant initiators' copies.
+type initMsg struct {
+	phase int
+	root  int
+}
+
+// scanWMsg carries the step-1 prefix of this row's task counts:
+// entry k is node (i,k)'s schedulable-task count, k = 0..j.
+type scanWMsg struct {
+	w []int
+}
+
+// spreadMsg carries a row's step-2 aggregates from the rightmost
+// column leftward.
+type spreadMsg struct {
+	s, t, tPrev int
+}
+
+// bcastMsg is the step-2 broadcast from node (n1-1, n2-1).
+type bcastMsg struct {
+	avg, rem, total int
+}
+
+// vertMsg is a step-4 vertical transfer: the migrating tasks plus the
+// sender's d (or u) prefix vector for columns 0..j, which the receiver
+// needs to update its stored row prefix.
+type vertMsg struct {
+	tasks []task.Task
+	vec   []int
+}
+
+// horzMsg is a step-5 horizontal transfer.
+type horzMsg struct {
+	tasks []task.Task
+}
+
+// sizeOfTasks sums the serialized payload bytes of a task bundle
+// (tasks are "packed together for transmission" as in the paper).
+func sizeOfTasks(ts []task.Task) int {
+	s := 16 // bundle header
+	for _, t := range ts {
+		s += t.Size + 16
+	}
+	return s
+}

@@ -1,0 +1,186 @@
+package cubewalk
+
+import (
+	"math/rand"
+	"testing"
+
+	"rips/internal/sched"
+	"rips/internal/sched/dem"
+	"rips/internal/sched/flow"
+	"rips/internal/topo"
+)
+
+func TestExactBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, dim := range []int{0, 1, 2, 3, 4, 5, 6} {
+		h := topo.NewHypercube(dim)
+		for trial := 0; trial < 20; trial++ {
+			w := make([]int, h.Size())
+			for i := range w {
+				w[i] = rng.Intn(25)
+			}
+			r, err := Plan(h, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			final, err := r.Plan.Apply(h, w)
+			if err != nil {
+				t.Fatalf("dim %d: infeasible plan: %v (w=%v)", dim, err, w)
+			}
+			for id, f := range final {
+				if f != r.Quota[id] {
+					t.Fatalf("dim %d: node %d got %d, quota %d (w=%v)", dim, id, f, r.Quota[id], w)
+				}
+			}
+			if err := sched.CheckBalanced(final); err != nil {
+				t.Fatalf("dim %d: %v", dim, err)
+			}
+		}
+	}
+}
+
+// TestBeatsDEMOnBalance: CWA lands exactly on quota where DEM leaves a
+// spread up to the dimension — the upgrade over Section 5's prior art.
+func TestBeatsDEMOnBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	h := topo.NewHypercube(5)
+	demWorse := 0
+	for trial := 0; trial < 40; trial++ {
+		w := make([]int, 32)
+		for i := range w {
+			w[i] = rng.Intn(20)
+		}
+		cr, err := Plan(h, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dr, err := dem.Plan(h, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final, err := cr.Plan.Apply(h, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := final[0], final[0]
+		for _, f := range final {
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("CWA spread %d", hi-lo)
+		}
+		if dr.MaxSpread > 1 {
+			demWorse++
+		}
+	}
+	if demWorse == 0 {
+		t.Error("DEM was never worse than within-one — test instances too easy")
+	}
+}
+
+// nonlocalCount replays a plan with provenance (forward-received
+// tasks are re-exported before resident ones).
+func nonlocalCount(w []int, p sched.Plan) int {
+	home := append([]int(nil), w...)
+	cur := append([]int(nil), w...)
+	for _, mv := range p.Moves {
+		foreign := cur[mv.From] - home[mv.From]
+		if own := mv.Count - foreign; own > 0 {
+			home[mv.From] -= own
+		}
+		cur[mv.From] -= mv.Count
+		cur[mv.To] += mv.Count
+	}
+	total := 0
+	for i := range w {
+		total += w[i] - home[i]
+	}
+	return total
+}
+
+// TestMaximumLocality: like MWA's Theorem 2, the gamma reservation
+// keeps resident tasks home whenever the load divides evenly.
+func TestMaximumLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for _, dim := range []int{2, 3, 4, 5} {
+		h := topo.NewHypercube(dim)
+		n := h.Size()
+		for trial := 0; trial < 25; trial++ {
+			w := make([]int, n)
+			for i := range w {
+				w[i] = rng.Intn(12)
+			}
+			for sched.Sum(w)%n != 0 {
+				w[rng.Intn(n)]++
+			}
+			r, err := Plan(h, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := nonlocalCount(w, r.Plan)
+			want := sched.MinNonlocal(w)
+			if got != want {
+				t.Fatalf("dim %d: nonlocal %d, want %d (w=%v)", dim, got, want, w)
+			}
+		}
+	}
+}
+
+// TestNearOptimalCost: CWA never beats the min-cost flow and stays
+// within a modest factor of it on a 32-node cube.
+func TestNearOptimalCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	h := topo.NewHypercube(5)
+	cwaTotal, optTotal := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		w := make([]int, 32)
+		for i := range w {
+			w[i] = rng.Intn(20)
+		}
+		r, err := Plan(h, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := flow.Cost(h, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Plan.Cost() < opt {
+			t.Fatalf("CWA cost %d beats optimal %d (w=%v)", r.Plan.Cost(), opt, w)
+		}
+		cwaTotal += r.Plan.Cost()
+		optTotal += opt
+	}
+	if float64(cwaTotal) > 1.6*float64(optTotal) {
+		t.Errorf("CWA cost %d vs optimal %d — more than 60%% overhead", cwaTotal, optTotal)
+	}
+}
+
+func TestStepsIsDimension(t *testing.T) {
+	h := topo.NewHypercube(4)
+	r, err := Plan(h, make([]int, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Plan.Steps != 4 {
+		t.Errorf("Steps = %d, want 4", r.Plan.Steps)
+	}
+	if len(r.Plan.Moves) != 0 {
+		t.Errorf("empty load moved tasks")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	h := topo.NewHypercube(2)
+	if _, err := Plan(h, []int{1}); err == nil {
+		t.Error("bad length accepted")
+	}
+	if _, err := Plan(h, []int{1, -1, 0, 0}); err == nil {
+		t.Error("negative load accepted")
+	}
+}

@@ -1,0 +1,271 @@
+// Package flow computes the optimal task redistribution the paper uses
+// as the reference point for Figure 4: load balancing is cast as a
+// minimum-cost maximum-flow problem (Section 3, after Lawler [18]).
+// Every topology edge gets capacity ∞ and cost 1 per task; a source
+// feeds every overloaded node its surplus and a sink drains every
+// underloaded node's deficit. The min-cost integral flow is the
+// smallest possible per-edge transfer sum ∑e_k.
+//
+// The solver is successive shortest augmenting paths with Dijkstra over
+// Johnson potentials — O(F · E log V) — plenty for the paper's machine
+// sizes (≤ 256 nodes); the paper itself notes the O(n²v) complexity is
+// what makes the optimal algorithm unusable *at runtime*, which is the
+// motivation for MWA.
+package flow
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"rips/internal/topo"
+)
+
+// edge is one directed arc of the residual network.
+type edge struct {
+	to   int
+	cap  int
+	cost int
+	flow int
+}
+
+type graph struct {
+	edges []edge
+	adj   [][]int // node -> indices into edges; edges[i^1] is the reverse arc
+}
+
+func newGraph(n int) *graph {
+	return &graph{adj: make([][]int, n)}
+}
+
+func (g *graph) addEdge(a, b, capacity, cost int) {
+	g.adj[a] = append(g.adj[a], len(g.edges))
+	g.edges = append(g.edges, edge{to: b, cap: capacity, cost: cost})
+	g.adj[b] = append(g.adj[b], len(g.edges))
+	g.edges = append(g.edges, edge{to: a, cap: 0, cost: -cost})
+}
+
+// Result reports the optimal redistribution.
+type Result struct {
+	// Cost is the minimal ∑e_k: total task·edge transfers.
+	Cost int
+	// Moved is the flow value: the total surplus over floor(avg) that
+	// leaves its original node. When the load divides evenly this is
+	// exactly the paper's Lemma 1 bound m; otherwise it is m + R.
+	Moved int
+	// EdgeFlow[a][b] is the net number of tasks sent from node a to
+	// adjacent node b (only positive directions recorded).
+	EdgeFlow map[[2]int]int
+	// Final is the resulting per-node load.
+	Final []int
+}
+
+// Balance computes the minimum-cost redistribution of load w on
+// topology t to within one task of perfect balance: every node ends
+// with floor(avg) or floor(avg)+1 tasks. Unlike MWA, which pins the
+// R = total mod N surplus tasks to the lowest-numbered nodes, the
+// optimal algorithm is free to leave each extra task wherever it is
+// cheapest — so Balance is a true lower bound on any balancing scheme
+// (when R = 0 the targets coincide exactly).
+func Balance(t topo.Topology, w []int) (Result, error) {
+	n := t.Size()
+	if len(w) != n {
+		return Result{}, fmt.Errorf("flow: %d loads for %d nodes", len(w), n)
+	}
+	total := 0
+	for i, x := range w {
+		if x < 0 {
+			return Result{}, fmt.Errorf("flow: negative load %d at node %d", x, i)
+		}
+		total += x
+	}
+	avg := total / n
+
+	// Node ids 0..n-1; source n, sink n+1, and a funnel node n+2 that
+	// caps the remainder tasks held above floor(avg) at exactly R.
+	src, snk, funnel := n, n+1, n+2
+	g := newGraph(n + 3)
+	for a := 0; a < n; a++ {
+		for _, b := range t.Neighbors(a) {
+			// Add each undirected link once, as two unit-cost arcs.
+			if b > a {
+				g.addEdge(a, b, math.MaxInt32, 1)
+				g.addEdge(b, a, math.MaxInt32, 1)
+			}
+		}
+	}
+	// Every node's surplus over floor(avg) must flow out...
+	want := 0
+	extraEdge := make([]int, n)
+	for i := 0; i < n; i++ {
+		if d := w[i] - avg; d > 0 {
+			g.addEdge(src, i, d, 0)
+			want += d
+		} else if d < 0 {
+			g.addEdge(i, snk, -d, 0)
+		}
+		// ...but any node (including a surplus one, which then simply
+		// keeps the task) may hold one of the R remainder tasks.
+		extraEdge[i] = len(g.edges)
+		g.addEdge(i, funnel, 1, 0)
+	}
+	g.addEdge(funnel, snk, total%n, 0)
+
+	cost, flow := g.minCostFlow(src, snk)
+	if flow != want {
+		return Result{}, fmt.Errorf("flow: pushed %d of %d units (topology disconnected?)", flow, want)
+	}
+
+	res := Result{Cost: cost, Moved: flow, EdgeFlow: map[[2]int]int{}, Final: make([]int, n)}
+	for i := 0; i < n; i++ {
+		res.Final[i] = avg + g.edges[extraEdge[i]].flow
+	}
+	for a := 0; a < n; a++ {
+		for _, ei := range g.adj[a] {
+			e := g.edges[ei]
+			if ei%2 == 0 && e.to < n && e.flow > 0 {
+				res.EdgeFlow[[2]int{a, e.to}] += e.flow
+			}
+		}
+	}
+	return res, nil
+}
+
+// Cost returns just the optimal ∑e_k for load w on t.
+func Cost(t topo.Topology, w []int) (int, error) {
+	r, err := Balance(t, w)
+	if err != nil {
+		return 0, err
+	}
+	return r.Cost, nil
+}
+
+// CostTo returns the minimum ∑e_k to move load w into exactly the
+// given target distribution. This is the reference the paper's
+// Figure 4 measures MWA against: both schemes aim at the same quotas
+// (the paper assumes the total divides evenly, where the two coincide;
+// with a remainder, comparing against the free-placement Balance would
+// charge MWA for its fixed remainder rule rather than for its routing).
+func CostTo(t topo.Topology, w, target []int) (int, error) {
+	n := t.Size()
+	if len(w) != n || len(target) != n {
+		return 0, fmt.Errorf("flow: %d loads / %d targets for %d nodes", len(w), len(target), n)
+	}
+	sumW, sumT := 0, 0
+	for i := 0; i < n; i++ {
+		if w[i] < 0 || target[i] < 0 {
+			return 0, fmt.Errorf("flow: negative load or target at node %d", i)
+		}
+		sumW += w[i]
+		sumT += target[i]
+	}
+	if sumW != sumT {
+		return 0, fmt.Errorf("flow: targets total %d but load totals %d", sumT, sumW)
+	}
+	src, snk := n, n+1
+	g := newGraph(n + 2)
+	for a := 0; a < n; a++ {
+		for _, b := range t.Neighbors(a) {
+			if b > a {
+				g.addEdge(a, b, math.MaxInt32, 1)
+				g.addEdge(b, a, math.MaxInt32, 1)
+			}
+		}
+	}
+	want := 0
+	for i := 0; i < n; i++ {
+		if d := w[i] - target[i]; d > 0 {
+			g.addEdge(src, i, d, 0)
+			want += d
+		} else if d < 0 {
+			g.addEdge(i, snk, -d, 0)
+		}
+	}
+	cost, f := g.minCostFlow(src, snk)
+	if f != want {
+		return 0, fmt.Errorf("flow: pushed %d of %d units (topology disconnected?)", f, want)
+	}
+	return cost, nil
+}
+
+// priority queue for Dijkstra.
+type pqItem struct {
+	node int
+	dist int
+}
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() (out any) {
+	old := *p
+	n := len(old)
+	out = old[n-1]
+	*p = old[:n-1]
+	return out
+}
+
+// minCostFlow pushes the maximum flow from s to t at minimum cost,
+// using successive shortest paths with potentials (all original costs
+// are non-negative, so plain Dijkstra seeds the potentials).
+func (g *graph) minCostFlow(s, t int) (cost, flow int) {
+	n := len(g.adj)
+	pot := make([]int, n)
+	dist := make([]int, n)
+	prevEdge := make([]int, n)
+	const inf = math.MaxInt64 / 4
+
+	for {
+		for i := range dist {
+			dist[i] = inf
+			prevEdge[i] = -1
+		}
+		dist[s] = 0
+		q := pq{{s, 0}}
+		for len(q) > 0 {
+			it := heap.Pop(&q).(pqItem)
+			if it.dist > dist[it.node] {
+				continue
+			}
+			for _, ei := range g.adj[it.node] {
+				e := g.edges[ei]
+				if e.cap-e.flow <= 0 {
+					continue
+				}
+				nd := it.dist + e.cost + pot[it.node] - pot[e.to]
+				if nd < dist[e.to] {
+					dist[e.to] = nd
+					prevEdge[e.to] = ei
+					heap.Push(&q, pqItem{e.to, nd})
+				}
+			}
+		}
+		if dist[t] >= inf {
+			return cost, flow
+		}
+		for i := 0; i < n; i++ {
+			if dist[i] < inf {
+				pot[i] += dist[i]
+			}
+		}
+		// Find bottleneck along the path and augment.
+		push := math.MaxInt32
+		for v := t; v != s; {
+			e := g.edges[prevEdge[v]]
+			if r := e.cap - e.flow; r < push {
+				push = r
+			}
+			v = g.edges[prevEdge[v]^1].to
+		}
+		for v := t; v != s; {
+			ei := prevEdge[v]
+			g.edges[ei].flow += push
+			g.edges[ei^1].flow -= push
+			cost += push * g.edges[ei].cost
+			v = g.edges[ei^1].to
+		}
+		flow += push
+	}
+}

@@ -1,0 +1,248 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+
+	"rips/internal/sched"
+	"rips/internal/topo"
+)
+
+func TestBalancedInputNoCost(t *testing.T) {
+	m := topo.NewMesh(4, 4)
+	w := make([]int, 16)
+	for i := range w {
+		w[i] = 3
+	}
+	r, err := Balance(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 0 || r.Moved != 0 {
+		t.Errorf("cost=%d moved=%d, want 0,0", r.Cost, r.Moved)
+	}
+}
+
+func TestTwoNodeExchange(t *testing.T) {
+	r, err := Balance(topo.NewRing(2), []int{10, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 5 || r.Final[0] != 5 || r.Final[1] != 5 {
+		t.Errorf("Balance = %+v", r)
+	}
+}
+
+func TestCornerLoadOptimal(t *testing.T) {
+	m := topo.NewMesh(4, 4)
+	w := make([]int, 16)
+	w[0] = 160
+	r, err := Balance(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for id := 0; id < 16; id++ {
+		want += 10 * m.Dist(0, id)
+	}
+	if r.Cost != want {
+		t.Errorf("Cost = %d, want %d", r.Cost, want)
+	}
+	if err := sched.CheckBalanced(r.Final); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemainderFreedom(t *testing.T) {
+	// Load [3,1,1,1] on a line: one remainder task; optimal keeps it at
+	// node 0 for zero... no: avg=1, R=2. w-avg = [2,0,0,0]. Node 0 can
+	// keep one extra; one task must still reach the farthest deficit.
+	line := topo.NewMesh(1, 4)
+	r, err := Balance(line, []int{6, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// avg=1, R=2: targets are two nodes at 2, two at 1, chosen freely.
+	// Cheapest: node0 keeps 2, node1 gets 2, node2 gets 1, node3 gets 1
+	// -> cost = 2 (to node1) + 1*2 (to node2) + 1*3 (to node3)... or
+	// node1 keeps 2: flows: 4 leave node0: costs 4 cross edge 0-1, 2
+	// cross 1-2, 1 crosses 2-3 = 7.
+	if r.Cost != 7 {
+		t.Errorf("Cost = %d, want 7 (final %v)", r.Cost, r.Final)
+	}
+	if err := sched.CheckBalanced(r.Final); err != nil {
+		t.Error(err)
+	}
+	total := 0
+	for _, f := range r.Final {
+		total += f
+	}
+	if total != 6 {
+		t.Errorf("final total = %d", total)
+	}
+}
+
+func TestFinalBalancedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, tp := range []topo.Topology{
+		topo.NewMesh(4, 4), topo.NewMesh(8, 4), topo.NewRing(7),
+		topo.NewHypercube(4), topo.NewTree(15),
+	} {
+		for trial := 0; trial < 20; trial++ {
+			w := make([]int, tp.Size())
+			for i := range w {
+				w[i] = rng.Intn(21)
+			}
+			r, err := Balance(tp, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sched.CheckBalanced(r.Final); err != nil {
+				t.Fatalf("%s: %v (w=%v final=%v)", tp.Name(), err, w, r.Final)
+			}
+			tot := 0
+			for _, f := range r.Final {
+				tot += f
+			}
+			if tot != sched.Sum(w) {
+				t.Fatalf("%s: tasks not conserved: %d vs %d", tp.Name(), tot, sched.Sum(w))
+			}
+		}
+	}
+}
+
+// TestCostLowerBoundsEarthMover verifies the optimal cost against an
+// exhaustive assignment search on tiny instances: on a 1xK line the
+// min-cost flow equals the earth-mover distance, computable directly.
+func TestLineEarthMover(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	line := topo.NewMesh(1, 5)
+	for trial := 0; trial < 40; trial++ {
+		w := make([]int, 5)
+		total := 0
+		for i := range w {
+			w[i] = rng.Intn(10)
+			total += w[i]
+		}
+		if total%5 != 0 {
+			w[0] += 5 - total%5
+		}
+		// On a line with equal targets, optimal cost = sum over
+		// boundaries of |prefix imbalance|.
+		avg := sched.Sum(w) / 5
+		want, pre := 0, 0
+		for j := 0; j < 4; j++ {
+			pre += w[j] - avg
+			want += abs(pre)
+		}
+		r, err := Balance(line, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cost != want {
+			t.Fatalf("line cost = %d, want %d (w=%v)", r.Cost, want, w)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestErrorCases(t *testing.T) {
+	m := topo.NewMesh(2, 2)
+	if _, err := Balance(m, []int{1}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, err := Balance(m, []int{1, -2, 0, 0}); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := Cost(m, []int{4, 0, 0, 0}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeFlowConsistentWithFinal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := topo.NewMesh(4, 4)
+	for trial := 0; trial < 20; trial++ {
+		w := make([]int, 16)
+		for i := range w {
+			w[i] = rng.Intn(15)
+		}
+		r, err := Balance(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := make([]int, 16)
+		copy(net, w)
+		for k, f := range r.EdgeFlow {
+			if f < 0 {
+				t.Fatalf("negative edge flow %d on %v", f, k)
+			}
+			net[k[0]] -= f
+			net[k[1]] += f
+		}
+		for i := range net {
+			if net[i] != r.Final[i] {
+				t.Fatalf("edge flows inconsistent at node %d: %d vs %d", i, net[i], r.Final[i])
+			}
+		}
+		cost := 0
+		for _, f := range r.EdgeFlow {
+			cost += f
+		}
+		if cost != r.Cost {
+			t.Fatalf("edge-flow cost %d vs reported %d", cost, r.Cost)
+		}
+	}
+}
+
+func TestCostToMatchesBalanceOnDivisibleTotals(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := topo.NewMesh(4, 4)
+	for trial := 0; trial < 20; trial++ {
+		w := make([]int, 16)
+		for i := range w {
+			w[i] = rng.Intn(12)
+		}
+		for sched.Sum(w)%16 != 0 {
+			w[rng.Intn(16)]++
+		}
+		avg := sched.Sum(w) / 16
+		target := make([]int, 16)
+		for i := range target {
+			target[i] = avg
+		}
+		got, err := CostTo(m, w, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Cost(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("CostTo=%d Cost=%d (w=%v)", got, want, w)
+		}
+	}
+}
+
+func TestCostToErrors(t *testing.T) {
+	m := topo.NewMesh(2, 2)
+	if _, err := CostTo(m, []int{1, 1, 1, 1}, []int{2, 2, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CostTo(m, []int{1, 1, 1, 1}, []int{9, 0, 0, 0}); err == nil {
+		t.Error("mismatched totals accepted")
+	}
+	if _, err := CostTo(m, []int{1, 1}, []int{1, 1, 0, 0}); err == nil {
+		t.Error("bad length accepted")
+	}
+	if _, err := CostTo(m, []int{1, 1, 1, 1}, []int{-1, 2, 2, 1}); err == nil {
+		t.Error("negative target accepted")
+	}
+}

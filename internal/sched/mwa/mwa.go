@@ -1,0 +1,211 @@
+// Package mwa implements the paper's central contribution: the Mesh
+// Walking Algorithm (Figure 3), a parallel scheduling algorithm for
+// n1 x n2 meshes that balances an arbitrary load to within one task in
+// 3(n1+n2) communication steps while maximizing locality (Theorems 1
+// and 2).
+//
+// Plan is the pure, sequential emulation of the algorithm: it produces
+// the exact per-link task movements every node would perform. The
+// message-passing execution inside the RIPS system phase
+// (internal/ripsrt) is cross-validated against this plan in tests.
+package mwa
+
+import (
+	"fmt"
+
+	"rips/internal/sched"
+	"rips/internal/topo"
+)
+
+// Result carries the complete outcome of one MWA planning round,
+// including the intermediate vectors of Figure 3 for tracing and for
+// validating the distributed implementation.
+type Result struct {
+	// Plan is the feasible ordered move list; applying it to the input
+	// load yields Quota at every node.
+	Plan sched.Plan
+	// Quota is each node's post-balance task count q_ij (row-major).
+	Quota []int
+	// Avg and Rem are wavg = floor(T/N) and R = T mod N.
+	Avg, Rem int
+	// Total is T, the machine-wide task count.
+	Total int
+	// S[i] is row i's task sum; T1[i] the prefix sum t_i; Y[i] the
+	// row-boundary flow y_i (positive: row i sends Y[i] tasks down to
+	// row i+1; negative: row i receives from row i+1).
+	S, T1, Y []int
+	// D[i][j] is the number of tasks node (i,j) sends down to (i+1,j);
+	// U[i][j] the number it sends up to (i-1,j).
+	D, U [][]int
+	// H[i][j] is the horizontal flow node (i,j) sends right to (i,j+1)
+	// (negative: receives |H| from the right) after vertical moves.
+	H [][]int
+}
+
+// Plan runs the Mesh Walking Algorithm on load vector w (row-major,
+// len = mesh size) and returns the resulting transfer plan. Loads must
+// be non-negative.
+func Plan(m *topo.Mesh, w []int) (Result, error) {
+	n1, n2 := m.Rows(), m.Cols()
+	n := m.Size()
+	if len(w) != n {
+		return Result{}, fmt.Errorf("mwa: %d loads for %dx%d mesh", len(w), n1, n2)
+	}
+	for i, x := range w {
+		if x < 0 {
+			return Result{}, fmt.Errorf("mwa: negative load %d at node %d", x, i)
+		}
+	}
+
+	r := Result{
+		S:  make([]int, n1),
+		T1: make([]int, n1),
+		Y:  make([]int, n1),
+	}
+	cur := make([]int, n)
+	copy(cur, w)
+
+	// Steps 1-2: row sums s_i, prefix sums t_i, total T, wavg and R.
+	for i := 0; i < n1; i++ {
+		for j := 0; j < n2; j++ {
+			r.S[i] += cur[m.ID(i, j)]
+		}
+		r.T1[i] = r.S[i]
+		if i > 0 {
+			r.T1[i] += r.T1[i-1]
+		}
+	}
+	r.Total = r.T1[n1-1]
+	r.Avg = r.Total / n
+	r.Rem = r.Total % n
+
+	// Step 3: per-node quotas q and row-accumulated quotas Q. The
+	// first R nodes in row-major order take one extra task.
+	r.Quota = make([]int, n)
+	for id := 0; id < n; id++ {
+		r.Quota[id] = r.Avg
+		if id < r.Rem {
+			r.Quota[id]++
+		}
+	}
+	Q := make([]int, n1) // Q[i] = total quota of rows 0..i
+	for i := 0; i < n1; i++ {
+		ri := (i + 1) * n2
+		if ri > r.Rem {
+			ri = r.Rem
+		}
+		Q[i] = r.Avg*n2*(i+1) + ri
+	}
+
+	// Step 4: vertical balancing. Boundary i (between rows i and i+1)
+	// carries y_i = t_i - Q_i tasks downward (upward when negative).
+	for i := 0; i < n1; i++ {
+		r.Y[i] = r.T1[i] - Q[i]
+	}
+	r.D = make([][]int, n1)
+	r.U = make([][]int, n1)
+	for i := 0; i < n1; i++ {
+		r.D[i] = make([]int, n2)
+		r.U[i] = make([]int, n2)
+	}
+
+	var moves []sched.Move
+	// Downward pass: rows with y_i > 0 send to row i+1. Top-to-bottom
+	// order guarantees a row has already received anything coming from
+	// above before it computes its own send vector.
+	for i := 0; i < n1-1; i++ {
+		if r.Y[i] <= 0 {
+			continue
+		}
+		d := sendVector(cur, r.Quota, m, i, r.Y[i])
+		for j := 0; j < n2; j++ {
+			if d[j] > 0 {
+				r.D[i][j] = d[j]
+				cur[m.ID(i, j)] -= d[j]
+				cur[m.ID(i+1, j)] += d[j]
+				moves = append(moves, sched.Move{From: m.ID(i, j), To: m.ID(i+1, j), Count: d[j]})
+			}
+		}
+	}
+	// Upward pass: boundaries with y_i < 0 carry |y_i| from row i+1 up
+	// to row i. Bottom-to-top order mirrors the downward pass.
+	for i := n1 - 2; i >= 0; i-- {
+		if r.Y[i] >= 0 {
+			continue
+		}
+		u := sendVector(cur, r.Quota, m, i+1, -r.Y[i])
+		for j := 0; j < n2; j++ {
+			if u[j] > 0 {
+				r.U[i+1][j] = u[j]
+				cur[m.ID(i+1, j)] -= u[j]
+				cur[m.ID(i, j)] += u[j]
+				moves = append(moves, sched.Move{From: m.ID(i+1, j), To: m.ID(i, j), Count: u[j]})
+			}
+		}
+	}
+
+	// Step 5: horizontal balancing within each row. The boundary
+	// between columns j and j+1 carries v_ij = sum_{k<=j}(w_ik - q_ik)
+	// rightward (leftward when negative).
+	r.H = make([][]int, n1)
+	for i := 0; i < n1; i++ {
+		r.H[i] = make([]int, n2)
+		v := 0
+		for j := 0; j < n2-1; j++ {
+			v += cur[m.ID(i, j)] - r.Quota[m.ID(i, j)]
+			r.H[i][j] = v
+		}
+		// Rightward flows left-to-right...
+		for j := 0; j < n2-1; j++ {
+			if f := r.H[i][j]; f > 0 {
+				cur[m.ID(i, j)] -= f
+				cur[m.ID(i, j+1)] += f
+				moves = append(moves, sched.Move{From: m.ID(i, j), To: m.ID(i, j+1), Count: f})
+			}
+		}
+		// ...then leftward flows right-to-left, so every forwarding
+		// node has already received what it must pass on.
+		for j := n2 - 2; j >= 0; j-- {
+			if f := r.H[i][j]; f < 0 {
+				cur[m.ID(i, j+1)] += f // f < 0: remove from right node
+				cur[m.ID(i, j)] -= f
+				moves = append(moves, sched.Move{From: m.ID(i, j+1), To: m.ID(i, j), Count: -f})
+			}
+		}
+	}
+
+	r.Plan = sched.Plan{Moves: moves, Steps: 3 * (n1 + n2)}
+	return r, nil
+}
+
+// sendVector computes the per-column export vector of row i (the d or
+// u vector of Figure 3): how many of the Y tasks the row must export
+// come from each column. The first overloaded columns export, but each
+// column first reserves enough surplus to cover the deficits of the
+// columns to its left (the gamma term), which is what preserves
+// locality — in-row deficits are filled by in-row surplus, never by
+// tasks that detour through another row.
+func sendVector(cur, quota []int, m *topo.Mesh, i, y int) []int {
+	n2 := m.Cols()
+	d := make([]int, n2)
+	eta, gamma := y, 0
+	for k := 0; k < n2; k++ {
+		delta := cur[m.ID(i, k)] - quota[m.ID(i, k)]
+		switch {
+		case delta > eta+gamma:
+			d[k] = eta
+		case delta > gamma: // and delta <= eta+gamma
+			d[k] = delta - gamma
+		default:
+			d[k] = 0
+		}
+		gamma -= delta - d[k]
+		eta -= d[k]
+	}
+	if eta != 0 {
+		// The row's surplus cannot cover its boundary flow; this would
+		// mean t/Q bookkeeping is inconsistent — a programming error.
+		panic(fmt.Sprintf("mwa: row %d export short by %d (y=%d)", i, eta, y))
+	}
+	return d
+}

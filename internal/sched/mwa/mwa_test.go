@@ -1,0 +1,301 @@
+package mwa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rips/internal/sched"
+	"rips/internal/topo"
+)
+
+// randomLoad draws a load vector with the given mean, mimicking the
+// paper's Figure 4 test set ("the load at each processor is randomly
+// generated, with the mean equal to the specified average").
+func randomLoad(rng *rand.Rand, n, mean int) []int {
+	w := make([]int, n)
+	for i := range w {
+		w[i] = rng.Intn(2*mean + 1) // uniform [0, 2*mean]
+	}
+	return w
+}
+
+func meshes() []*topo.Mesh {
+	return []*topo.Mesh{
+		topo.NewMesh(1, 1), topo.NewMesh(1, 8), topo.NewMesh(8, 1),
+		topo.NewMesh(2, 2), topo.NewMesh(4, 4), topo.NewMesh(8, 4),
+		topo.NewMesh(3, 5), topo.NewMesh(16, 16),
+	}
+}
+
+// TestTheorem1Balance: after MWA the difference in the number of tasks
+// in each processor is at most one, and the final loads are exactly
+// the computed quotas.
+func TestTheorem1Balance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range meshes() {
+		for _, mean := range []int{0, 1, 2, 5, 20, 100} {
+			for trial := 0; trial < 20; trial++ {
+				w := randomLoad(rng, m.Size(), mean)
+				r, err := Plan(m, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				final, err := r.Plan.Apply(m, w)
+				if err != nil {
+					t.Fatalf("%s mean=%d: infeasible plan: %v", m.Name(), mean, err)
+				}
+				for id, f := range final {
+					if f != r.Quota[id] {
+						t.Fatalf("%s mean=%d: node %d final %d, quota %d (w=%v)",
+							m.Name(), mean, id, f, r.Quota[id], w)
+					}
+				}
+				if err := sched.CheckBalanced(final); err != nil {
+					t.Fatalf("%s mean=%d: %v", m.Name(), mean, err)
+				}
+			}
+		}
+	}
+}
+
+// nonlocalCount replays a plan with provenance: each forwarding node
+// prefers to pass along tasks it received over exporting its own. The
+// return value is the number of tasks that left their origin node.
+func nonlocalCount(m *topo.Mesh, w []int, p sched.Plan) int {
+	home := make([]int, len(w))
+	cur := make([]int, len(w))
+	copy(home, w)
+	copy(cur, w)
+	for _, mv := range p.Moves {
+		foreign := cur[mv.From] - home[mv.From]
+		fromOwn := mv.Count - foreign
+		if fromOwn > 0 {
+			home[mv.From] -= fromOwn
+		}
+		cur[mv.From] -= mv.Count
+		cur[mv.To] += mv.Count
+	}
+	total := 0
+	for i := range w {
+		total += w[i] - home[i]
+	}
+	return total
+}
+
+// TestTheorem2Locality: the number of nonlocal tasks equals the
+// Lemma 1 lower bound m when the total divides evenly by N.
+func TestTheorem2Locality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range meshes() {
+		n := m.Size()
+		for trial := 0; trial < 30; trial++ {
+			w := randomLoad(rng, n, 10)
+			// Adjust to an exactly divisible total.
+			for sched.Sum(w)%n != 0 {
+				w[rng.Intn(n)]++
+			}
+			r, err := Plan(m, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := nonlocalCount(m, w, r.Plan)
+			want := sched.MinNonlocal(w)
+			if got != want {
+				t.Fatalf("%s: nonlocal = %d, want %d (w=%v)", m.Name(), got, want, w)
+			}
+		}
+	}
+}
+
+// TestLocalityNearOptimalWithRemainder: with a remainder the paper
+// claims near-optimality; allow at most R extra nonlocal tasks.
+func TestLocalityNearOptimalWithRemainder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range meshes() {
+		for trial := 0; trial < 30; trial++ {
+			w := randomLoad(rng, m.Size(), 7)
+			r, err := Plan(m, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := nonlocalCount(m, w, r.Plan)
+			bound := sched.MinNonlocal(w) + r.Rem
+			if got > bound {
+				t.Fatalf("%s: nonlocal = %d > bound %d (w=%v)", m.Name(), got, bound, w)
+			}
+		}
+	}
+}
+
+func TestStepsBound(t *testing.T) {
+	m := topo.NewMesh(8, 4)
+	r, err := Plan(m, make([]int, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Plan.Steps != 3*(8+4) {
+		t.Errorf("Steps = %d, want %d", r.Plan.Steps, 3*12)
+	}
+}
+
+func TestZeroAndUniformLoads(t *testing.T) {
+	m := topo.NewMesh(4, 4)
+	r, err := Plan(m, make([]int, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Plan.Moves) != 0 {
+		t.Errorf("zero load produced %d moves", len(r.Plan.Moves))
+	}
+	w := make([]int, 16)
+	for i := range w {
+		w[i] = 5
+	}
+	r, err = Plan(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Plan.Moves) != 0 {
+		t.Errorf("uniform load produced %d moves", len(r.Plan.Moves))
+	}
+	if r.Avg != 5 || r.Rem != 0 || r.Total != 80 {
+		t.Errorf("Avg/Rem/Total = %d/%d/%d", r.Avg, r.Rem, r.Total)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	m := topo.NewMesh(1, 1)
+	r, err := Plan(m, []int{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Plan.Moves) != 0 || r.Quota[0] != 7 {
+		t.Errorf("1x1 mesh: %+v", r)
+	}
+}
+
+func TestAllLoadAtOneCorner(t *testing.T) {
+	m := topo.NewMesh(4, 4)
+	w := make([]int, 16)
+	w[0] = 160
+	r, err := Plan(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := r.Plan.Apply(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range final {
+		if f != 10 {
+			t.Fatalf("final = %v", final)
+		}
+	}
+	// Cost lower bound: every task must travel its Manhattan distance
+	// from node 0 — 10 tasks to each node.
+	wantCost := 0
+	for id := 0; id < 16; id++ {
+		wantCost += 10 * m.Dist(0, id)
+	}
+	if got := r.Plan.Cost(); got != wantCost {
+		t.Errorf("corner-load cost = %d, want %d (optimal)", got, wantCost)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	m := topo.NewMesh(2, 2)
+	if _, err := Plan(m, []int{1, 2}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, err := Plan(m, []int{1, -1, 0, 0}); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestRemainderQuotaPlacement(t *testing.T) {
+	m := topo.NewMesh(2, 2)
+	r, err := Plan(m, []int{0, 0, 0, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T=6, N=4: avg=1, R=2 -> nodes 0,1 get 2; nodes 2,3 get 1.
+	want := []int{2, 2, 1, 1}
+	for i := range want {
+		if r.Quota[i] != want[i] {
+			t.Fatalf("Quota = %v, want %v", r.Quota, want)
+		}
+	}
+	final, err := r.Plan.Apply(m, []int{0, 0, 0, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if final[i] != want[i] {
+			t.Fatalf("final = %v, want %v", final, want)
+		}
+	}
+}
+
+// TestQuickBalanceProperty fuzzes loads on a fixed mesh via
+// testing/quick: any non-negative load must produce a feasible plan
+// that lands every node exactly on quota.
+func TestQuickBalanceProperty(t *testing.T) {
+	m := topo.NewMesh(4, 8)
+	f := func(raw [32]uint16) bool {
+		w := make([]int, 32)
+		for i, x := range raw {
+			w[i] = int(x % 500)
+		}
+		r, err := Plan(m, w)
+		if err != nil {
+			return false
+		}
+		final, err := r.Plan.Apply(m, w)
+		if err != nil {
+			return false
+		}
+		for id, fv := range final {
+			if fv != r.Quota[id] {
+				return false
+			}
+		}
+		return sched.CheckBalanced(final) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVerticalFlowConservation checks the internal D/U vectors against
+// the y row flows: each boundary carries exactly |y_i| tasks in the
+// right direction.
+func TestVerticalFlowConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := topo.NewMesh(6, 5)
+	for trial := 0; trial < 50; trial++ {
+		w := randomLoad(rng, m.Size(), 9)
+		r, err := Plan(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < m.Rows()-1; i++ {
+			down, up := 0, 0
+			for j := 0; j < m.Cols(); j++ {
+				down += r.D[i][j]
+				up += r.U[i+1][j]
+			}
+			switch {
+			case r.Y[i] > 0 && (down != r.Y[i] || up != 0):
+				t.Fatalf("boundary %d: y=%d down=%d up=%d", i, r.Y[i], down, up)
+			case r.Y[i] < 0 && (up != -r.Y[i] || down != 0):
+				t.Fatalf("boundary %d: y=%d down=%d up=%d", i, r.Y[i], down, up)
+			case r.Y[i] == 0 && (down != 0 || up != 0):
+				t.Fatalf("boundary %d: y=0 but down=%d up=%d", i, down, up)
+			}
+		}
+		if r.Y[m.Rows()-1] != 0 {
+			t.Fatalf("last y = %d, want 0", r.Y[m.Rows()-1])
+		}
+	}
+}

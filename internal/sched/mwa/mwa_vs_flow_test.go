@@ -1,0 +1,89 @@
+package mwa
+
+import (
+	"math/rand"
+	"testing"
+
+	"rips/internal/sched"
+	"rips/internal/sched/flow"
+	"rips/internal/topo"
+)
+
+// TestLemma2SmallSystemsOptimal: on systems with at most four
+// processors MWA minimizes the communication cost (paper Lemma 2).
+func TestLemma2SmallSystemsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, m := range []*topo.Mesh{
+		topo.NewMesh(1, 2), topo.NewMesh(2, 1),
+		topo.NewMesh(2, 2), topo.NewMesh(1, 4), topo.NewMesh(4, 1),
+	} {
+		for trial := 0; trial < 200; trial++ {
+			w := randomLoad(rng, m.Size(), 8)
+			// Keep totals divisible so MWA's fixed remainder placement
+			// does not penalize it against the free-placement optimum.
+			for sched.Sum(w)%m.Size() != 0 {
+				w[rng.Intn(m.Size())]++
+			}
+			r, err := Plan(m, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := flow.Cost(m, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := r.Plan.Cost(); got != opt {
+				t.Fatalf("%s: MWA cost %d != optimal %d (w=%v)", m.Name(), got, opt, w)
+			}
+		}
+	}
+}
+
+// TestMWANeverBeatsOptimal: the flow solution is a true lower bound.
+func TestMWANeverBeatsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, m := range []*topo.Mesh{
+		topo.NewMesh(4, 4), topo.NewMesh(8, 4), topo.NewMesh(4, 2),
+	} {
+		for trial := 0; trial < 50; trial++ {
+			w := randomLoad(rng, m.Size(), 10)
+			r, err := Plan(m, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := flow.Cost(m, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := r.Plan.Cost(); got < opt {
+				t.Fatalf("%s: MWA cost %d beats 'optimal' %d (w=%v)", m.Name(), got, opt, w)
+			}
+		}
+	}
+}
+
+// TestNearOptimalOnSmallMeshes reproduces Figure 4's qualitative
+// finding in miniature: on an 8-processor mesh the average normalized
+// cost stays within a few percent of optimal.
+func TestNearOptimalOnSmallMeshes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := topo.NewMesh(4, 2)
+	var mwaTotal, optTotal int
+	for trial := 0; trial < 100; trial++ {
+		w := randomLoad(rng, 8, 20)
+		r, err := Plan(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := flow.Cost(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mwaTotal += r.Plan.Cost()
+		optTotal += opt
+	}
+	norm := float64(mwaTotal-optTotal) / float64(optTotal)
+	if norm > 0.10 {
+		t.Errorf("normalized cost on 8 procs = %.3f, want <= 0.10 (paper Fig 4a shows <9%%)", norm)
+	}
+}

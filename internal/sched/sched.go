@@ -1,0 +1,133 @@
+// Package sched defines the common vocabulary of the parallel
+// scheduling algorithms: a Plan of bulk task movements along machine
+// links, plus helpers to apply and verify plans. The algorithms
+// themselves live in the subpackages mwa (the paper's Mesh Walking
+// Algorithm), flow (the optimal min-cost max-flow reference), treewalk
+// (tree topologies) and dem (hypercube dimension exchange).
+package sched
+
+import (
+	"fmt"
+
+	"rips/internal/topo"
+)
+
+// Move directs Count tasks from node From to node To. In all the
+// algorithms here, From and To are adjacent in the machine topology; a
+// task travelling far crosses several Moves, matching the paper's cost
+// objective of minimizing the per-edge transfer sum ∑e_k.
+type Move struct {
+	From, To int
+	Count    int
+}
+
+// Plan is an ordered sequence of Moves. Order matters: a node may only
+// forward tasks it has already received, so plans must be applied (and
+// are generated) in a feasible order.
+type Plan struct {
+	Moves []Move
+	// Steps is the number of communication steps the generating
+	// algorithm would take on the real machine (e.g. 3(n1+n2) for
+	// MWA); informational.
+	Steps int
+}
+
+// Cost returns the total per-edge transfer count ∑e_k — the objective
+// function of the paper's Section 3.
+func (p Plan) Cost() int {
+	c := 0
+	for _, m := range p.Moves {
+		c += m.Count
+	}
+	return c
+}
+
+// Apply plays the plan against the load vector w, returning the final
+// loads. It fails if a move has a nonpositive count, references an
+// invalid node, moves between non-adjacent nodes, or would drive a
+// node's load negative (i.e. the plan is infeasible in that order).
+func (p Plan) Apply(t topo.Topology, w []int) ([]int, error) {
+	if len(w) != t.Size() {
+		return nil, fmt.Errorf("sched: %d loads for %d nodes", len(w), t.Size())
+	}
+	out := make([]int, len(w))
+	copy(out, w)
+	for i, m := range p.Moves {
+		if m.Count <= 0 {
+			return nil, fmt.Errorf("sched: move %d has count %d", i, m.Count)
+		}
+		if err := topo.Validate(t, m.From); err != nil {
+			return nil, err
+		}
+		if err := topo.Validate(t, m.To); err != nil {
+			return nil, err
+		}
+		if !topo.IsNeighbor(t, m.From, m.To) {
+			return nil, fmt.Errorf("sched: move %d: %d and %d not adjacent in %s", i, m.From, m.To, t.Name())
+		}
+		out[m.From] -= m.Count
+		if out[m.From] < 0 {
+			return nil, fmt.Errorf("sched: move %d drives node %d to %d tasks", i, m.From, out[m.From])
+		}
+		out[m.To] += m.Count
+	}
+	return out, nil
+}
+
+// CheckBalanced verifies that loads differ by at most one and that
+// exactly the R = total mod N largest quotas are assigned, i.e. every
+// value is floor(avg) or ceil(avg). It returns an error naming the
+// first offending node.
+func CheckBalanced(w []int) error {
+	n := len(w)
+	if n == 0 {
+		return nil
+	}
+	total := 0
+	for _, x := range w {
+		total += x
+	}
+	lo := total / n
+	hi := lo
+	if total%n != 0 {
+		hi = lo + 1
+	}
+	for i, x := range w {
+		if x != lo && x != hi {
+			return fmt.Errorf("sched: node %d has %d tasks, want %d or %d", i, x, lo, hi)
+		}
+	}
+	return nil
+}
+
+// MinNonlocal returns the minimum possible number of nonlocal tasks to
+// reach a balanced load (the paper's Lemma 1): the sum of deficits of
+// all under-average nodes. When total is not divisible by N it uses
+// floor(avg) as every node's entitlement, the natural generalization.
+func MinNonlocal(w []int) int {
+	n := len(w)
+	if n == 0 {
+		return 0
+	}
+	total := 0
+	for _, x := range w {
+		total += x
+	}
+	avg := total / n
+	m := 0
+	for _, x := range w {
+		if x < avg {
+			m += avg - x
+		}
+	}
+	return m
+}
+
+// Sum returns the total load.
+func Sum(w []int) int {
+	t := 0
+	for _, x := range w {
+		t += x
+	}
+	return t
+}

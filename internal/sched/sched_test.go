@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"testing"
+
+	"rips/internal/topo"
+)
+
+func TestPlanCost(t *testing.T) {
+	p := Plan{Moves: []Move{{0, 1, 3}, {1, 2, 2}}}
+	if p.Cost() != 5 {
+		t.Errorf("Cost = %d, want 5", p.Cost())
+	}
+	if (Plan{}).Cost() != 0 {
+		t.Errorf("empty plan cost = %d", (Plan{}).Cost())
+	}
+}
+
+func TestApply(t *testing.T) {
+	r := topo.NewRing(3)
+	p := Plan{Moves: []Move{{0, 1, 2}, {1, 2, 1}}}
+	out, err := p.Apply(r, []int{3, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 1, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Apply = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestApplyRejectsInfeasibleOrder(t *testing.T) {
+	r := topo.NewRing(3)
+	// Node 1 forwards before it has received.
+	p := Plan{Moves: []Move{{1, 2, 1}, {0, 1, 2}}}
+	if _, err := p.Apply(r, []int{3, 0, 0}); err == nil {
+		t.Fatal("infeasible order accepted")
+	}
+}
+
+func TestApplyRejectsNonAdjacent(t *testing.T) {
+	m := topo.NewMesh(2, 2)
+	p := Plan{Moves: []Move{{0, 3, 1}}} // diagonal
+	if _, err := p.Apply(m, []int{4, 0, 0, 0}); err == nil {
+		t.Fatal("non-adjacent move accepted")
+	}
+}
+
+func TestApplyRejectsBadCountAndIDs(t *testing.T) {
+	r := topo.NewRing(2)
+	if _, err := (Plan{Moves: []Move{{0, 1, 0}}}).Apply(r, []int{1, 1}); err == nil {
+		t.Fatal("zero-count move accepted")
+	}
+	if _, err := (Plan{Moves: []Move{{0, 5, 1}}}).Apply(r, []int{1, 1}); err == nil {
+		t.Fatal("bad destination accepted")
+	}
+	if _, err := (Plan{}).Apply(r, []int{1}); err == nil {
+		t.Fatal("wrong load length accepted")
+	}
+}
+
+func TestCheckBalanced(t *testing.T) {
+	if err := CheckBalanced([]int{2, 2, 3, 2}); err != nil {
+		t.Errorf("balanced load rejected: %v", err)
+	}
+	if err := CheckBalanced([]int{2, 2, 4, 2}); err == nil {
+		t.Error("unbalanced load accepted")
+	}
+	if err := CheckBalanced([]int{5, 5, 5}); err != nil {
+		t.Errorf("even load rejected: %v", err)
+	}
+	if err := CheckBalanced(nil); err != nil {
+		t.Errorf("empty load rejected: %v", err)
+	}
+}
+
+func TestMinNonlocal(t *testing.T) {
+	// avg = 2; deficits: 2 (node with 0) + 1 (node with 1) = 3.
+	if got := MinNonlocal([]int{5, 0, 1, 2}); got != 3 {
+		t.Errorf("MinNonlocal = %d, want 3", got)
+	}
+	if got := MinNonlocal([]int{3, 3, 3}); got != 0 {
+		t.Errorf("MinNonlocal(balanced) = %d, want 0", got)
+	}
+	if got := MinNonlocal(nil); got != 0 {
+		t.Errorf("MinNonlocal(nil) = %d", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]int{1, 2, 3}); got != 6 {
+		t.Errorf("Sum = %d", got)
+	}
+}

@@ -1,0 +1,98 @@
+// Package treewalk implements the Tree Walking Algorithm the paper
+// cites as its optimal O(log n) parallel scheduler for tree topologies
+// (reference [25], Shu & Wu, ICPP'95). On a tree the per-edge flows of
+// a balanced redistribution are forced — each link must carry exactly
+// the difference between its subtree's total and its subtree's quota —
+// so once the quotas are fixed the algorithm is optimal: no schedule
+// can cross tree links fewer times.
+//
+// The walk is two sweeps: an upward sweep accumulating subtree totals
+// (leaves to root, depth communication steps) and a downward sweep
+// distributing quotas and moving tasks, for O(depth) = O(log n) total
+// steps on a balanced tree.
+package treewalk
+
+import (
+	"fmt"
+
+	"rips/internal/sched"
+	"rips/internal/topo"
+)
+
+// Result reports one TWA planning round.
+type Result struct {
+	Plan  sched.Plan
+	Quota []int
+	Avg   int
+	Rem   int
+	Total int
+	// Flow[v] is the signed task flow on the link from v to its
+	// parent: positive sends up, negative receives down. Flow[0] = 0.
+	Flow []int
+}
+
+// Plan balances load w on tree t. Quotas follow the same rule as MWA:
+// the R = total mod N lowest-numbered nodes take one extra task.
+func Plan(t *topo.Tree, w []int) (Result, error) {
+	n := t.Size()
+	if len(w) != n {
+		return Result{}, fmt.Errorf("treewalk: %d loads for %d nodes", len(w), n)
+	}
+	for i, x := range w {
+		if x < 0 {
+			return Result{}, fmt.Errorf("treewalk: negative load %d at node %d", x, i)
+		}
+	}
+	r := Result{Quota: make([]int, n), Flow: make([]int, n)}
+	for _, x := range w {
+		r.Total += x
+	}
+	r.Avg, r.Rem = r.Total/n, r.Total%n
+	for i := 0; i < n; i++ {
+		r.Quota[i] = r.Avg
+		if i < r.Rem {
+			r.Quota[i]++
+		}
+	}
+
+	// Upward sweep: subtree totals and quotas. Children have larger
+	// ids than parents in heap order, so one reverse scan suffices.
+	subTotal := make([]int, n)
+	subQuota := make([]int, n)
+	for v := n - 1; v >= 0; v-- {
+		subTotal[v] += w[v]
+		subQuota[v] += r.Quota[v]
+		if v > 0 {
+			p := t.Parent(v)
+			subTotal[p] += subTotal[v]
+			subQuota[p] += subQuota[v]
+		}
+	}
+
+	// Link flows are forced: subtree v must export its surplus.
+	for v := 1; v < n; v++ {
+		r.Flow[v] = subTotal[v] - subQuota[v]
+	}
+
+	var moves []sched.Move
+	// Upward moves, deepest first, so a forwarding node has already
+	// received from below.
+	for v := n - 1; v >= 1; v-- {
+		if r.Flow[v] > 0 {
+			moves = append(moves, sched.Move{From: v, To: t.Parent(v), Count: r.Flow[v]})
+		}
+	}
+	// Downward moves, shallowest first.
+	for v := 1; v < n; v++ {
+		if r.Flow[v] < 0 {
+			moves = append(moves, sched.Move{From: t.Parent(v), To: v, Count: -r.Flow[v]})
+		}
+	}
+
+	depth := 0
+	for v := n - 1; v > 0; v = t.Parent(v) {
+		depth++
+	}
+	r.Plan = sched.Plan{Moves: moves, Steps: 2 * depth}
+	return r, nil
+}

@@ -1,0 +1,109 @@
+package treewalk
+
+import (
+	"math/rand"
+	"testing"
+
+	"rips/internal/sched"
+	"rips/internal/sched/flow"
+	"rips/internal/topo"
+)
+
+func TestBalancesToQuota(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{1, 2, 3, 7, 15, 20, 31, 64} {
+		tr := topo.NewTree(n)
+		for trial := 0; trial < 30; trial++ {
+			w := make([]int, n)
+			for i := range w {
+				w[i] = rng.Intn(17)
+			}
+			r, err := Plan(tr, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			final, err := r.Plan.Apply(tr, w)
+			if err != nil {
+				t.Fatalf("tree %d: infeasible plan: %v (w=%v)", n, err, w)
+			}
+			for id, f := range final {
+				if f != r.Quota[id] {
+					t.Fatalf("tree %d: node %d final %d, quota %d", n, id, f, r.Quota[id])
+				}
+			}
+			if err := sched.CheckBalanced(final); err != nil {
+				t.Fatalf("tree %d: %v", n, err)
+			}
+		}
+	}
+}
+
+// TestOptimalWhenDivisible: tree link flows are forced, so with R=0 the
+// TWA cost must equal the min-cost-flow optimum.
+func TestOptimalWhenDivisible(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, n := range []int{7, 15, 20} {
+		tr := topo.NewTree(n)
+		for trial := 0; trial < 30; trial++ {
+			w := make([]int, n)
+			for i := range w {
+				w[i] = rng.Intn(11)
+			}
+			for sched.Sum(w)%n != 0 {
+				w[rng.Intn(n)]++
+			}
+			r, err := Plan(tr, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := flow.Cost(tr, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := r.Plan.Cost(); got != opt {
+				t.Fatalf("tree %d: TWA cost %d != optimal %d (w=%v)", n, got, opt, w)
+			}
+		}
+	}
+}
+
+func TestFlowConservation(t *testing.T) {
+	tr := topo.NewTree(7)
+	w := []int{0, 14, 0, 0, 0, 0, 0}
+	r, err := Plan(tr, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1's subtree (1,3,4) holds 14, quota 6 -> sends 8 up.
+	if r.Flow[1] != 8 {
+		t.Errorf("Flow[1] = %d, want 8", r.Flow[1])
+	}
+	// Node 2's subtree (2,5,6) holds 0, quota 6 -> receives 6.
+	if r.Flow[2] != -6 {
+		t.Errorf("Flow[2] = %d, want -6", r.Flow[2])
+	}
+	if r.Flow[0] != 0 {
+		t.Errorf("Flow[0] = %d, want 0", r.Flow[0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tr := topo.NewTree(3)
+	if _, err := Plan(tr, []int{1}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, err := Plan(tr, []int{1, -1, 0}); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestStepsLogarithmic(t *testing.T) {
+	tr := topo.NewTree(31) // complete depth-4 tree
+	r, err := Plan(tr, make([]int, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Plan.Steps != 8 {
+		t.Errorf("Steps = %d, want 8 (2x depth)", r.Plan.Steps)
+	}
+}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sort"
+
+	"rips/internal/topo"
+)
+
+// Config describes a simulated machine run.
+type Config struct {
+	// Topo is the machine interconnect; its Size fixes the node count.
+	Topo topo.Topology
+	// Latency prices messages. The zero value means free communication.
+	Latency LatencyModel
+	// Seed feeds each node's deterministic RNG (see Node.Rand).
+	Seed int64
+	// Limit aborts the run when virtual time exceeds it (0 = none).
+	Limit Time
+	// MaxEvents aborts the run after this many events (0 = a large
+	// default guard of 2^40), catching livelocked node programs.
+	MaxEvents uint64
+	// Trace, when non-nil, receives one line per simulator event —
+	// timer wakes and message deliveries with their timestamps — for
+	// debugging node programs. Tracing large runs is voluminous.
+	Trace io.Writer
+}
+
+// Program is the SPMD code body executed by every node, mirroring the
+// paper's "uniform code image accessible at each processor".
+type Program func(n *Node)
+
+// Result aggregates a finished run.
+type Result struct {
+	// End is the virtual time at which the last node terminated.
+	End Time
+	// Nodes holds per-node clock accounting, indexed by node id.
+	Nodes []Stats
+	// Messages and Bytes count all delivered messages and payload bytes.
+	Messages uint64
+	Bytes    uint64
+	// Events is the number of simulator events processed.
+	Events uint64
+	// Counters holds application-defined counters (Node.Count),
+	// summed across nodes.
+	Counters map[string]int64
+}
+
+// Stats is one node's decomposition of virtual time, in the paper's
+// terms: Busy is user computation, Overhead is system activity
+// (scheduling, message handling), Idle is time blocked waiting.
+type Stats struct {
+	Busy     Time
+	Overhead Time
+	Idle     Time
+	Finish   Time // when the node's program returned
+	Sent     uint64
+	Received uint64
+}
+
+// nodeState tracks what a parked node goroutine is waiting for.
+type nodeState uint8
+
+const (
+	stateRunning   nodeState = iota
+	stateWaitTimer           // woken only by its current-generation timer
+	stateWaitRecv            // woken by any delivery
+	stateWaitBoth            // RecvTimeout: delivery or timer
+	stateDone
+)
+
+// Engine drives one simulation. It is not safe for concurrent use; a
+// fresh Engine is cheap, so build one per run via Run or New.
+type Engine struct {
+	cfg    Config
+	nodes  []*Node
+	heap   eventHeap
+	now    Time
+	seq    uint64
+	events uint64
+	back   chan nodeState // the running node reports its new state
+	msgs   uint64
+	bytes  uint64
+	err    error
+}
+
+// Run executes the same program on every node of the machine and
+// returns the aggregated result. It is the common entry point; use New
+// plus RunPrograms for per-node programs.
+func Run(cfg Config, p Program) (Result, error) {
+	progs := make([]Program, cfg.Topo.Size())
+	for i := range progs {
+		progs[i] = p
+	}
+	return New(cfg).RunPrograms(progs)
+}
+
+// New returns an engine for the configured machine.
+func New(cfg Config) *Engine {
+	if cfg.Topo == nil {
+		panic("sim: Config.Topo is nil")
+	}
+	if err := cfg.Latency.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 1 << 40
+	}
+	return &Engine{cfg: cfg, back: make(chan nodeState)}
+}
+
+// RunPrograms starts one goroutine per node, each running its program,
+// and processes events until every node terminates, a deadlock is
+// detected, or a configured limit trips.
+func (e *Engine) RunPrograms(progs []Program) (Result, error) {
+	n := e.cfg.Topo.Size()
+	if len(progs) != n {
+		return Result{}, fmt.Errorf("sim: %d programs for %d nodes", len(progs), n)
+	}
+	e.nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		e.nodes[i] = newNode(e, i)
+	}
+	for i := 0; i < n; i++ {
+		// Kick every node off at t=0 in id order.
+		e.push(event{t: 0, kind: evWake, node: i, gen: e.nodes[i].timerGen})
+	}
+	for i := 0; i < n; i++ {
+		nd, prog := e.nodes[i], progs[i]
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(abortedError); !ok {
+						nd.panicErr = fmt.Errorf("sim: node %d panicked: %v\n%s", nd.id, r, debug.Stack())
+					}
+				}
+				nd.stats.Finish = e.now
+				e.back <- stateDone
+			}()
+			<-nd.resume
+			if nd.aborted {
+				panic(abortedError{})
+			}
+			prog(nd)
+		}()
+	}
+
+	done := 0
+	stepNode := func(nd *Node) {
+		if e.step(nd) == stateDone {
+			done++
+			if nd.panicErr != nil && e.err == nil {
+				e.err = nd.panicErr
+			}
+		}
+	}
+	for done < n {
+		if e.heap.len() == 0 {
+			e.err = e.deadlockError()
+			break
+		}
+		ev := e.heap.pop()
+		e.events++
+		if e.events > e.cfg.MaxEvents {
+			e.err = fmt.Errorf("sim: event limit %d exceeded at t=%v", e.cfg.MaxEvents, e.now)
+			break
+		}
+		e.now = ev.t
+		e.trace(ev)
+		if e.cfg.Limit > 0 && e.now > e.cfg.Limit {
+			e.err = fmt.Errorf("sim: virtual time limit %v exceeded", e.cfg.Limit)
+			break
+		}
+		nd := e.nodes[ev.node]
+		switch ev.kind {
+		case evWake:
+			if nd.state == stateDone || ev.gen != nd.timerGen {
+				continue // stale timer
+			}
+			switch nd.state {
+			case stateWaitTimer, stateWaitBoth:
+				if nd.state == stateWaitBoth {
+					nd.timedOut = true
+				}
+				stepNode(nd)
+			default:
+				// A wake for a node that is not waiting on a timer can
+				// only be the stale remnant of a cancelled timeout; the
+				// generation check above should have caught it.
+				panic(fmt.Sprintf("sim: wake for node %d in state %d", ev.node, nd.state))
+			}
+		case evDeliver:
+			if nd.state == stateDone {
+				continue // message to a terminated node is dropped
+			}
+			nd.mailbox = append(nd.mailbox, ev.msg)
+			e.msgs++
+			e.bytes += uint64(max(ev.msg.Size, 0))
+			nd.stats.Received++
+			if nd.state == stateWaitRecv || nd.state == stateWaitBoth {
+				stepNode(nd)
+			}
+		}
+		if e.err != nil {
+			break
+		}
+	}
+
+	res := Result{
+		End:      e.now,
+		Nodes:    make([]Stats, n),
+		Messages: e.msgs,
+		Bytes:    e.bytes,
+		Events:   e.events,
+		Counters: map[string]int64{},
+	}
+	for i, nd := range e.nodes {
+		res.Nodes[i] = nd.stats
+		for k, v := range nd.counters {
+			res.Counters[k] += v
+		}
+	}
+	if e.err != nil {
+		// Unblock any parked goroutines so they are not leaked: mark
+		// the engine failed; nodes resumed now will panic-exit their
+		// goroutine via the aborted flag.
+		for _, nd := range e.nodes {
+			if nd.state != stateDone && nd.state != stateRunning {
+				nd.aborted = true
+				nd.resume <- struct{}{}
+				<-e.back
+			}
+		}
+		return res, e.err
+	}
+	return res, nil
+}
+
+// step hands control to a parked node and waits for it to park again
+// (or finish). It returns the node's new state.
+func (e *Engine) step(nd *Node) nodeState {
+	nd.state = stateRunning
+	nd.resume <- struct{}{}
+	st := <-e.back
+	nd.state = st
+	return st
+}
+
+// trace logs one processed event to the configured writer.
+func (e *Engine) trace(ev event) {
+	if e.cfg.Trace == nil {
+		return
+	}
+	switch ev.kind {
+	case evWake:
+		fmt.Fprintf(e.cfg.Trace, "[%12v] wake    node=%d gen=%d\n", e.now, ev.node, ev.gen)
+	case evDeliver:
+		fmt.Fprintf(e.cfg.Trace, "[%12v] deliver node=%d tag=%d from=%d size=%d\n",
+			e.now, ev.node, ev.msg.Tag, ev.msg.From, ev.msg.Size)
+	}
+}
+
+// push adds an event with the next sequence number.
+func (e *Engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	e.heap.push(ev)
+}
+
+// deadlockError describes which nodes are blocked and on what.
+func (e *Engine) deadlockError() error {
+	var blocked []int
+	for _, nd := range e.nodes {
+		if nd.state != stateDone {
+			blocked = append(blocked, nd.id)
+		}
+	}
+	sort.Ints(blocked)
+	return fmt.Errorf("sim: deadlock at t=%v: nodes %v blocked in Recv with no events pending", e.now, blocked)
+}
+
+// abortedError is the panic value used to unwind node goroutines when
+// the engine aborts a run; it is recovered in the node wrapper.
+type abortedError struct{}
+
+func (abortedError) Error() string { return "sim: run aborted" }

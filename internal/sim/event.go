@@ -1,0 +1,76 @@
+package sim
+
+// eventKind discriminates the two things that can happen at a point in
+// virtual time: a node's timer fires, or a message arrives.
+type eventKind uint8
+
+const (
+	evWake    eventKind = iota // timer expiry (Compute/Sleep/timeout)
+	evDeliver                  // message arrival at its destination
+)
+
+// event is a heap entry. Wake events carry the generation of the timer
+// that scheduled them so that cancelled timers (e.g. a RecvTimeout that
+// was satisfied by an earlier delivery) are recognised as stale and
+// ignored when they surface.
+type event struct {
+	t    Time
+	seq  uint64 // tie-breaker: FIFO among simultaneous events
+	kind eventKind
+	node int    // destination node
+	gen  uint64 // timer generation, evWake only
+	msg  Message
+}
+
+// eventHeap is a binary min-heap ordered by (t, seq). It is hand-rolled
+// rather than built on container/heap to avoid the interface
+// boxing on every push/pop in the simulator's hottest loop.
+type eventHeap struct {
+	a []event
+}
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.a[i].t != h.a[j].t {
+		return h.a[i].t < h.a[j].t
+	}
+	return h.a[i].seq < h.a[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.a[0]
+	n := len(h.a) - 1
+	h.a[0] = h.a[n]
+	h.a = h.a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(l, m) {
+			m = l
+		}
+		if r < n && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+	return top
+}

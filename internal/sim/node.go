@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rips/internal/topo"
+)
+
+// Message is what nodes exchange. Tag discriminates protocol traffic
+// (each runtime defines its own tag space); Data carries the payload by
+// reference — the simulator never copies or inspects it; Size is the
+// payload size in bytes used for latency pricing.
+type Message struct {
+	From, To int
+	Tag      int
+	Data     any
+	Size     int
+}
+
+// Node is the handle a Program uses to interact with the machine. All
+// methods must be called only from the node's own program goroutine.
+type Node struct {
+	eng      *Engine
+	id       int
+	state    nodeState
+	resume   chan struct{}
+	mailbox  []Message
+	timerGen uint64
+	timedOut bool
+	aborted  bool
+	panicErr error
+	stats    Stats
+	counters map[string]int64
+	rng      *rand.Rand
+}
+
+func newNode(e *Engine, id int) *Node {
+	return &Node{
+		eng:      e,
+		id:       id,
+		state:    stateWaitTimer, // parked until the t=0 kick-off wake
+		resume:   make(chan struct{}),
+		counters: map[string]int64{},
+		rng:      rand.New(rand.NewSource(e.cfg.Seed*1000003 + int64(id))),
+	}
+}
+
+// ID returns this node's id in [0, N).
+func (n *Node) ID() int { return n.id }
+
+// N returns the machine size.
+func (n *Node) N() int { return n.eng.cfg.Topo.Size() }
+
+// Topo returns the machine interconnect.
+func (n *Node) Topo() topo.Topology { return n.eng.cfg.Topo }
+
+// Now returns the current virtual time.
+func (n *Node) Now() Time { return n.eng.now }
+
+// Rand returns this node's deterministic RNG, seeded from Config.Seed
+// and the node id.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// Count adds delta to a named application counter; counters are summed
+// across nodes into Result.Counters.
+func (n *Node) Count(name string, delta int64) { n.counters[name] += delta }
+
+// Counter returns this node's local value of a named counter.
+func (n *Node) Counter(name string) int64 { return n.counters[name] }
+
+// yield parks the goroutine in the given state and returns when the
+// engine resumes it.
+func (n *Node) yield(s nodeState) {
+	n.eng.back <- s
+	<-n.resume
+	if n.aborted {
+		panic(abortedError{})
+	}
+}
+
+// advance moves this node's clock forward by d, charging the span to
+// busy (user) or overhead (system) time.
+func (n *Node) advance(d Time, system bool) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: node %d advancing by negative time %v", n.id, d))
+	}
+	if system {
+		n.stats.Overhead += d
+	} else {
+		n.stats.Busy += d
+	}
+	if d == 0 {
+		return
+	}
+	n.timerGen++
+	n.eng.push(event{t: n.eng.now + d, kind: evWake, node: n.id, gen: n.timerGen})
+	n.yield(stateWaitTimer)
+}
+
+// Compute spends d of user computation time.
+func (n *Node) Compute(d Time) { n.advance(d, false) }
+
+// Overhead spends d of system (scheduling) time. Runtimes call this to
+// model the CPU cost of their own bookkeeping.
+func (n *Node) Overhead(d Time) { n.advance(d, true) }
+
+// Sleep blocks for d, accounted as idle time.
+func (n *Node) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: node %d sleeping negative time %v", n.id, d))
+	}
+	n.stats.Idle += d
+	if d == 0 {
+		return
+	}
+	n.timerGen++
+	n.eng.push(event{t: n.eng.now + d, kind: evWake, node: n.id, gen: n.timerGen})
+	n.yield(stateWaitTimer)
+}
+
+// Send transmits a message. It charges the sender the per-message
+// SendOverhead CPU cost, then puts the message on the wire; delivery
+// occurs after the latency model's transit delay. Send never blocks on
+// the receiver (buffered, asynchronous semantics — the NX/MPI eager
+// protocol the paper's runtime would have used).
+func (n *Node) Send(to int, m Message) {
+	if err := topo.Validate(n.eng.cfg.Topo, to); err != nil {
+		panic(err)
+	}
+	m.From = n.id
+	m.To = to
+	lat := n.eng.cfg.Latency
+	if lat.SendOverhead > 0 {
+		n.advance(lat.SendOverhead, true)
+	}
+	hops := 1
+	if to != n.id {
+		hops = n.eng.cfg.Topo.Dist(n.id, to)
+	}
+	d := lat.Delay(m.Size, hops)
+	n.stats.Sent++
+	n.eng.push(event{t: n.eng.now + d, kind: evDeliver, node: to, msg: m})
+}
+
+// SendTag is shorthand for Send with a tag and data payload.
+func (n *Node) SendTag(to, tag int, data any, size int) {
+	n.Send(to, Message{Tag: tag, Data: data, Size: size})
+}
+
+// Broadcast delivers a message to every other node after the given
+// delay, charging the sender a single SendOverhead regardless of the
+// machine size. It models hardware global-signal support — the Cray
+// T3D eureka or-barrier the paper suggests for the ANY transfer
+// policy — and deliberately bypasses the per-hop latency model.
+func (n *Node) Broadcast(tag int, data any, size int, delay Time) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: node %d broadcasting with negative delay", n.id))
+	}
+	lat := n.eng.cfg.Latency
+	if lat.SendOverhead > 0 {
+		n.advance(lat.SendOverhead, true)
+	}
+	for to := 0; to < n.N(); to++ {
+		if to == n.id {
+			continue
+		}
+		m := Message{From: n.id, To: to, Tag: tag, Data: data, Size: size}
+		n.stats.Sent++
+		n.eng.push(event{t: n.eng.now + delay, kind: evDeliver, node: to, msg: m})
+	}
+}
+
+// Recv blocks until any message is available and returns the oldest.
+// Waiting time is charged as idle; popping charges RecvOverhead.
+func (n *Node) Recv() Message {
+	m, _ := n.recv(func(Message) bool { return true }, -1)
+	return m
+}
+
+// RecvTag blocks until a message with the given tag is available,
+// leaving other traffic queued in arrival order.
+func (n *Node) RecvTag(tag int) Message {
+	m, _ := n.recv(func(m Message) bool { return m.Tag == tag }, -1)
+	return m
+}
+
+// RecvFrom blocks until a message from a specific source with the
+// given tag is available.
+func (n *Node) RecvFrom(from, tag int) Message {
+	m, _ := n.recv(func(m Message) bool { return m.From == from && m.Tag == tag }, -1)
+	return m
+}
+
+// RecvTags blocks until a message carrying any of the given tags is
+// available, leaving other traffic queued in arrival order.
+func (n *Node) RecvTags(tags ...int) Message {
+	m, _ := n.recv(func(m Message) bool {
+		for _, t := range tags {
+			if m.Tag == t {
+				return true
+			}
+		}
+		return false
+	}, -1)
+	return m
+}
+
+// RecvTimeout waits up to d for any message; ok reports whether a
+// message arrived before the deadline.
+func (n *Node) RecvTimeout(d Time) (m Message, ok bool) {
+	return n.recv(func(Message) bool { return true }, d)
+}
+
+// RecvTagTimeout waits up to d for a message with the given tag.
+func (n *Node) RecvTagTimeout(tag int, d Time) (m Message, ok bool) {
+	return n.recv(func(m Message) bool { return m.Tag == tag }, d)
+}
+
+// TryRecv returns the oldest queued message without blocking.
+func (n *Node) TryRecv() (m Message, ok bool) {
+	return n.tryMatch(func(Message) bool { return true })
+}
+
+// TryRecvTag returns the oldest queued message with the given tag
+// without blocking.
+func (n *Node) TryRecvTag(tag int) (m Message, ok bool) {
+	return n.tryMatch(func(m Message) bool { return m.Tag == tag })
+}
+
+// Pending returns the number of queued messages.
+func (n *Node) Pending() int { return len(n.mailbox) }
+
+// tryMatch pops the oldest matching message, if any, charging
+// RecvOverhead on success.
+func (n *Node) tryMatch(match func(Message) bool) (Message, bool) {
+	for i, m := range n.mailbox {
+		if match(m) {
+			n.mailbox = append(n.mailbox[:i], n.mailbox[i+1:]...)
+			if ro := n.eng.cfg.Latency.RecvOverhead; ro > 0 {
+				n.advance(ro, true)
+			}
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// recv blocks until a matching message arrives or the timeout (if
+// non-negative) expires. Blocked time is charged as idle.
+func (n *Node) recv(match func(Message) bool, timeout Time) (Message, bool) {
+	if m, ok := n.tryMatch(match); ok {
+		return m, true
+	}
+	start := n.eng.now
+	waitState := stateWaitRecv
+	if timeout >= 0 {
+		n.timerGen++
+		n.eng.push(event{t: n.eng.now + timeout, kind: evWake, node: n.id, gen: n.timerGen})
+		waitState = stateWaitBoth
+	}
+	for {
+		n.yield(waitState)
+		if n.timedOut {
+			n.timedOut = false
+			n.stats.Idle += n.eng.now - start
+			return Message{}, false
+		}
+		// Scan only the newly delivered tail? Deliveries resume us one
+		// at a time, so checking the whole mailbox stays correct and
+		// the box is short in practice.
+		for i, m := range n.mailbox {
+			if match(m) {
+				n.mailbox = append(n.mailbox[:i], n.mailbox[i+1:]...)
+				n.stats.Idle += n.eng.now - start
+				if waitState == stateWaitBoth {
+					n.timerGen++ // cancel the pending timeout
+				}
+				if ro := n.eng.cfg.Latency.RecvOverhead; ro > 0 {
+					n.advance(ro, true)
+				}
+				return m, true
+			}
+		}
+	}
+}

@@ -1,0 +1,569 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"rips/internal/topo"
+)
+
+func twoNodeCfg(lat LatencyModel) Config {
+	return Config{Topo: topo.NewRing(2), Latency: lat, Seed: 1}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	res, err := Run(Config{Topo: topo.NewRing(1), Seed: 1}, func(n *Node) {
+		n.Compute(3 * Millisecond)
+		n.Overhead(1 * Millisecond)
+		if got := n.Now(); got != 4*Millisecond {
+			t.Errorf("Now() = %v, want 4ms", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.End != 4*Millisecond {
+		t.Errorf("End = %v, want 4ms", res.End)
+	}
+	st := res.Nodes[0]
+	if st.Busy != 3*Millisecond || st.Overhead != 1*Millisecond || st.Idle != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSendRecvDelay(t *testing.T) {
+	lat := LatencyModel{Base: 100 * Microsecond, PerByte: 10 * Nanosecond}
+	var recvAt Time
+	_, err := Run(twoNodeCfg(lat), func(n *Node) {
+		if n.ID() == 0 {
+			n.SendTag(1, 7, "hello", 1000)
+			return
+		}
+		m := n.RecvTag(7)
+		recvAt = n.Now()
+		if m.Data.(string) != "hello" || m.From != 0 || m.To != 1 {
+			t.Errorf("message = %+v", m)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lat.Delay(1000, 1) // 100us + 10us
+	if recvAt != want {
+		t.Errorf("received at %v, want %v", recvAt, want)
+	}
+}
+
+func TestPerHopLatency(t *testing.T) {
+	m := topo.NewMesh(4, 4)
+	lat := LatencyModel{Base: 10 * Microsecond, PerHop: 5 * Microsecond}
+	var recvAt Time
+	last := m.Size() - 1 // opposite corner: 6 hops from node 0
+	_, err := Run(Config{Topo: m, Latency: lat, Seed: 1}, func(n *Node) {
+		switch n.ID() {
+		case 0:
+			n.SendTag(last, 1, nil, 0)
+		case last:
+			n.RecvTag(1)
+			recvAt = n.Now()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10*Microsecond + 5*5*Microsecond
+	if recvAt != want {
+		t.Errorf("received at %v, want %v", recvAt, want)
+	}
+}
+
+func TestIdleAccounting(t *testing.T) {
+	res, err := Run(twoNodeCfg(ZeroLatency()), func(n *Node) {
+		if n.ID() == 0 {
+			n.Compute(10 * Millisecond)
+			n.SendTag(1, 1, nil, 0)
+		} else {
+			n.Recv()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Nodes[1].Idle; got != 10*Millisecond {
+		t.Errorf("idle = %v, want 10ms", got)
+	}
+}
+
+func TestSendRecvOverheadCharged(t *testing.T) {
+	lat := LatencyModel{SendOverhead: 5 * Microsecond, RecvOverhead: 7 * Microsecond}
+	res, err := Run(twoNodeCfg(lat), func(n *Node) {
+		if n.ID() == 0 {
+			n.SendTag(1, 1, nil, 0)
+		} else {
+			n.Recv()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Nodes[0].Overhead; got != 5*Microsecond {
+		t.Errorf("sender overhead = %v, want 5us", got)
+	}
+	if got := res.Nodes[1].Overhead; got != 7*Microsecond {
+		t.Errorf("receiver overhead = %v, want 7us", got)
+	}
+}
+
+func TestFIFOAmongSimultaneous(t *testing.T) {
+	var order []int
+	_, err := Run(twoNodeCfg(ZeroLatency()), func(n *Node) {
+		if n.ID() == 0 {
+			for i := 0; i < 5; i++ {
+				n.SendTag(1, i, nil, 0)
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				order = append(order, n.Recv().Tag)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tag := range order {
+		if tag != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestRecvTagSkipsOtherTraffic(t *testing.T) {
+	var got []int
+	_, err := Run(twoNodeCfg(ZeroLatency()), func(n *Node) {
+		if n.ID() == 0 {
+			n.SendTag(1, 1, nil, 0)
+			n.SendTag(1, 2, nil, 0)
+			n.SendTag(1, 1, nil, 0)
+		} else {
+			got = append(got, n.RecvTag(2).Tag)
+			got = append(got, n.Recv().Tag)
+			got = append(got, n.Recv().Tag)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRecvFrom(t *testing.T) {
+	_, err := Run(Config{Topo: topo.NewRing(3), Seed: 1}, func(n *Node) {
+		switch n.ID() {
+		case 0:
+			n.Compute(Millisecond)
+			n.SendTag(2, 9, "from0", 0)
+		case 1:
+			n.SendTag(2, 9, "from1", 0)
+		case 2:
+			m := n.RecvFrom(0, 9)
+			if m.Data.(string) != "from0" {
+				t.Errorf("RecvFrom(0) = %+v", m)
+			}
+			m = n.Recv()
+			if m.From != 1 {
+				t.Errorf("second message from %d", m.From)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTimeoutExpires(t *testing.T) {
+	res, err := Run(Config{Topo: topo.NewRing(1), Seed: 1}, func(n *Node) {
+		if _, ok := n.RecvTimeout(2 * Millisecond); ok {
+			t.Error("RecvTimeout returned a message on an empty machine")
+		}
+		if n.Now() != 2*Millisecond {
+			t.Errorf("timeout returned at %v", n.Now())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes[0].Idle != 2*Millisecond {
+		t.Errorf("idle = %v", res.Nodes[0].Idle)
+	}
+}
+
+func TestRecvTimeoutSatisfiedEarly(t *testing.T) {
+	_, err := Run(twoNodeCfg(ZeroLatency()), func(n *Node) {
+		if n.ID() == 0 {
+			n.Compute(Millisecond)
+			n.SendTag(1, 1, nil, 0)
+			return
+		}
+		m, ok := n.RecvTimeout(10 * Millisecond)
+		if !ok || m.Tag != 1 {
+			t.Errorf("RecvTimeout = %+v, %v", m, ok)
+		}
+		if n.Now() != Millisecond {
+			t.Errorf("received at %v, want 1ms", n.Now())
+		}
+		// The cancelled timer must not wake or corrupt a later wait.
+		if _, ok := n.RecvTimeout(20 * Millisecond); ok {
+			t.Error("second RecvTimeout got a phantom message")
+		}
+		if n.Now() != 21*Millisecond {
+			t.Errorf("second timeout at %v, want 21ms", n.Now())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTagTimeoutLeavesOthersQueued(t *testing.T) {
+	_, err := Run(twoNodeCfg(ZeroLatency()), func(n *Node) {
+		if n.ID() == 0 {
+			n.SendTag(1, 5, nil, 0)
+			return
+		}
+		if _, ok := n.RecvTagTimeout(6, Millisecond); ok {
+			t.Error("got tag-6 message that was never sent")
+		}
+		if m, ok := n.TryRecvTag(5); !ok || m.Tag != 5 {
+			t.Errorf("tag-5 message lost: %+v %v", m, ok)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	_, err := Run(twoNodeCfg(ZeroLatency()), func(n *Node) {
+		if n.ID() == 0 {
+			n.SendTag(1, 1, nil, 0)
+			return
+		}
+		if _, ok := n.TryRecv(); ok {
+			t.Error("TryRecv found a message before any arrived")
+		}
+		n.Sleep(Millisecond)
+		if m, ok := n.TryRecv(); !ok || m.Tag != 1 {
+			t.Errorf("TryRecv after sleep = %+v, %v", m, ok)
+		}
+		if n.Pending() != 0 {
+			t.Errorf("Pending = %d", n.Pending())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	_, err := Run(twoNodeCfg(ZeroLatency()), func(n *Node) {
+		n.Recv() // both nodes wait forever
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	cfg := Config{Topo: topo.NewRing(2), Seed: 1, MaxEvents: 100}
+	_, err := Run(cfg, func(n *Node) {
+		// ping-pong forever
+		if n.ID() == 0 {
+			n.SendTag(1, 0, nil, 0)
+		}
+		for {
+			m := n.Recv()
+			n.Send(m.From, Message{Tag: 0})
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "event limit") {
+		t.Fatalf("err = %v, want event limit", err)
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	cfg := Config{Topo: topo.NewRing(1), Seed: 1, Limit: Millisecond}
+	_, err := Run(cfg, func(n *Node) {
+		for {
+			n.Compute(Millisecond)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "time limit") {
+		t.Fatalf("err = %v, want time limit", err)
+	}
+}
+
+func TestNodePanicReported(t *testing.T) {
+	_, err := Run(twoNodeCfg(ZeroLatency()), func(n *Node) {
+		if n.ID() == 1 {
+			panic("boom")
+		}
+		n.Compute(Millisecond)
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want node panic", err)
+	}
+}
+
+func TestCountersAggregated(t *testing.T) {
+	res, err := Run(Config{Topo: topo.NewRing(4), Seed: 1}, func(n *Node) {
+		n.Count("tasks", int64(n.ID()))
+		n.Count("tasks", 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Counters["tasks"]; got != 0+1+2+3+4 {
+		t.Errorf("tasks counter = %d, want 10", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (Result, []int) {
+		var order []int
+		res, err := Run(Config{Topo: topo.NewMesh(4, 4), Seed: 42}, func(n *Node) {
+			r := n.Rand()
+			for i := 0; i < 10; i++ {
+				n.Compute(Time(r.Intn(1000)) * Microsecond)
+				to := r.Intn(n.N())
+				if to != n.ID() {
+					n.SendTag(to, 1, nil, 8)
+				}
+			}
+			for {
+				if _, ok := n.RecvTimeout(5 * Millisecond); !ok {
+					break
+				}
+				order = append(order, n.ID())
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, order
+	}
+	r1, o1 := run()
+	r2, o2 := run()
+	if r1.End != r2.End || r1.Events != r2.Events || r1.Messages != r2.Messages {
+		t.Fatalf("non-deterministic results: %+v vs %+v", r1, r2)
+	}
+	if len(o1) != len(o2) {
+		t.Fatalf("non-deterministic receive orders: %d vs %d", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("receive order differs at %d", i)
+		}
+	}
+}
+
+func TestStatsDecomposition(t *testing.T) {
+	// busy + overhead + idle must equal each node's finish time.
+	res, err := Run(Config{Topo: topo.NewMesh(2, 2), Latency: DefaultLatency(), Seed: 7}, func(n *Node) {
+		r := n.Rand()
+		for i := 0; i < 20; i++ {
+			n.Compute(Time(r.Intn(500)) * Microsecond)
+			n.SendTag((n.ID()+1)%n.N(), 1, nil, 64)
+			n.RecvTag(1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range res.Nodes {
+		total := st.Busy + st.Overhead + st.Idle
+		if total != st.Finish {
+			t.Errorf("node %d: busy+overhead+idle = %v, finish = %v", i, total, st.Finish)
+		}
+	}
+}
+
+func TestMessageToDeadNodeDropped(t *testing.T) {
+	res, err := Run(twoNodeCfg(ZeroLatency()), func(n *Node) {
+		if n.ID() == 0 {
+			return // exits immediately
+		}
+		n.Compute(Millisecond)
+		n.SendTag(0, 1, nil, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes[0].Received != 0 {
+		t.Errorf("dead node received %d messages", res.Nodes[0].Received)
+	}
+}
+
+func TestZeroComputeNoYield(t *testing.T) {
+	_, err := Run(Config{Topo: topo.NewRing(1), Seed: 1}, func(n *Node) {
+		n.Compute(0)
+		n.Overhead(0)
+		n.Sleep(0)
+		if n.Now() != 0 {
+			t.Errorf("time advanced to %v", n.Now())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeComputePanics(t *testing.T) {
+	_, err := Run(Config{Topo: topo.NewRing(1), Seed: 1}, func(n *Node) {
+		n.Compute(-1)
+	})
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("err = %v, want negative-time panic", err)
+	}
+}
+
+func TestSendToInvalidNodePanics(t *testing.T) {
+	_, err := Run(Config{Topo: topo.NewRing(2), Seed: 1}, func(n *Node) {
+		n.SendTag(5, 1, nil, 0)
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("err = %v, want out-of-range panic", err)
+	}
+}
+
+func TestLatencyValidate(t *testing.T) {
+	bad := LatencyModel{Base: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative latency validated")
+	}
+	if err := DefaultLatency().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelayClamping(t *testing.T) {
+	l := LatencyModel{Base: 10, PerByte: 1, PerHop: 5}
+	if d := l.Delay(-5, 0); d != 10 {
+		t.Errorf("Delay(-5,0) = %v, want 10 (clamped)", d)
+	}
+	if d := l.Delay(3, 4); d != 10+3+15 {
+		t.Errorf("Delay(3,4) = %v, want 28", d)
+	}
+}
+
+func TestManyNodesBarrierStyle(t *testing.T) {
+	// A hand-rolled all-to-root reduction and broadcast over the mesh;
+	// exercises heavier event traffic across 64 nodes.
+	m := topo.NewMesh(8, 8)
+	res, err := Run(Config{Topo: m, Latency: DefaultLatency(), Seed: 3}, func(n *Node) {
+		if n.ID() == 0 {
+			for i := 1; i < n.N(); i++ {
+				n.RecvTag(1)
+			}
+			for i := 1; i < n.N(); i++ {
+				n.SendTag(i, 2, nil, 4)
+			}
+		} else {
+			n.Compute(Time(n.ID()) * Microsecond)
+			n.SendTag(0, 1, nil, 4)
+			n.RecvTag(2)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != uint64(2*(m.Size()-1)) {
+		t.Errorf("messages = %d, want %d", res.Messages, 2*(m.Size()-1))
+	}
+}
+
+func TestTrace(t *testing.T) {
+	var buf strings.Builder
+	cfg := Config{Topo: topo.NewRing(2), Seed: 1, Trace: &buf}
+	_, err := Run(cfg, func(n *Node) {
+		if n.ID() == 0 {
+			n.Compute(Millisecond)
+			n.SendTag(1, 7, nil, 4)
+		} else {
+			n.RecvTag(7)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "wake") || !strings.Contains(out, "deliver node=1 tag=7 from=0") {
+		t.Errorf("trace output:\n%s", out)
+	}
+}
+
+func TestRecvTags(t *testing.T) {
+	_, err := Run(twoNodeCfg(ZeroLatency()), func(n *Node) {
+		if n.ID() == 0 {
+			n.SendTag(1, 3, nil, 0)
+			n.Compute(Millisecond)
+			n.SendTag(1, 8, nil, 0)
+			return
+		}
+		// Wait for either tag 7 or 8; tag 3 must stay queued.
+		m := n.RecvTags(7, 8)
+		if m.Tag != 8 {
+			t.Errorf("RecvTags = tag %d, want 8", m.Tag)
+		}
+		if m, ok := n.TryRecvTag(3); !ok || m.Tag != 3 {
+			t.Error("tag-3 message lost")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	lat := LatencyModel{Base: 500 * Microsecond, PerHop: 100 * Microsecond, SendOverhead: 10 * Microsecond}
+	res, err := Run(Config{Topo: topo.NewMesh(4, 4), Latency: lat, Seed: 1}, func(n *Node) {
+		if n.ID() == 5 {
+			n.Broadcast(9, "sig", 8, 20*Microsecond)
+			return
+		}
+		m := n.RecvTag(9)
+		// Hardware broadcast: everyone hears it at overhead+delay,
+		// regardless of hop distance.
+		if got := n.Now(); got != 30*Microsecond {
+			t.Errorf("node %d heard broadcast at %v, want 30us", n.ID(), got)
+		}
+		if m.Data.(string) != "sig" {
+			t.Errorf("payload %v", m.Data)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sender charged one overhead, not N-1.
+	if got := res.Nodes[5].Overhead; got != 10*Microsecond {
+		t.Errorf("sender overhead = %v, want one SendOverhead", got)
+	}
+	if res.Messages != 15 {
+		t.Errorf("messages = %d, want 15", res.Messages)
+	}
+}
+
+func TestBroadcastNegativeDelayPanics(t *testing.T) {
+	_, err := Run(Config{Topo: topo.NewRing(2), Seed: 1}, func(n *Node) {
+		if n.ID() == 0 {
+			n.Broadcast(1, nil, 0, -1)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "negative delay") {
+		t.Fatalf("err = %v", err)
+	}
+}

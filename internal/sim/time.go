@@ -1,0 +1,100 @@
+// Package sim is a process-oriented discrete-event simulator of a
+// distributed-memory message-passing machine — the substrate standing
+// in for the paper's Intel Paragon.
+//
+// Each simulated processor ("node") runs a user-supplied Go function on
+// its own goroutine, written in the blocking style of message-passing
+// code: Send, Recv, Compute. Exactly one node goroutine executes at a
+// time; control passes back to the engine whenever a node blocks, so
+// the simulation is deterministic and race-free by construction while
+// still letting node programs read as ordinary sequential MPI-like
+// code. Virtual time advances only through the event heap.
+//
+// Message transit time is priced by a configurable LatencyModel
+// (per-message, per-byte, and per-hop terms over the machine's
+// topology), and each node's virtual clock is split three ways —
+// user computation, system overhead, and idle time — which is exactly
+// the accounting the paper's Table I reports (T, Th, Ti).
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in (or span of) virtual time, in nanoseconds. It is
+// deliberately a distinct type from time.Duration so that wall-clock
+// values do not silently flow into the simulation, but the convenience
+// constants mirror the time package.
+type Time int64
+
+// Convenient virtual-time spans.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts a virtual span to a time.Duration for printing.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats the time like time.Duration does.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// FromSeconds converts seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// LatencyModel prices message transmission and per-message CPU costs.
+// A message of size bytes travelling h hops occupies the wire for
+// Base + PerByte*size + PerHop*h; on top of that the sender spends
+// SendOverhead and the receiver RecvOverhead of CPU time, charged as
+// system overhead on their respective clocks.
+type LatencyModel struct {
+	Base         Time // per-message wire latency (software + first hop setup)
+	PerByte      Time // transmission time per payload byte
+	PerHop       Time // additional latency per hop beyond the first
+	SendOverhead Time // CPU time charged to the sender per message
+	RecvOverhead Time // CPU time charged to the receiver per message
+}
+
+// Delay returns the wire transit time for a message of the given
+// payload size travelling hops hops. Negative inputs are clamped to 0.
+func (l LatencyModel) Delay(size, hops int) Time {
+	if size < 0 {
+		size = 0
+	}
+	if hops < 1 {
+		hops = 1
+	}
+	return l.Base + Time(size)*l.PerByte + Time(hops-1)*l.PerHop
+}
+
+// DefaultLatency is calibrated to mid-1990s MPP interconnects (the
+// paper reports roughly 1 ms per task-migration communication step on
+// the Paragon): ~60 us message startup, ~100 ns/byte (~10 MB/s), and a
+// small per-hop wormhole-routing term.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{
+		Base:         60 * Microsecond,
+		PerByte:      100 * Nanosecond,
+		PerHop:       5 * Microsecond,
+		SendOverhead: 25 * Microsecond,
+		RecvOverhead: 25 * Microsecond,
+	}
+}
+
+// ZeroLatency makes communication free; useful for isolating algorithm
+// behaviour from the cost model in tests.
+func ZeroLatency() LatencyModel { return LatencyModel{} }
+
+// Validate reports an error if any latency component is negative.
+func (l LatencyModel) Validate() error {
+	if l.Base < 0 || l.PerByte < 0 || l.PerHop < 0 || l.SendOverhead < 0 || l.RecvOverhead < 0 {
+		return fmt.Errorf("sim: latency model has negative component: %+v", l)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+// Package task defines the unit of schedulable work and the queues the
+// paper's runtime keeps on every processor: the ready-to-execute (RTE)
+// queue and, under eager scheduling, the ready-to-schedule (RTS) queue.
+package task
+
+// Task is one schedulable unit. The scheduler treats all tasks as
+// equal-sized (the paper's simplifying assumption — grain-size error is
+// corrected by the next system phase); the application supplies the
+// payload and the actual work is discovered on execution.
+type Task struct {
+	// ID is unique within a run (assigned by the generating node from
+	// a node-partitioned sequence).
+	ID uint64
+	// Origin is the node that generated the task. A task executed on a
+	// node other than Origin is "nonlocal" — the paper's locality
+	// metric (Table I column 2).
+	Origin int
+	// Size is the serialized payload size in bytes, used to price
+	// migration messages.
+	Size int
+	// Data is the application payload; the scheduler never inspects it.
+	Data any
+}
+
+// Queue is a double-ended task queue. The zero value is an empty queue
+// ready for use. Execution consumes from the front; migration takes
+// from the back, so the tasks a node generated most recently (best
+// locality of reference) are the ones exported.
+type Queue struct {
+	items []Task
+	head  int
+}
+
+// Len returns the number of queued tasks.
+func (q *Queue) Len() int { return len(q.items) - q.head }
+
+// Empty reports whether the queue has no tasks.
+func (q *Queue) Empty() bool { return q.Len() == 0 }
+
+// PushBack appends a task at the back.
+func (q *Queue) PushBack(t Task) { q.items = append(q.items, t) }
+
+// PushFront prepends a task at the front.
+func (q *Queue) PushFront(t Task) {
+	if q.head > 0 {
+		q.head--
+		q.items[q.head] = t
+		return
+	}
+	q.items = append([]Task{t}, q.items...)
+}
+
+// PopFront removes and returns the front task; ok is false when empty.
+func (q *Queue) PopFront() (t Task, ok bool) {
+	if q.Empty() {
+		return Task{}, false
+	}
+	t = q.items[q.head]
+	q.items[q.head] = Task{} // release payload reference
+	q.head++
+	q.maybeCompact()
+	return t, true
+}
+
+// PopBack removes and returns the back task; ok is false when empty.
+func (q *Queue) PopBack() (t Task, ok bool) {
+	if q.Empty() {
+		return Task{}, false
+	}
+	last := len(q.items) - 1
+	t = q.items[last]
+	q.items[last] = Task{}
+	q.items = q.items[:last]
+	q.maybeCompact()
+	return t, true
+}
+
+// TakeBack removes up to n tasks from the back and returns them in
+// queue order (the slice's last element was the queue's back).
+func (q *Queue) TakeBack(n int) []Task {
+	if n <= 0 {
+		return nil
+	}
+	if n > q.Len() {
+		n = q.Len()
+	}
+	if n == 0 {
+		return nil
+	}
+	cut := len(q.items) - n
+	out := make([]Task, n)
+	copy(out, q.items[cut:])
+	for i := cut; i < len(q.items); i++ {
+		q.items[i] = Task{}
+	}
+	q.items = q.items[:cut]
+	q.maybeCompact()
+	return out
+}
+
+// Drain removes and returns all tasks in queue order.
+func (q *Queue) Drain() []Task {
+	out := make([]Task, q.Len())
+	copy(out, q.items[q.head:])
+	q.items = q.items[:0]
+	q.head = 0
+	return out
+}
+
+// PushAll appends tasks preserving slice order.
+func (q *Queue) PushAll(ts []Task) {
+	q.items = append(q.items, ts...)
+}
+
+// maybeCompact reclaims the dead prefix once it dominates the backing
+// array, keeping amortized O(1) operations without unbounded growth.
+func (q *Queue) maybeCompact() {
+	if q.head > 32 && q.head > len(q.items)/2 {
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = Task{}
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+}

@@ -1,0 +1,203 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	var q Queue
+	for i := uint64(0); i < 10; i++ {
+		q.PushBack(Task{ID: i})
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := uint64(0); i < 10; i++ {
+		got, ok := q.PopFront()
+		if !ok || got.ID != i {
+			t.Fatalf("PopFront #%d = %+v, %v", i, got, ok)
+		}
+	}
+	if _, ok := q.PopFront(); ok {
+		t.Fatal("PopFront on empty queue succeeded")
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty")
+	}
+}
+
+func TestQueuePushFront(t *testing.T) {
+	var q Queue
+	q.PushBack(Task{ID: 2})
+	q.PushFront(Task{ID: 1})
+	// Exercise the head>0 fast path: pop then push front again.
+	got, _ := q.PopFront()
+	if got.ID != 1 {
+		t.Fatalf("front = %d", got.ID)
+	}
+	q.PushFront(Task{ID: 0})
+	got, _ = q.PopFront()
+	if got.ID != 0 {
+		t.Fatalf("front = %d", got.ID)
+	}
+	got, _ = q.PopFront()
+	if got.ID != 2 {
+		t.Fatalf("front = %d", got.ID)
+	}
+}
+
+func TestQueuePopBack(t *testing.T) {
+	var q Queue
+	for i := uint64(0); i < 3; i++ {
+		q.PushBack(Task{ID: i})
+	}
+	got, ok := q.PopBack()
+	if !ok || got.ID != 2 {
+		t.Fatalf("PopBack = %+v", got)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	var e Queue
+	if _, ok := e.PopBack(); ok {
+		t.Fatal("PopBack on empty queue succeeded")
+	}
+}
+
+func TestTakeBack(t *testing.T) {
+	var q Queue
+	for i := uint64(0); i < 5; i++ {
+		q.PushBack(Task{ID: i})
+	}
+	got := q.TakeBack(2)
+	if len(got) != 2 || got[0].ID != 3 || got[1].ID != 4 {
+		t.Fatalf("TakeBack(2) = %v", got)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if got := q.TakeBack(99); len(got) != 3 {
+		t.Fatalf("TakeBack(99) = %d tasks", len(got))
+	}
+	if got := q.TakeBack(1); got != nil {
+		t.Fatalf("TakeBack on empty = %v", got)
+	}
+	if got := q.TakeBack(0); got != nil {
+		t.Fatalf("TakeBack(0) = %v", got)
+	}
+	if got := q.TakeBack(-1); got != nil {
+		t.Fatalf("TakeBack(-1) = %v", got)
+	}
+}
+
+func TestDrainAndPushAll(t *testing.T) {
+	var q Queue
+	q.PushAll([]Task{{ID: 1}, {ID: 2}, {ID: 3}})
+	q.PopFront()
+	all := q.Drain()
+	if len(all) != 2 || all[0].ID != 2 || all[1].ID != 3 {
+		t.Fatalf("Drain = %v", all)
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after Drain")
+	}
+	q.PushBack(Task{ID: 9})
+	if q.Len() != 1 {
+		t.Fatalf("Len after reuse = %d", q.Len())
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	var q Queue
+	// Interleave pushes and pops to force head growth and compaction.
+	for i := uint64(0); i < 1000; i++ {
+		q.PushBack(Task{ID: i})
+		if i%2 == 1 {
+			q.PopFront()
+		}
+	}
+	if q.Len() != 500 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	want := uint64(999) // the back element
+	got, _ := q.PopBack()
+	if got.ID != want {
+		t.Fatalf("PopBack = %d, want %d", got.ID, want)
+	}
+	if q.head >= len(q.items) && q.Len() > 0 {
+		t.Fatal("internal invariant violated after compaction")
+	}
+}
+
+// TestQueueModel drives the queue with random operations against a
+// plain-slice model, via testing/quick.
+func TestQueueModel(t *testing.T) {
+	f := func(ops []uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		var model []Task
+		next := uint64(0)
+		for _, op := range ops {
+			switch op % 5 {
+			case 0: // PushBack
+				tk := Task{ID: next}
+				next++
+				q.PushBack(tk)
+				model = append(model, tk)
+			case 1: // PushFront
+				tk := Task{ID: next}
+				next++
+				q.PushFront(tk)
+				model = append([]Task{tk}, model...)
+			case 2: // PopFront
+				got, ok := q.PopFront()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || got.ID != model[0].ID {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3: // PopBack
+				got, ok := q.PopBack()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || got.ID != model[len(model)-1].ID {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			case 4: // TakeBack(k)
+				k := rng.Intn(4)
+				got := q.TakeBack(k)
+				if k > len(model) {
+					k = len(model)
+				}
+				if len(got) != k {
+					return false
+				}
+				for i := 0; i < k; i++ {
+					if got[i].ID != model[len(model)-k+i].ID {
+						return false
+					}
+				}
+				model = model[:len(model)-k]
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

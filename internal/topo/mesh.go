@@ -1,0 +1,166 @@
+package topo
+
+import "fmt"
+
+// Mesh is an n1 x n2 two-dimensional mesh (no wraparound links).
+// Node (i,j) has id i*n2+j; i indexes rows, j indexes columns. This is
+// the topology of the paper's Intel Paragon and the one the Mesh
+// Walking Algorithm targets.
+type Mesh struct {
+	n1, n2 int // rows, columns
+}
+
+// NewMesh returns an n1 x n2 mesh. It panics if either dimension is
+// not positive; machine shapes are construction-time constants, so a
+// bad shape is a programming error, not a runtime condition.
+func NewMesh(n1, n2 int) *Mesh {
+	if n1 <= 0 || n2 <= 0 {
+		panic(fmt.Sprintf("topo: invalid mesh %dx%d", n1, n2))
+	}
+	return &Mesh{n1: n1, n2: n2}
+}
+
+// SquarishMesh returns a mesh of exactly n nodes shaped M x M when n is
+// a perfect square and M x M/2 otherwise, matching the mesh shapes used
+// in the paper's Figure 4 ("either M x M or M x M/2"). n must be a
+// power of four or twice a power of four (8, 16, 32, 64, 128, 256...).
+func SquarishMesh(n int) *Mesh {
+	if n <= 0 {
+		panic(fmt.Sprintf("topo: invalid mesh size %d", n))
+	}
+	m := 1
+	for m*m < n {
+		m++
+	}
+	if m*m == n {
+		return NewMesh(m, m)
+	}
+	// Try rows x cols with rows = cols*2 (e.g. 32 = 8x4).
+	c := 1
+	for 2*c*c < n {
+		c++
+	}
+	if 2*c*c == n {
+		return NewMesh(2*c, c)
+	}
+	panic(fmt.Sprintf("topo: %d nodes do not form an MxM or MxM/2 mesh", n))
+}
+
+// Rows returns the number of rows n1.
+func (m *Mesh) Rows() int { return m.n1 }
+
+// Cols returns the number of columns n2.
+func (m *Mesh) Cols() int { return m.n2 }
+
+// Size returns n1*n2.
+func (m *Mesh) Size() int { return m.n1 * m.n2 }
+
+// Coord returns the (row, col) coordinate of a node id.
+func (m *Mesh) Coord(id int) (i, j int) { return id / m.n2, id % m.n2 }
+
+// ID returns the node id of coordinate (i, j).
+func (m *Mesh) ID(i, j int) int { return i*m.n2 + j }
+
+// Neighbors returns the up/down/left/right neighbours that exist.
+func (m *Mesh) Neighbors(id int) []int {
+	i, j := m.Coord(id)
+	out := make([]int, 0, 4)
+	if i > 0 {
+		out = append(out, m.ID(i-1, j))
+	}
+	if i < m.n1-1 {
+		out = append(out, m.ID(i+1, j))
+	}
+	if j > 0 {
+		out = append(out, m.ID(i, j-1))
+	}
+	if j < m.n2-1 {
+		out = append(out, m.ID(i, j+1))
+	}
+	return out
+}
+
+// Dist returns the Manhattan distance between two nodes.
+func (m *Mesh) Dist(a, b int) int {
+	ai, aj := m.Coord(a)
+	bi, bj := m.Coord(b)
+	return abs(ai-bi) + abs(aj-bj)
+}
+
+// Name returns "mesh n1xn2".
+func (m *Mesh) Name() string { return fmt.Sprintf("mesh %dx%d", m.n1, m.n2) }
+
+// Torus is an n1 x n2 mesh with wraparound links in both dimensions.
+type Torus struct {
+	n1, n2 int
+}
+
+// NewTorus returns an n1 x n2 torus.
+func NewTorus(n1, n2 int) *Torus {
+	if n1 <= 0 || n2 <= 0 {
+		panic(fmt.Sprintf("topo: invalid torus %dx%d", n1, n2))
+	}
+	return &Torus{n1: n1, n2: n2}
+}
+
+// Rows returns the number of rows n1.
+func (t *Torus) Rows() int { return t.n1 }
+
+// Cols returns the number of columns n2.
+func (t *Torus) Cols() int { return t.n2 }
+
+// Size returns n1*n2.
+func (t *Torus) Size() int { return t.n1 * t.n2 }
+
+// Coord returns the (row, col) coordinate of a node id.
+func (t *Torus) Coord(id int) (i, j int) { return id / t.n2, id % t.n2 }
+
+// ID returns the node id of coordinate (i, j).
+func (t *Torus) ID(i, j int) int { return i*t.n2 + j }
+
+// Neighbors returns the four wraparound neighbours, deduplicated for
+// degenerate dimensions of size 1 or 2.
+func (t *Torus) Neighbors(id int) []int {
+	i, j := t.Coord(id)
+	cand := []int{
+		t.ID((i+t.n1-1)%t.n1, j),
+		t.ID((i+1)%t.n1, j),
+		t.ID(i, (j+t.n2-1)%t.n2),
+		t.ID(i, (j+1)%t.n2),
+	}
+	out := cand[:0]
+	for _, c := range cand {
+		if c == id {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Dist returns the wraparound Manhattan distance.
+func (t *Torus) Dist(a, b int) int {
+	ai, aj := t.Coord(a)
+	bi, bj := t.Coord(b)
+	di := abs(ai - bi)
+	if w := t.n1 - di; w < di {
+		di = w
+	}
+	dj := abs(aj - bj)
+	if w := t.n2 - dj; w < dj {
+		dj = w
+	}
+	return di + dj
+}
+
+// Name returns "torus n1xn2".
+func (t *Torus) Name() string { return fmt.Sprintf("torus %dx%d", t.n1, t.n2) }

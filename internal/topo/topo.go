@@ -1,0 +1,65 @@
+// Package topo defines the interconnect topologies of the simulated
+// distributed-memory machine: mesh, torus, binary tree, hypercube, and
+// ring. A Topology knows node adjacency and hop distances; the
+// simulator uses it to price messages, and the parallel scheduling
+// algorithms use it to plan task movement along physical links.
+//
+// Nodes are identified by a dense integer id in [0, N).
+package topo
+
+import "fmt"
+
+// Topology describes the interconnect of an N-node machine.
+type Topology interface {
+	// Size returns the number of nodes N.
+	Size() int
+	// Neighbors returns the ids of the nodes directly linked to id,
+	// in a deterministic order.
+	Neighbors(id int) []int
+	// Dist returns the minimum number of hops between two nodes.
+	Dist(a, b int) int
+	// Name returns a short human-readable description, e.g. "mesh 8x4".
+	Name() string
+}
+
+// Validate checks that id is a legal node id for t.
+func Validate(t Topology, id int) error {
+	if id < 0 || id >= t.Size() {
+		return fmt.Errorf("topo: node id %d out of range [0,%d)", id, t.Size())
+	}
+	return nil
+}
+
+// Diameter returns the maximum hop distance between any pair of nodes.
+// It is O(N^2) calls to Dist and intended for setup/reporting, not for
+// inner loops.
+func Diameter(t Topology) int {
+	d := 0
+	n := t.Size()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if h := t.Dist(a, b); h > d {
+				d = h
+			}
+		}
+	}
+	return d
+}
+
+// IsNeighbor reports whether b is adjacent to a in t.
+func IsNeighbor(t Topology, a, b int) bool {
+	for _, n := range t.Neighbors(a) {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}
+
+// abs returns the absolute value of x.
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,302 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// all topologies used across the generic tests below.
+func sampleTopologies() []Topology {
+	return []Topology{
+		NewMesh(1, 1), NewMesh(1, 8), NewMesh(8, 1), NewMesh(4, 4),
+		NewMesh(8, 4), NewMesh(16, 16), NewMesh(3, 5),
+		NewTorus(4, 4), NewTorus(2, 2), NewTorus(5, 3), NewTorus(1, 4),
+		NewTree(1), NewTree(2), NewTree(7), NewTree(31), NewTree(20),
+		NewHypercube(0), NewHypercube(1), NewHypercube(3), NewHypercube(5),
+		NewRing(1), NewRing(2), NewRing(3), NewRing(9),
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	for _, tp := range sampleTopologies() {
+		for a := 0; a < tp.Size(); a++ {
+			for _, b := range tp.Neighbors(a) {
+				if b < 0 || b >= tp.Size() {
+					t.Fatalf("%s: neighbor %d of %d out of range", tp.Name(), b, a)
+				}
+				if b == a {
+					t.Fatalf("%s: node %d is its own neighbor", tp.Name(), a)
+				}
+				if !IsNeighbor(tp, b, a) {
+					t.Fatalf("%s: %d->%d not symmetric", tp.Name(), a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborsDistinct(t *testing.T) {
+	for _, tp := range sampleTopologies() {
+		for a := 0; a < tp.Size(); a++ {
+			seen := map[int]bool{}
+			for _, b := range tp.Neighbors(a) {
+				if seen[b] {
+					t.Fatalf("%s: duplicate neighbor %d of %d", tp.Name(), b, a)
+				}
+				seen[b] = true
+			}
+		}
+	}
+}
+
+func TestDistMetricProperties(t *testing.T) {
+	for _, tp := range sampleTopologies() {
+		n := tp.Size()
+		if n > 64 {
+			continue // keep the O(n^3) triangle check cheap
+		}
+		for a := 0; a < n; a++ {
+			if d := tp.Dist(a, a); d != 0 {
+				t.Fatalf("%s: Dist(%d,%d)=%d, want 0", tp.Name(), a, a, d)
+			}
+			for b := 0; b < n; b++ {
+				dab := tp.Dist(a, b)
+				if dab != tp.Dist(b, a) {
+					t.Fatalf("%s: Dist not symmetric for %d,%d", tp.Name(), a, b)
+				}
+				if a != b && dab <= 0 {
+					t.Fatalf("%s: Dist(%d,%d)=%d, want >0", tp.Name(), a, b, dab)
+				}
+				for c := 0; c < n; c++ {
+					if dab > tp.Dist(a, c)+tp.Dist(c, b) {
+						t.Fatalf("%s: triangle inequality violated at %d,%d,%d", tp.Name(), a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDistMatchesBFS verifies Dist against a breadth-first search over
+// Neighbors, which ties the two halves of the interface together.
+func TestDistMatchesBFS(t *testing.T) {
+	for _, tp := range sampleTopologies() {
+		n := tp.Size()
+		for src := 0; src < n; src++ {
+			dist := make([]int, n)
+			for i := range dist {
+				dist[i] = -1
+			}
+			dist[src] = 0
+			queue := []int{src}
+			for len(queue) > 0 {
+				a := queue[0]
+				queue = queue[1:]
+				for _, b := range tp.Neighbors(a) {
+					if dist[b] < 0 {
+						dist[b] = dist[a] + 1
+						queue = append(queue, b)
+					}
+				}
+			}
+			for b := 0; b < n; b++ {
+				if dist[b] < 0 {
+					t.Fatalf("%s: node %d unreachable from %d", tp.Name(), b, src)
+				}
+				if got := tp.Dist(src, b); got != dist[b] {
+					t.Fatalf("%s: Dist(%d,%d)=%d, BFS says %d", tp.Name(), src, b, got, dist[b])
+				}
+			}
+		}
+	}
+}
+
+func TestMeshCoordRoundTrip(t *testing.T) {
+	m := NewMesh(8, 4)
+	for id := 0; id < m.Size(); id++ {
+		i, j := m.Coord(id)
+		if i < 0 || i >= m.Rows() || j < 0 || j >= m.Cols() {
+			t.Fatalf("Coord(%d) = (%d,%d) out of range", id, i, j)
+		}
+		if back := m.ID(i, j); back != id {
+			t.Fatalf("ID(Coord(%d)) = %d", id, back)
+		}
+	}
+}
+
+func TestMeshNeighborCounts(t *testing.T) {
+	m := NewMesh(4, 5)
+	counts := map[int]int{}
+	for id := 0; id < m.Size(); id++ {
+		counts[len(m.Neighbors(id))]++
+	}
+	// 4 corners with 2 neighbors, edges with 3, interior with 4.
+	if counts[2] != 4 {
+		t.Errorf("corner count = %d, want 4", counts[2])
+	}
+	if counts[3] != 2*(4-2)+2*(5-2) {
+		t.Errorf("edge count = %d, want %d", counts[3], 2*(4-2)+2*(5-2))
+	}
+	if counts[4] != (4-2)*(5-2) {
+		t.Errorf("interior count = %d, want %d", counts[4], (4-2)*(5-2))
+	}
+}
+
+func TestSquarishMesh(t *testing.T) {
+	cases := []struct{ n, rows, cols int }{
+		{8, 4, 2}, {16, 4, 4}, {32, 8, 4}, {64, 8, 8},
+		{128, 16, 8}, {256, 16, 16}, {4, 2, 2}, {2, 2, 1}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		m := SquarishMesh(c.n)
+		if m.Rows() != c.rows || m.Cols() != c.cols {
+			t.Errorf("SquarishMesh(%d) = %dx%d, want %dx%d", c.n, m.Rows(), m.Cols(), c.rows, c.cols)
+		}
+		if m.Size() != c.n {
+			t.Errorf("SquarishMesh(%d).Size() = %d", c.n, m.Size())
+		}
+	}
+}
+
+func TestSquarishMeshRejectsOddSizes(t *testing.T) {
+	for _, n := range []int{3, 6, 24, 48} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SquarishMesh(%d) did not panic", n)
+				}
+			}()
+			SquarishMesh(n)
+		}()
+	}
+}
+
+func TestTorusDistWraps(t *testing.T) {
+	tr := NewTorus(4, 4)
+	if d := tr.Dist(tr.ID(0, 0), tr.ID(3, 3)); d != 2 {
+		t.Errorf("torus corner distance = %d, want 2", d)
+	}
+	if d := tr.Dist(tr.ID(0, 0), tr.ID(2, 2)); d != 4 {
+		t.Errorf("torus center distance = %d, want 4", d)
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	tr := NewTree(7)
+	if p := tr.Parent(0); p != -1 {
+		t.Errorf("root parent = %d, want -1", p)
+	}
+	for id := 1; id < 7; id++ {
+		p := tr.Parent(id)
+		found := false
+		for _, c := range tr.Children(p) {
+			if c == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("node %d not among children of its parent %d", id, p)
+		}
+	}
+	if d := tr.Dist(3, 5); d != 4 {
+		t.Errorf("tree Dist(3,5) = %d, want 4", d)
+	}
+	if d := tr.Dist(3, 4); d != 2 {
+		t.Errorf("tree Dist(3,4) = %d, want 2", d)
+	}
+}
+
+func TestHypercubeProperties(t *testing.T) {
+	h := NewHypercube(4)
+	if h.Size() != 16 {
+		t.Fatalf("size = %d", h.Size())
+	}
+	for id := 0; id < 16; id++ {
+		nb := h.Neighbors(id)
+		if len(nb) != 4 {
+			t.Fatalf("node %d has %d neighbors", id, len(nb))
+		}
+		for _, b := range nb {
+			if h.Dist(id, b) != 1 {
+				t.Fatalf("neighbor %d of %d at distance %d", b, id, h.Dist(id, b))
+			}
+		}
+	}
+	// Hamming distance property under XOR translation, via testing/quick.
+	f := func(a, b, m uint8) bool {
+		x, y := int(a&15), int(b&15)
+		s := int(m & 15)
+		return h.Dist(x, y) == h.Dist(x^s, y^s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingDegenerate(t *testing.T) {
+	if n := NewRing(1).Neighbors(0); len(n) != 0 {
+		t.Errorf("ring 1 neighbors = %v", n)
+	}
+	if n := NewRing(2).Neighbors(0); len(n) != 1 || n[0] != 1 {
+		t.Errorf("ring 2 neighbors = %v", n)
+	}
+	if n := NewTorus(1, 4).Neighbors(0); len(n) != 2 {
+		t.Errorf("torus 1x4 neighbors = %v", n)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		t    Topology
+		want int
+	}{
+		{NewMesh(8, 4), 10},
+		{NewMesh(1, 1), 0},
+		{NewTorus(4, 4), 4},
+		{NewHypercube(5), 5},
+		{NewRing(9), 4},
+		{NewTree(15), 6},
+	}
+	for _, c := range cases {
+		if got := Diameter(c.t); got != c.want {
+			t.Errorf("Diameter(%s) = %d, want %d", c.t.Name(), got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := NewMesh(2, 2)
+	if err := Validate(m, 0); err != nil {
+		t.Errorf("Validate(0) = %v", err)
+	}
+	if err := Validate(m, 3); err != nil {
+		t.Errorf("Validate(3) = %v", err)
+	}
+	if err := Validate(m, 4); err == nil {
+		t.Error("Validate(4) = nil, want error")
+	}
+	if err := Validate(m, -1); err == nil {
+		t.Error("Validate(-1) = nil, want error")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewMesh(0, 4) },
+		func() { NewMesh(4, -1) },
+		func() { NewTorus(0, 1) },
+		func() { NewTree(0) },
+		func() { NewHypercube(-1) },
+		func() { NewRing(0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,173 @@
+package topo
+
+import "fmt"
+
+// Tree is a complete binary tree laid out in heap order: node 0 is the
+// root; the children of node i are 2i+1 and 2i+2. The Tree Walking
+// Algorithm (internal/sched/treewalk) schedules on this topology.
+type Tree struct {
+	n int
+}
+
+// NewTree returns a binary tree with n nodes.
+func NewTree(n int) *Tree {
+	if n <= 0 {
+		panic(fmt.Sprintf("topo: invalid tree size %d", n))
+	}
+	return &Tree{n: n}
+}
+
+// Size returns the number of nodes.
+func (t *Tree) Size() int { return t.n }
+
+// Parent returns the parent id of a node, or -1 for the root.
+func (t *Tree) Parent(id int) int {
+	if id == 0 {
+		return -1
+	}
+	return (id - 1) / 2
+}
+
+// Children returns the ids of the existing children of a node.
+func (t *Tree) Children(id int) []int {
+	out := make([]int, 0, 2)
+	if l := 2*id + 1; l < t.n {
+		out = append(out, l)
+	}
+	if r := 2*id + 2; r < t.n {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Neighbors returns parent then children.
+func (t *Tree) Neighbors(id int) []int {
+	out := make([]int, 0, 3)
+	if p := t.Parent(id); p >= 0 {
+		out = append(out, p)
+	}
+	return append(out, t.Children(id)...)
+}
+
+// depth returns the depth of a node (root = 0).
+func (t *Tree) depth(id int) int {
+	d := 0
+	for id > 0 {
+		id = (id - 1) / 2
+		d++
+	}
+	return d
+}
+
+// Dist returns the hop distance via the lowest common ancestor.
+func (t *Tree) Dist(a, b int) int {
+	da, db := t.depth(a), t.depth(b)
+	d := 0
+	for da > db {
+		a = (a - 1) / 2
+		da--
+		d++
+	}
+	for db > da {
+		b = (b - 1) / 2
+		db--
+		d++
+	}
+	for a != b {
+		a = (a - 1) / 2
+		b = (b - 1) / 2
+		d += 2
+	}
+	return d
+}
+
+// Name returns "tree N".
+func (t *Tree) Name() string { return fmt.Sprintf("tree %d", t.n) }
+
+// Hypercube is a d-dimensional hypercube with 2^d nodes; node ids are
+// the corner bit patterns and two nodes are adjacent iff their ids
+// differ in exactly one bit. The Dimension Exchange Method
+// (internal/sched/dem) schedules on this topology.
+type Hypercube struct {
+	dim int
+}
+
+// NewHypercube returns a hypercube with 2^dim nodes.
+func NewHypercube(dim int) *Hypercube {
+	if dim < 0 || dim > 30 {
+		panic(fmt.Sprintf("topo: invalid hypercube dimension %d", dim))
+	}
+	return &Hypercube{dim: dim}
+}
+
+// Dim returns the dimension d.
+func (h *Hypercube) Dim() int { return h.dim }
+
+// Size returns 2^d.
+func (h *Hypercube) Size() int { return 1 << h.dim }
+
+// Neighbors returns the d nodes differing from id in one bit, in
+// increasing dimension order.
+func (h *Hypercube) Neighbors(id int) []int {
+	out := make([]int, h.dim)
+	for k := 0; k < h.dim; k++ {
+		out[k] = id ^ (1 << k)
+	}
+	return out
+}
+
+// Dist returns the Hamming distance between the two ids.
+func (h *Hypercube) Dist(a, b int) int {
+	x := a ^ b
+	d := 0
+	for x != 0 {
+		x &= x - 1
+		d++
+	}
+	return d
+}
+
+// Name returns "hypercube d".
+func (h *Hypercube) Name() string { return fmt.Sprintf("hypercube %d", h.dim) }
+
+// Ring is a cycle of n nodes; node i links to (i±1) mod n. The async
+// baselines' token-based termination detection circulates on the ring
+// order regardless of topology, but Ring is also useful as a worst-case
+// interconnect in tests.
+type Ring struct {
+	n int
+}
+
+// NewRing returns a ring of n nodes.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		panic(fmt.Sprintf("topo: invalid ring size %d", n))
+	}
+	return &Ring{n: n}
+}
+
+// Size returns the number of nodes.
+func (r *Ring) Size() int { return r.n }
+
+// Neighbors returns the predecessor and successor on the cycle.
+func (r *Ring) Neighbors(id int) []int {
+	if r.n == 1 {
+		return nil
+	}
+	if r.n == 2 {
+		return []int{1 - id}
+	}
+	return []int{(id + r.n - 1) % r.n, (id + 1) % r.n}
+}
+
+// Dist returns the shorter way around the cycle.
+func (r *Ring) Dist(a, b int) int {
+	d := abs(a - b)
+	if w := r.n - d; w < d {
+		d = w
+	}
+	return d
+}
+
+// Name returns "ring N".
+func (r *Ring) Name() string { return fmt.Sprintf("ring %d", r.n) }

@@ -1,0 +1,277 @@
+// Package rips is a library implementation of Runtime Incremental
+// Parallel Scheduling (RIPS) — Wu & Shu, "High-Performance Incremental
+// Scheduling on Massively Parallel Computers: A Global Approach"
+// (SC'95) — together with the substrate the paper runs on: a
+// deterministic virtual-time simulator of a mesh-connected
+// distributed-memory machine, the Mesh Walking Algorithm and its
+// optimal min-cost-flow reference, and the dynamic load-balancing
+// baselines (randomized allocation, gradient model, receiver-initiated
+// diffusion) the paper compares against.
+//
+// The typical entry point is Run: define a workload as an App (a
+// deterministic task-parallel computation, possibly in several
+// globally-synchronized rounds), pick a machine size and a scheduling
+// Algorithm, and read off the paper's metrics — execution time,
+// overhead, idle time, locality, efficiency — from the Result.
+//
+//	queens := rips.NQueens(13)
+//	res, err := rips.Run(queens, rips.Config{Procs: 32})
+//	fmt.Printf("T=%v eff=%.0f%%\n", res.Time, 100*res.Efficiency)
+//
+// The full experiment harness that regenerates every table and figure
+// of the paper lives in cmd/ripsbench.
+package rips
+
+import (
+	"fmt"
+
+	"rips/internal/app"
+	"rips/internal/apps/gromos"
+	"rips/internal/apps/nqueens"
+	"rips/internal/apps/puzzle"
+	"rips/internal/dynsched"
+	"rips/internal/metrics"
+	"rips/internal/ripsrt"
+	"rips/internal/sim"
+	"rips/internal/topo"
+)
+
+// App is a deterministic task-parallel workload; see the app package
+// for the contract. Implement it to schedule your own computation, or
+// use the built-in workloads (NQueens, Puzzle15, MolecularDynamics).
+type App = app.App
+
+// Spawn is a task payload emitted by an App.
+type Spawn = app.Spawn
+
+// Profile is a sequential execution profile (Ts, per-round work).
+type Profile = app.Profile
+
+// Measure profiles an App sequentially; the result feeds efficiency
+// and optimal-efficiency computations.
+func Measure(a App) Profile { return app.Measure(a) }
+
+// Time is a span of virtual time in nanoseconds.
+type Time = sim.Time
+
+// Virtual-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Algorithm selects the scheduling strategy.
+type Algorithm int
+
+const (
+	// RIPS is runtime incremental parallel scheduling with the
+	// ANY-Lazy transfer policy (the paper's best combination).
+	RIPS Algorithm = iota
+	// Random is randomized allocation: every new task goes to a
+	// uniformly random processor.
+	Random
+	// Gradient is the gradient model: load diffuses hop-by-hop toward
+	// the nearest underloaded processor.
+	Gradient
+	// RID is receiver-initiated diffusion: underloaded processors
+	// request work from their most-loaded neighbour.
+	RID
+	// Static performs no load balancing at all: tasks execute where
+	// they are generated (for block-distributed workloads, this is the
+	// compile-time-only distribution the paper calls static
+	// scheduling). A useful lower bound showing why a balancer is
+	// needed at all.
+	Static
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case RIPS:
+		return "rips"
+	case Random:
+		return "random"
+	case Gradient:
+		return "gradient"
+	case RID:
+		return "rid"
+	case Static:
+		return "static"
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// Config describes one simulated run.
+type Config struct {
+	// Procs is the machine size; the mesh is shaped MxM or MxM/2 like
+	// the paper's. Set Rows/Cols instead for an explicit shape.
+	Procs      int
+	Rows, Cols int
+	// Topology selects the machine interconnect: "" or "mesh" (the
+	// paper's machine), "tree" (binary tree; RIPS uses Tree Walking
+	// Algorithm system phases) or "hypercube" (Procs must be a power of
+	// two; RIPS uses incremental Dimension Exchange system phases).
+	// Every Algorithm runs on every topology.
+	Topology string
+	// Algorithm selects the scheduler (default RIPS).
+	Algorithm Algorithm
+	// Eager switches RIPS to the two-queue eager local policy.
+	Eager bool
+	// All switches RIPS to the ALL global transfer policy.
+	All bool
+	// Periodic switches RIPS's transfer detection to the naive
+	// periodic global reduction at this interval (0 = event-driven).
+	Periodic Time
+	// ExactHypercube upgrades hypercube machines from incremental
+	// Dimension Exchange system phases to the exact Cube Walking
+	// Algorithm (balance within one task, like MWA on the mesh).
+	ExactHypercube bool
+	// RIDUpdateFactor overrides RID's load-update factor u
+	// (default 0.4, the paper's tuned value).
+	RIDUpdateFactor float64
+	// Seed makes runs reproducible; runs are deterministic per seed.
+	Seed int64
+}
+
+// Result carries the paper's measures for one run.
+type Result struct {
+	// Time is the parallel execution time T.
+	Time Time
+	// Overhead (Th) and Idle (Ti) are per-node averages.
+	Overhead, Idle Time
+	// Tasks is the number of tasks generated and executed.
+	Tasks int64
+	// Nonlocal is how many tasks executed away from their origin.
+	Nonlocal int64
+	// Phases is the number of RIPS system phases (0 for baselines).
+	Phases int64
+	// SeqTime is the sequential execution time Ts.
+	SeqTime Time
+	// Efficiency is Ts/(N*T); Speedup is Ts/T.
+	Efficiency, Speedup float64
+}
+
+// machine resolves the configured interconnect.
+func (c Config) machine() (topo.Topology, error) {
+	switch c.Topology {
+	case "", "mesh":
+		if c.Rows > 0 || c.Cols > 0 {
+			if c.Rows <= 0 || c.Cols <= 0 {
+				return nil, fmt.Errorf("rips: Rows and Cols must both be positive")
+			}
+			return topo.NewMesh(c.Rows, c.Cols), nil
+		}
+		if c.Procs <= 0 {
+			return nil, fmt.Errorf("rips: Config.Procs must be positive")
+		}
+		return topo.SquarishMesh(c.Procs), nil
+	case "tree":
+		if c.Procs <= 0 {
+			return nil, fmt.Errorf("rips: Config.Procs must be positive")
+		}
+		return topo.NewTree(c.Procs), nil
+	case "hypercube":
+		if c.Procs <= 0 || c.Procs&(c.Procs-1) != 0 {
+			return nil, fmt.Errorf("rips: hypercube needs a power-of-two Procs, got %d", c.Procs)
+		}
+		d := 0
+		for 1<<d < c.Procs {
+			d++
+		}
+		return topo.NewHypercube(d), nil
+	default:
+		return nil, fmt.Errorf("rips: unknown topology %q", c.Topology)
+	}
+}
+
+// Run executes the workload on the simulated machine and returns the
+// paper's metrics. The sequential profile is measured on the fly; use
+// RunProfiled to reuse a Profile across runs.
+func Run(a App, cfg Config) (Result, error) {
+	p := app.Measure(a)
+	return RunProfiled(a, p, cfg)
+}
+
+// RunProfiled is Run with a pre-computed sequential profile.
+func RunProfiled(a App, p Profile, cfg Config) (Result, error) {
+	mesh, err := cfg.machine()
+	if err != nil {
+		return Result{}, err
+	}
+	var out Result
+	out.SeqTime = p.Work
+	switch cfg.Algorithm {
+	case RIPS:
+		rc := ripsrt.Config{Topo: mesh, App: a, Seed: cfg.Seed}
+		if cfg.Eager {
+			rc.Local = ripsrt.Eager
+		}
+		if cfg.All {
+			rc.Global = ripsrt.All
+		}
+		if cfg.Periodic > 0 {
+			rc.Detector = ripsrt.Periodic
+			rc.Period = cfg.Periodic
+		}
+		rc.ExactCube = cfg.ExactHypercube
+		res, err := ripsrt.Run(rc)
+		if err != nil {
+			return Result{}, err
+		}
+		out.Time = res.Time
+		out.Overhead = res.Overhead
+		out.Idle = res.Idle
+		out.Tasks = res.Generated
+		out.Nonlocal = res.Nonlocal
+		out.Phases = res.Phases
+	case Random, Gradient, RID, Static:
+		dc := dynsched.Config{Topo: mesh, App: a, Seed: cfg.Seed}
+		switch cfg.Algorithm {
+		case Random:
+			dc.Strategy = dynsched.NewRandom()
+		case Gradient:
+			dc.Strategy = dynsched.NewGradient()
+		case Static:
+			dc.Strategy = dynsched.NewStatic()
+		default:
+			params := dynsched.DefaultRIDParams()
+			if cfg.RIDUpdateFactor > 0 {
+				params.U = cfg.RIDUpdateFactor
+			}
+			dc.Strategy = dynsched.NewRID(params)
+		}
+		res, err := dynsched.Run(dc)
+		if err != nil {
+			return Result{}, err
+		}
+		out.Time = res.Time
+		out.Overhead = res.Overhead
+		out.Idle = res.Idle
+		out.Tasks = res.Generated
+		out.Nonlocal = res.Nonlocal
+	default:
+		return Result{}, fmt.Errorf("rips: unknown algorithm %v", cfg.Algorithm)
+	}
+	out.Efficiency = metrics.Efficiency(p.Work, mesh.Size(), out.Time)
+	out.Speedup = metrics.Speedup(p.Work, out.Time)
+	return out, nil
+}
+
+// NQueens returns the paper's exhaustive N-Queens search workload
+// (counting all solutions of the n-queens problem), decomposed at the
+// paper's granularity.
+func NQueens(n int) App { return nqueens.New(n, 4) }
+
+// Puzzle15 returns one of the paper's three IDA* 15-puzzle
+// configurations (1, 2 or 3).
+func Puzzle15(config int) App {
+	cfgs := puzzle.Configs()
+	if config < 1 || config > len(cfgs) {
+		panic(fmt.Sprintf("rips: Puzzle15 config %d out of range 1..%d", config, len(cfgs)))
+	}
+	return cfgs[config-1]
+}
+
+// MolecularDynamics returns the GROMOS surrogate workload with the
+// given cutoff radius in Angstrom (the paper uses 8, 12 and 16).
+func MolecularDynamics(cutoffA float64) App { return gromos.New(cutoffA) }
