@@ -1,0 +1,121 @@
+// Command ripslint runs the project's static-analysis suite over the
+// module. It is stdlib-only (go/ast, go/parser, go/types) and checks
+// properties the compiler cannot: simulated-time determinism, dropped
+// errors, the bare-panic policy, and the scheduler packages'
+// conservation-test protocol. See internal/analysis for the analyzers
+// and the //ripslint:allow directive syntax.
+//
+// Usage:
+//
+//	go run ./cmd/ripslint ./...
+//	go run ./cmd/ripslint ./internal/sim ./internal/ripsrt
+//
+// Findings print one per line as file:line:col: [analyzer/check] msg;
+// the exit status is 1 if anything was found, 0 on a clean tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rips/internal/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ripslint [packages]\n\npackages are ./... or package directories; default ./...\n")
+		flag.PrintDefaults()
+	}
+	verbose := flag.Bool("v", false, "list analyzed packages")
+	flag.Parse()
+	if err := run(flag.Args(), *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "ripslint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(patterns []string, verbose bool) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	root, modPath, err := analysis.ModuleInfo(cwd)
+	if err != nil {
+		return err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	// Resolve patterns to module-relative package directories.
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(rel string) {
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" {
+				pat = "."
+			}
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return fmt.Errorf("package %s is outside module %s", pat, modPath)
+		}
+		if rel == "." {
+			rel = ""
+		}
+		if recursive {
+			sub, err := analysis.PackageDirs(root, rel)
+			if err != nil {
+				return err
+			}
+			for _, d := range sub {
+				add(d)
+			}
+		} else {
+			add(filepath.ToSlash(rel))
+		}
+	}
+
+	loader := analysis.NewLoader(root, modPath)
+	analyzers := analysis.All()
+	exit := 0
+	for _, rel := range dirs {
+		pkg, err := loader.Load(rel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ripslint: %v\n", err)
+			exit = 1
+			continue
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "ripslint: analyzing %s\n", pkg.Path)
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "ripslint: %s: type error: %v\n", pkg.Path, terr)
+			exit = 1
+		}
+		for _, f := range analysis.Run(pkg, analyzers) {
+			fmt.Println(f)
+			exit = 1
+		}
+	}
+	if exit != 0 {
+		os.Exit(1)
+	}
+	return nil
+}

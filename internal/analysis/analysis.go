@@ -1,0 +1,116 @@
+// Package analysis implements ripslint, the project's static-analysis
+// suite. Four analyzers machine-check properties the Go compiler
+// cannot see but RIPS correctness depends on:
+//
+//   - determinism: the simulation must be a pure function of its seed,
+//     so wall-clock reads, global math/rand state and map-iteration
+//     order are forbidden where scheduling decisions are made.
+//   - errcheck: silently dropped error returns in internal packages.
+//   - panicpolicy: library code must not reach for bare panic(...);
+//     bugs go through invariant.Violated (typed, greppable, testable)
+//     and conditions go through error returns.
+//   - phaseprotocol: every scheduler implementation package must carry
+//     a conservation/balance test referencing the exported balance
+//     entry points of internal/sched.
+//
+// Findings can be locally waived with a directive comment:
+//
+//	//ripslint:allow <check> <reason...>
+//
+// placed on the offending line or the line directly above it (for the
+// package-scoped phasetest check, anywhere in the package). The check
+// names are wallclock, rand, maporder, errdrop, panic and phasetest.
+// The suite is stdlib-only: go/ast + go/parser + go/types, no external
+// dependencies.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	// Analyzer is the emitting analyzer's name.
+	Analyzer string
+	// Check is the directive-addressable check name (e.g. "wallclock");
+	// one analyzer may own several checks.
+	Check string
+	// Pos locates the offending syntax.
+	Pos token.Position
+	// Msg describes the problem.
+	Msg string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s/%s] %s", f.Pos, f.Analyzer, f.Check, f.Msg)
+}
+
+// An Analyzer checks one property of a loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Applies reports whether the analyzer runs on a package, given its
+	// directory path relative to the module root ("" for the root
+	// package, "internal/sim", "cmd/ripslint", ...).
+	Applies func(rel string) bool
+	// Run inspects the package and reports findings through the pass.
+	Run func(p *Pass)
+}
+
+// All returns the full ripslint analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Errcheck, PanicPolicy, PhaseProtocol}
+}
+
+// Pass carries one loaded package through one analyzer.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding for check at pos unless a directive
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, check, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.suppressed(check, position) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer.Name,
+		Check:    check,
+		Pos:      position,
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every applicable analyzer to pkg and returns the
+// findings sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(pkg.Rel) {
+			continue
+		}
+		a.Run(&Pass{Pkg: pkg, analyzer: a, findings: &out})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// underDir reports whether rel is the directory dir or below it.
+func underDir(rel, dir string) bool {
+	return rel == dir || strings.HasPrefix(rel, dir+"/")
+}

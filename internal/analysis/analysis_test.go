@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden tests load each testdata package under a synthetic import
+// path (to exercise the analyzers' scoping rules) and check the
+// findings against // want "substr" comments: every want line must
+// produce a finding whose rendered form contains the substring, and
+// every finding must be covered by a want.
+
+// sharedLoader is reused across subtests so the source importer
+// type-checks each stdlib dependency once.
+var sharedLoader *Loader
+
+func TestMain(m *testing.M) {
+	root, modPath, err := ModuleInfo(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analysis_test:", err)
+		os.Exit(1)
+	}
+	sharedLoader = NewLoader(root, modPath)
+	os.Exit(m.Run())
+}
+
+func TestAnalyzersGolden(t *testing.T) {
+	cases := []struct {
+		dir       string // under testdata/src
+		path      string // synthetic import path
+		analyzers []*Analyzer
+	}{
+		{"determinism_bad", "rips/internal/sim/fake", []*Analyzer{Determinism}},
+		{"determinism_examples", "rips/examples/fake", []*Analyzer{Determinism}},
+		{"determinism_mapscope", "rips/internal/metricsfake", []*Analyzer{Determinism}},
+		{"errcheck_bad", "rips/internal/errfake", []*Analyzer{Errcheck}},
+		{"panicpolicy_bad", "rips/internal/panicfake", []*Analyzer{PanicPolicy}},
+		{"phaseproto_ok", "rips/internal/sched/fakealgo", []*Analyzer{PhaseProtocol}},
+		{"phaseproto_bad", "rips/internal/sched/badalgo", []*Analyzer{PhaseProtocol}},
+		{"phaseproto_waived", "rips/internal/sched/waived", []*Analyzer{PhaseProtocol}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", c.dir)
+			pkg, err := sharedLoader.LoadDir(dir, c.path)
+			if err != nil {
+				t.Fatalf("load %s: %v", dir, err)
+			}
+			for _, terr := range pkg.TypeErrors {
+				t.Errorf("type error in testdata: %v", terr)
+			}
+			checkGolden(t, dir, Run(pkg, c.analyzers))
+		})
+	}
+}
+
+// want is one expectation parsed from a // want "substr" comment.
+type want struct {
+	file string // base name
+	line int
+	sub  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]+)"`)
+
+// collectWants scans every .go file in dir for want comments.
+func collectWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*want
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				wants = append(wants, &want{file: e.Name(), line: i + 1, sub: m[1]})
+			}
+		}
+	}
+	return wants
+}
+
+// checkGolden matches findings against want comments both ways.
+func checkGolden(t *testing.T, dir string, findings []Finding) {
+	t.Helper()
+	wants := collectWants(t, dir)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.file == filepath.Base(f.Pos.Filename) && w.line == f.Pos.Line && strings.Contains(f.String(), w.sub) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.sub)
+		}
+	}
+}
+
+// TestRealPackagesClean runs the full suite over a couple of real,
+// dependency-light packages as an integration check: the committed
+// tree must be finding-free.
+func TestRealPackagesClean(t *testing.T) {
+	for _, rel := range []string{"internal/task", "internal/topo", "internal/invariant"} {
+		pkg, err := sharedLoader.Load(rel)
+		if err != nil {
+			t.Fatalf("load %s: %v", rel, err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("%s: type errors: %v", rel, pkg.TypeErrors)
+		}
+		for _, f := range Run(pkg, All()) {
+			t.Errorf("%s: unexpected finding: %s", rel, f)
+		}
+	}
+}
+
+// TestDirectiveScan checks the directive parser on the testdata tree:
+// the suppressions in determinism_bad must be visible as parsed
+// directives with their reasons intact.
+func TestDirectiveScan(t *testing.T) {
+	pkg, err := sharedLoader.LoadDir(filepath.Join("testdata", "src", "determinism_bad"), "rips/internal/sim/fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCheck := map[string]int{}
+	for _, d := range pkg.directives {
+		byCheck[d.check]++
+		if d.reason == "" {
+			t.Errorf("directive for %s at line %d has no reason", d.check, d.line)
+		}
+	}
+	if byCheck["maporder"] != 1 || byCheck["wallclock"] != 2 {
+		t.Errorf("parsed directives = %v, want 1 maporder and 2 wallclock", byCheck)
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the reproducibility contract of the simulated
+// runtime: a run must be a pure function of its configuration and
+// seed, or the paper's Table I/III numbers stop being reproducible.
+//
+// Checks:
+//
+//   - wallclock: calls into package time that read or depend on the
+//     wall clock (time.Now, time.Since, timers, ...). The simulator
+//     has its own virtual clock (sim.Time); wall-clock reads leak host
+//     timing into results. Benchmarks that genuinely measure host time
+//     annotate the call with //ripslint:allow wallclock.
+//   - rand: package-level math/rand functions, which draw from the
+//     process-global, unseeded (Go ≥1.20: randomly seeded) source.
+//     Deterministic code must thread a seeded *rand.Rand (rand.New,
+//     rand.NewSource are allowed for exactly that purpose; the
+//     simulator provides Node.Rand).
+//   - maporder: ranging over a map inside the scheduling core
+//     (internal/sim, internal/ripsrt, internal/sched/...), where
+//     iteration order is deliberately randomized by the runtime and
+//     must not influence any scheduling decision. Order-insensitive
+//     loops (commutative reductions) annotate with
+//     //ripslint:allow maporder.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads, global math/rand and map-iteration-order dependence in the simulation core",
+	Applies: func(rel string) bool {
+		// Examples are pedagogical host programs, outside the contract.
+		return !underDir(rel, "examples")
+	},
+	Run: runDeterminism,
+}
+
+// wallClockFuncs are the package time functions that read the host
+// clock or create host-time-driven events.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true, "Sleep": true,
+}
+
+// seededRandFuncs are the math/rand package-level functions that build
+// explicitly seeded generators rather than touching the global source.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// mapOrderScope lists the module-relative directories where scheduling
+// decisions live and map iteration order is therefore load-bearing.
+var mapOrderScope = []string{"internal/sim", "internal/ripsrt", "internal/sched"}
+
+func runDeterminism(p *Pass) {
+	inMapScope := false
+	for _, d := range mapOrderScope {
+		if underDir(p.Pkg.Rel, d) {
+			inMapScope = true
+			break
+		}
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				pkgPath, ok := importedPackage(p.Pkg.Info, n)
+				if !ok {
+					return true
+				}
+				// Only function references matter: type names like
+				// rand.Rand or time.Duration carry no global state.
+				if _, isFunc := p.Pkg.Info.Uses[n.Sel].(*types.Func); !isFunc {
+					return true
+				}
+				switch {
+				case pkgPath == "time" && wallClockFuncs[n.Sel.Name]:
+					p.Reportf(n.Pos(), "wallclock",
+						"time.%s reads the host clock; simulated code must use the virtual clock (sim.Time)", n.Sel.Name)
+				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !seededRandFuncs[n.Sel.Name]:
+					p.Reportf(n.Pos(), "rand",
+						"rand.%s draws from the global math/rand source; use a seeded *rand.Rand (e.g. sim.Node.Rand)", n.Sel.Name)
+				}
+			case *ast.RangeStmt:
+				if !inMapScope || n.X == nil {
+					return true
+				}
+				if tv, ok := p.Pkg.Info.Types[n.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						p.Reportf(n.Pos(), "maporder",
+							"map iteration order is randomized; scheduling code must not depend on it")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// importedPackage resolves a selector whose X is a package name,
+// returning the imported package path.
+func importedPackage(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

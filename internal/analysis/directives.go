@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //ripslint:allow comment.
+type directive struct {
+	file   string
+	line   int
+	check  string // "wallclock", "rand", "maporder", "errdrop", "panic", "phasetest"
+	reason string
+}
+
+// directivePrefix is the comment marker. The full syntax is
+//
+//	//ripslint:allow <check> [reason...]
+//
+// and the directive waives findings of that check on its own line and
+// on the line directly below (so it can ride at the end of the
+// offending line or stand alone above it).
+const directivePrefix = "ripslint:allow"
+
+// scanDirectives extracts every ripslint directive from the files.
+func scanDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, directivePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, directive{
+					file:   pos.Filename,
+					line:   pos.Line,
+					check:  fields[0],
+					reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a finding of the given check at pos is
+// waived by a directive. Package-scoped checks (phasetest) are waived
+// by a directive anywhere in the package.
+func (p *Package) suppressed(check string, pos token.Position) bool {
+	for _, d := range p.directives {
+		if d.check != check {
+			continue
+		}
+		if check == "phasetest" {
+			return true
+		}
+		if d.file == pos.Filename && (d.line == pos.Line || d.line+1 == pos.Line) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Errcheck flags statement-level calls in internal packages whose
+// error result is silently dropped. Assigning to _ is an explicit,
+// greppable decision and is allowed; a bare call statement hides the
+// drop. The fmt print family is excluded: its error returns concern
+// the underlying writer and the project only prints to stderr/trace
+// writers where a failed write has no recovery. Other intentional
+// drops annotate with //ripslint:allow errdrop <reason>.
+var Errcheck = &Analyzer{
+	Name:    "errcheck",
+	Doc:     "flag silently dropped error returns in internal packages",
+	Applies: func(rel string) bool { return underDir(rel, "internal") },
+	Run:     runErrcheck,
+}
+
+// errcheckExcluded lists callee packages whose dropped errors are
+// conventionally ignored.
+var errcheckExcluded = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+	},
+}
+
+func runErrcheck(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(info, call) || excludedCallee(info, call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "errdrop",
+				"call drops its error result; handle it, assign to _, or annotate //ripslint:allow errdrop")
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// excludedCallee reports whether the call target is on the
+// conventional-drop exclusion list.
+func excludedCallee(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgPath, ok := importedPackage(info, sel)
+	if !ok {
+		return false
+	}
+	ex, ok := errcheckExcluded[pkgPath]
+	return ok && ex[sel.Sel.Name]
+}

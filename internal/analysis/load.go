@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	// Path is the import path; Rel the directory relative to the module
+	// root ("" for the root package); Dir the absolute directory.
+	Path, Rel, Dir string
+	Fset           *token.FileSet
+	// Files are the build-selected non-test files, fully type-checked.
+	Files []*ast.File
+	// TestFiles are the package's *_test.go files (both the package's
+	// own and the external _test package), parsed but not type-checked;
+	// the phaseprotocol analyzer and directive scanning use them.
+	TestFiles []*ast.File
+	// Types and Info hold the type-check results for Files.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-check problems; analyzers degrade
+	// gracefully but the driver surfaces them.
+	TypeErrors []error
+
+	directives []directive
+}
+
+// Loader parses and type-checks packages of one module. It is
+// stdlib-only: module-internal imports resolve by path mapping under
+// the module root, standard-library imports through go/importer's
+// source importer. Loading is memoized; one Loader can serve many
+// packages cheaply.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+	Fset       *token.FileSet
+
+	std   types.ImporterFrom
+	pkgs  map[string]*Package
+	stack map[string]bool
+}
+
+// NewLoader returns a loader for the module rooted at moduleRoot with
+// the given module path.
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: moduleRoot,
+		ModulePath: modulePath,
+		Fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:       map[string]*Package{},
+		stack:      map[string]bool{},
+	}
+}
+
+// ModuleInfo reads go.mod starting at dir and walking upward,
+// returning the module root directory and module path.
+func ModuleInfo(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod found")
+		}
+		dir = parent
+	}
+}
+
+// Load loads the package in the directory rel (relative to the module
+// root), deriving its import path from the module path.
+func (l *Loader) Load(rel string) (*Package, error) {
+	path := l.ModulePath
+	if rel != "" && rel != "." {
+		path = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.LoadDir(filepath.Join(l.ModuleRoot, rel), path)
+}
+
+// LoadDir loads the package in dir under the given import path. Test
+// harnesses use it to load testdata trees under synthetic paths that
+// exercise the analyzers' scoping rules.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.stack[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.stack[path] = true
+	defer delete(l.stack, path)
+
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+
+	pkg := &Package{Path: path, Rel: rel, Dir: dir, Fset: l.Fset}
+	parse := func(names []string) ([]*ast.File, error) {
+		var files []*ast.File
+		sort.Strings(names)
+		for _, name := range names {
+			f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+	if pkg.Files, err = parse(append(append([]string{}, bp.GoFiles...), bp.CgoFiles...)); err != nil {
+		return nil, err
+	}
+	if pkg.TestFiles, err = parse(append(append([]string{}, bp.TestGoFiles...), bp.XTestGoFiles...)); err != nil {
+		return nil, err
+	}
+	pkg.directives = scanDirectives(l.Fset, append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...))
+
+	pkg.Info = &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(path, l.Fset, pkg.Files, pkg.Info)
+
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer for the type-checker: module
+// packages load recursively through this loader, everything else is
+// standard library served from source.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		p, err := l.LoadDir(filepath.Join(l.ModuleRoot, rel), path)
+		if err != nil {
+			return nil, err
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("analysis: no type information for %s", path)
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// PackageDirs walks the module tree below root and returns the
+// directories (relative to the module root) that contain buildable Go
+// packages, skipping testdata, vendor, hidden directories and the
+// module's own .git.
+func PackageDirs(moduleRoot, below string) ([]string, error) {
+	var out []string
+	start := filepath.Join(moduleRoot, below)
+	err := filepath.WalkDir(start, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != start && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, err := filepath.Rel(moduleRoot, p)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					rel = ""
+				}
+				out = append(out, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}

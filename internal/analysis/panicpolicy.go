@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicPolicy forbids bare panic(...) in library packages. A detected
+// bug should raise a typed *invariant.Violation via
+// invariant.Violated — distinguishable from incidental panics in
+// recover handlers and greppable as policy — and an expected runtime
+// condition should be a returned error. The internal/invariant package
+// itself (which implements the sanctioned panic) is exempt, as are
+// control-flow panics explicitly annotated
+// //ripslint:allow panic <reason>.
+var PanicPolicy = &Analyzer{
+	Name: "panicpolicy",
+	Doc:  "forbid bare panic(...) in library packages; use invariant.Violated or a typed error",
+	Applies: func(rel string) bool {
+		return underDir(rel, "internal") && rel != "internal/invariant"
+	},
+	Run: runPanicPolicy,
+}
+
+func runPanicPolicy(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// Confirm it is the builtin, not a shadowing function.
+			if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			p.Reportf(call.Pos(), "panic",
+				"bare panic in library package; call invariant.Violated, return a typed error, or annotate //ripslint:allow panic <reason>")
+			return true
+		})
+	}
+}

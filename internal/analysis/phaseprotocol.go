@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// PhaseProtocol requires every scheduler implementation package
+// (internal/sched/<algo>) to carry a conservation/balance test: a
+// *_test.go file referencing the exported balance entry points of
+// internal/sched — sched.CheckBalanced (Theorem 1's within-one check)
+// or sched.Sum (task conservation). The system-phase protocol rests on
+// these properties; an algorithm package without such a test can drift
+// silently. Waivable package-wide with //ripslint:allow phasetest.
+var PhaseProtocol = &Analyzer{
+	Name:    "phaseprotocol",
+	Doc:     "require scheduler packages to carry a conservation/balance test",
+	Applies: func(rel string) bool { return schedPkgRE.MatchString(rel) },
+	Run:     runPhaseProtocol,
+}
+
+// schedPkgRE matches direct subpackages of internal/sched — the
+// scheduler implementations (the parent package defines the vocabulary
+// and carries its own tests).
+var schedPkgRE = regexp.MustCompile(`^internal/sched/[^/]+$`)
+
+// balanceEntryPoints are the exported names of internal/sched that a
+// conservation/balance test must reference (as sched.<name>).
+var balanceEntryPoints = map[string]bool{"CheckBalanced": true, "Sum": true}
+
+func runPhaseProtocol(p *Pass) {
+	for _, f := range p.Pkg.TestFiles {
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "sched" && balanceEntryPoints[sel.Sel.Name] {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return
+		}
+	}
+	pos := token.NoPos
+	if len(p.Pkg.Files) > 0 {
+		pos = p.Pkg.Files[0].Package
+	}
+	p.Reportf(pos, "phasetest",
+		"scheduler package %s has no conservation/balance test referencing sched.CheckBalanced or sched.Sum", p.Pkg.Path)
+}

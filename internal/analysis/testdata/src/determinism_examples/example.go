@@ -1,0 +1,17 @@
+// Package example is ripslint test data. Loaded under the synthetic
+// import path rips/examples/fake: examples are pedagogical host
+// programs, so the determinism analyzer must not apply at all.
+package example
+
+import (
+	"math/rand"
+	"time"
+)
+
+func HostClock() time.Time {
+	return time.Now()
+}
+
+func HostDice() int {
+	return rand.Intn(6)
+}

@@ -1,0 +1,21 @@
+// Package metricsfake is ripslint test data. Loaded under the
+// synthetic import path rips/internal/metricsfake: inside the module
+// (wallclock and rand apply) but outside the scheduling core, so map
+// iteration order is not a finding.
+package metricsfake
+
+import "math/rand"
+
+// Histogram ranges over a map outside internal/sim, internal/ripsrt
+// and internal/sched: allowed without a directive.
+func Histogram(buckets map[string]int) int {
+	n := 0
+	for range buckets {
+		n++
+	}
+	return n
+}
+
+func Jitter() int64 {
+	return rand.Int63() // want "global math/rand"
+}

@@ -1,0 +1,36 @@
+// Package errfake is ripslint test data for the errcheck analyzer,
+// loaded under the synthetic import path rips/internal/errfake.
+package errfake
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+func fail() error { return errors.New("boom") }
+
+func parse(s string) (int, error) { return strconv.Atoi(s) }
+
+func clean() int { return 0 }
+
+func Drop() {
+	fail()     // want "drops its error"
+	parse("7") // want "drops its error"
+
+	// Explicit discard is a visible, greppable decision: allowed.
+	_ = fail()
+
+	// Handling the error: allowed.
+	if _, err := parse("7"); err != nil {
+		fmt.Println(err)
+	}
+
+	// fmt print family is conventionally excluded.
+	fmt.Println("ok")
+
+	// No error in the results: nothing to drop.
+	clean()
+
+	fail() //ripslint:allow errdrop best-effort cleanup
+}

@@ -1,0 +1,19 @@
+// Package panicfake is ripslint test data for the panicpolicy
+// analyzer, loaded under the synthetic import path
+// rips/internal/panicfake.
+package panicfake
+
+func Explode() {
+	panic("boom") // want "bare panic"
+}
+
+func Unwind() {
+	panic("abort") //ripslint:allow panic control-flow: unwinds worker
+}
+
+// Shadowed calls a local function named panic, not the builtin; the
+// analyzer must resolve the identifier through go/types, not by name.
+func Shadowed() {
+	panic := func(v interface{}) { _ = v }
+	panic("not the builtin")
+}

@@ -1,0 +1,7 @@
+// Package badalgo is ripslint test data: a scheduler implementation
+// package (synthetic path rips/internal/sched/badalgo) whose test file
+// never touches the balance entry points.
+package badalgo // want "conservation/balance test"
+
+// Plan is a stand-in scheduler entry point.
+func Plan(w []int) []int { return w }

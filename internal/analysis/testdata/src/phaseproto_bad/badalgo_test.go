@@ -1,0 +1,11 @@
+package badalgo
+
+import "testing"
+
+// A test exists, but it never references sched.CheckBalanced or
+// sched.Sum, so the package still violates the phase protocol.
+func TestPlanLength(t *testing.T) {
+	if len(Plan([]int{1, 2})) != 2 {
+		t.Fatal("length changed")
+	}
+}

@@ -1,0 +1,8 @@
+// Package fakealgo is ripslint test data for the phaseprotocol
+// analyzer, loaded under the synthetic import path
+// rips/internal/sched/fakealgo. Its test file references
+// sched.CheckBalanced, satisfying the protocol.
+package fakealgo
+
+// Plan is a stand-in scheduler entry point.
+func Plan(w []int) []int { return w }

@@ -1,0 +1,17 @@
+package fakealgo
+
+// Test files are parsed but not type-checked by the loader, so this
+// import needs only to be syntactically plausible.
+
+import (
+	"testing"
+
+	"rips/internal/sched"
+)
+
+func TestPlanBalanced(t *testing.T) {
+	w := []int{3, 1, 2}
+	if !sched.CheckBalanced(Plan(w), 6) {
+		t.Fatal("plan not balanced within one")
+	}
+}

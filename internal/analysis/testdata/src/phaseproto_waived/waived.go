@@ -1,0 +1,9 @@
+// Package waived is ripslint test data: a scheduler implementation
+// package (synthetic path rips/internal/sched/waived) with no balance
+// test, waived by the package-scoped phasetest directive below.
+package waived
+
+//ripslint:allow phasetest pedagogical stub, no balance contract yet
+
+// Plan is a stand-in scheduler entry point.
+func Plan(w []int) []int { return w }

@@ -13,8 +13,7 @@
 package app
 
 import (
-	"fmt"
-
+	"rips/internal/invariant"
 	"rips/internal/sim"
 )
 
@@ -110,7 +109,7 @@ func Measure(a App) Profile {
 // global synchronization.
 func (p Profile) OptimalTime(n int) sim.Time {
 	if n <= 0 {
-		panic(fmt.Sprintf("app: OptimalTime on %d processors", n))
+		invariant.Violated("app: OptimalTime on %d processors", n)
 	}
 	var t sim.Time
 	for _, r := range p.Rounds {

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 
 	"rips/internal/app"
+	"rips/internal/invariant"
 	"rips/internal/sim"
 )
 
@@ -61,7 +62,7 @@ type App struct {
 // given cutoff radius in Angstrom.
 func New(cutoff float64) *App {
 	if cutoff <= 0 {
-		panic(fmt.Sprintf("gromos: cutoff %v out of range", cutoff))
+		invariant.Violated("gromos: cutoff %v out of range", cutoff)
 	}
 	a := &App{
 		name:    fmt.Sprintf("gromos %gA", cutoff),
@@ -149,7 +150,7 @@ func (a *App) buildGroups() {
 		start += size
 	}
 	if start != NumAtoms {
-		panic("gromos: group partition does not cover all atoms")
+		invariant.Violated("gromos: group partition does not cover all atoms")
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"rips/internal/app"
+	"rips/internal/invariant"
 	"rips/internal/sim"
 )
 
@@ -42,7 +43,7 @@ type Gauss struct {
 // the given row-block size per task.
 func NewGauss(n, block int) *Gauss {
 	if n < 2 || block < 1 {
-		panic(fmt.Sprintf("kernels: bad gauss parameters n=%d block=%d", n, block))
+		invariant.Violated("kernels: bad gauss parameters n=%d block=%d", n, block)
 	}
 	return &Gauss{n: n, block: block}
 }
@@ -93,7 +94,7 @@ type FFT struct {
 // NewFFT returns the transform workload for 2^logN points.
 func NewFFT(logN, block int) *FFT {
 	if logN < 1 || logN > 30 || block < 1 {
-		panic(fmt.Sprintf("kernels: bad fft parameters logN=%d block=%d", logN, block))
+		invariant.Violated("kernels: bad fft parameters logN=%d block=%d", logN, block)
 	}
 	return &FFT{logN: logN, block: block}
 }
@@ -148,7 +149,7 @@ const refineFactor = 8
 // given number of levels.
 func NewMultigrid(n, levels, block int) *Multigrid {
 	if n < 2 || n&(n-1) != 0 || levels < 1 || block < 1 || n>>(levels-1) < 2 {
-		panic(fmt.Sprintf("kernels: bad multigrid parameters n=%d levels=%d block=%d", n, levels, block))
+		invariant.Violated("kernels: bad multigrid parameters n=%d levels=%d block=%d", n, levels, block)
 	}
 	return &Multigrid{n: n, levels: levels, block: block}
 }

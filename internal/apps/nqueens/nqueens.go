@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"rips/internal/app"
+	"rips/internal/invariant"
 	"rips/internal/sim"
 )
 
@@ -46,10 +47,10 @@ type App struct {
 // (thousands for N = 13..15). New panics on unusable parameters.
 func New(n, splitDepth int) *App {
 	if n < 1 || n > 20 {
-		panic(fmt.Sprintf("nqueens: board size %d out of range", n))
+		invariant.Violated("nqueens: board size %d out of range", n)
 	}
 	if splitDepth < 0 || splitDepth > n {
-		panic(fmt.Sprintf("nqueens: split depth %d out of range for n=%d", splitDepth, n))
+		invariant.Violated("nqueens: split depth %d out of range for n=%d", splitDepth, n)
 	}
 	return &App{n: n, split: splitDepth}
 }
@@ -114,7 +115,7 @@ func count(full, cols, ld, rd uint32) (solutions, nodes uint64) {
 // n-queens problem; it is the ground truth the tests validate against.
 func Count(n int) (solutions, nodes uint64) {
 	if n < 1 || n > 20 {
-		panic(fmt.Sprintf("nqueens: board size %d out of range", n))
+		invariant.Violated("nqueens: board size %d out of range", n)
 	}
 	return count(uint32(1<<n)-1, 0, 0, 0)
 }

@@ -14,10 +14,10 @@
 package puzzle
 
 import (
-	"fmt"
 	"math/rand"
 
 	"rips/internal/app"
+	"rips/internal/invariant"
 	"rips/internal/sim"
 )
 
@@ -48,7 +48,7 @@ func (b *Board) setTile(p, t int8) {
 // Goal returns the solved board: tiles 1..w*w-1 in order, blank last.
 func Goal(width int) Board {
 	if width < 2 || width > 4 {
-		panic(fmt.Sprintf("puzzle: width %d out of range", width))
+		invariant.Violated("puzzle: width %d out of range", width)
 	}
 	b := Board{width: int8(width)}
 	n := int8(width * width)
@@ -181,7 +181,7 @@ type App struct {
 // the paper's low-millisecond range across all iterations.
 func New(name string, start Board, budget int) *App {
 	if budget < 0 {
-		panic("puzzle: negative split budget")
+		invariant.Violated("puzzle: negative split budget")
 	}
 	a := &App{name: name, start: start, budget: budget}
 	h := int16(start.manhattan())
@@ -194,7 +194,7 @@ func New(name string, start Board, budget int) *App {
 			break
 		}
 		if next == maxF {
-			panic("puzzle: search space exhausted without a solution (unsolvable board?)")
+			invariant.Violated("puzzle: search space exhausted without a solution (unsolvable board?)")
 		}
 		bound = next
 	}

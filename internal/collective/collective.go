@@ -10,8 +10,7 @@
 package collective
 
 import (
-	"fmt"
-
+	"rips/internal/invariant"
 	"rips/internal/sim"
 )
 
@@ -137,7 +136,7 @@ func (c *Comm) ReduceVec(root int, value []int64, op Op) []int64 {
 		m := c.Node.RecvFrom(children[i], c.TagBase+tagUp)
 		v := m.Data.([]int64)
 		if len(v) != len(acc) {
-			panic(fmt.Sprintf("collective: ReduceVec length mismatch %d vs %d", len(v), len(acc)))
+			invariant.Violated("collective: ReduceVec length mismatch %d vs %d", len(v), len(acc))
 		}
 		for j := range acc {
 			acc[j] = op(acc[j], v[j])

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"rips/internal/app"
+	"rips/internal/invariant"
 	"rips/internal/sim"
 	"rips/internal/task"
 	"rips/internal/topo"
@@ -187,7 +188,7 @@ func (c *Ctx) Enqueue(t task.Task) {
 // bundles as negative replies).
 func (c *Ctx) SendTasks(to int, ts []task.Task) {
 	if to == c.N.ID() {
-		panic("dynsched: SendTasks to self")
+		invariant.Violated("dynsched: SendTasks to self")
 	}
 	c.N.Overhead(c.cfg.PerTask * sim.Time(len(ts)))
 	c.N.Count(CounterMigrated, int64(len(ts)))
@@ -309,7 +310,7 @@ func (c *Ctx) handle(m sim.Message) bool {
 	case TagLoad, TagRequest:
 		c.strat.OnMessage(c, m)
 	default:
-		panic(fmt.Sprintf("dynsched: unexpected tag %d", m.Tag))
+		invariant.Violated("dynsched: unexpected tag %d", m.Tag)
 	}
 	return false
 }

@@ -1,6 +1,7 @@
 package dynsched
 
 import (
+	"rips/internal/invariant"
 	"rips/internal/sim"
 	"rips/internal/task"
 )
@@ -136,7 +137,8 @@ func (g *gradientStrategy) indexOf(id int) int {
 			return i
 		}
 	}
-	panic("dynsched: message from non-neighbor")
+	invariant.Violated("dynsched: message from non-neighbor")
+	return -1
 }
 
 // ------------------------------------------------------------------- rid
@@ -261,7 +263,8 @@ func (r *ridStrategy) indexOf(id int) int {
 			return i
 		}
 	}
-	panic("dynsched: message from non-neighbor")
+	invariant.Violated("dynsched: message from non-neighbor")
+	return -1
 }
 
 // ---------------------------------------------------------------- static

@@ -9,6 +9,7 @@ import (
 	"rips/internal/apps/kernels"
 	"rips/internal/apps/nqueens"
 	"rips/internal/dynsched"
+	"rips/internal/invariant"
 	"rips/internal/metrics"
 	"rips/internal/ripsrt"
 	"rips/internal/sched/flow"
@@ -43,13 +44,13 @@ func Fig4(procs, weights []int, cases int, seed int64) []Fig4Point {
 				}
 				r, err := mwa.Plan(mesh, load)
 				if err != nil {
-					panic(err) // impossible for non-negative loads
+					invariant.Violated("%v", err) // impossible for non-negative loads
 				}
 				// Optimal routing to the same quotas MWA targets (see
 				// flow.CostTo for why not the free-placement optimum).
 				opt, err := flow.CostTo(mesh, load, r.Quota)
 				if err != nil {
-					panic(err)
+					invariant.Violated("%v", err)
 				}
 				pt.MWACost += r.Plan.Cost()
 				pt.Opt += opt

@@ -1,0 +1,9 @@
+//go:build noinvariants
+
+package invariant
+
+// compiled is false under -tags noinvariants: every gated check in
+// this package short-circuits on a constant and is dead-code
+// eliminated. Violated remains active — it reports bugs already
+// detected, not speculative checks.
+const compiled = false

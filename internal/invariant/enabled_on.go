@@ -1,0 +1,9 @@
+//go:build !noinvariants
+
+package invariant
+
+// compiled reports whether gated checks were compiled in. The default
+// build keeps them; -tags noinvariants flips this file out for
+// enabled_off.go and the guard becomes a constant the compiler can
+// eliminate along with every gated call.
+const compiled = true

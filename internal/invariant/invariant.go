@@ -1,0 +1,157 @@
+// Package invariant turns the paper's correctness theorems into
+// executed runtime checks. The RIPS runtime and the pure scheduling
+// planners call these assertions at their phase boundaries:
+//
+//   - Conserved — task conservation across a system phase (no task is
+//     created or destroyed by scheduling).
+//   - BalancedWithinOne — Theorem 1: after a balancing phase every node
+//     holds floor(T/N) tasks, plus one if its id is below T mod N.
+//   - Locality — Theorem 2: a node never exports more of its own
+//     resident tasks than its surplus over quota; in-transit tasks are
+//     forwarded first, so locality is maximal.
+//
+// Checks are cheap (O(1) comparisons at call sites that already hold
+// the operands) and doubly gated:
+//
+//   - Build tag: compiling with -tags noinvariants removes every gated
+//     check; the guard collapses to a constant false and the calls are
+//     dead-code eliminated.
+//   - Environment: RIPS_INVARIANTS=0 (or "off"/"false") disables gated
+//     checks at startup without recompiling. Any other value — or an
+//     unset variable — leaves them on, so every `go test` run executes
+//     them.
+//
+// Violated is NOT gated: it is the project's sanctioned replacement for
+// bare panic(...) in library code (see the ripslint panicpolicy
+// analyzer) and reports a bug unconditionally, with a typed *Violation
+// value that tests and callers can distinguish from incidental panics.
+package invariant
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// Violation is the panic value raised by every assertion in this
+// package. Recovering code can type-switch on *Violation to tell a
+// checked invariant failure from an unrelated panic.
+type Violation struct {
+	// Msg describes the violated invariant, with operands.
+	Msg string
+}
+
+func (v *Violation) Error() string { return "invariant violated: " + v.Msg }
+
+func (v *Violation) String() string { return v.Error() }
+
+// enabled caches the runtime toggle: 0 unresolved, 1 on, 2 off.
+var enabled atomic.Int32
+
+// Enabled reports whether gated checks run. It is false when the
+// binary was built with -tags noinvariants, or when RIPS_INVARIANTS is
+// set to "0", "off" or "false" in the environment.
+func Enabled() bool {
+	if !compiled {
+		return false
+	}
+	switch enabled.Load() {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	on := true
+	switch os.Getenv("RIPS_INVARIANTS") {
+	case "0", "off", "false":
+		on = false
+	}
+	if on {
+		enabled.Store(1)
+	} else {
+		enabled.Store(2)
+	}
+	return on
+}
+
+// SetEnabled overrides the environment toggle (tests use it to
+// exercise both sides of the gate) and returns a restore function. It
+// cannot re-enable checks compiled out with -tags noinvariants.
+func SetEnabled(on bool) (restore func()) {
+	prev := enabled.Load()
+	if on {
+		enabled.Store(1)
+	} else {
+		enabled.Store(2)
+	}
+	return func() { enabled.Store(prev) }
+}
+
+// Violated reports an invariant violation unconditionally: it panics
+// with a *Violation. It is the sanctioned replacement for bare
+// panic(...) in library packages — reaching it means a bug has already
+// been detected, so it is never gated.
+func Violated(format string, args ...any) {
+	panic(&Violation{Msg: fmt.Sprintf(format, args...)})
+}
+
+// Check panics with a *Violation when cond is false. It is gated: a
+// disabled build or environment skips the check entirely, so callers
+// may use it on hot paths.
+func Check(cond bool, format string, args ...any) {
+	if !Enabled() || cond {
+		return
+	}
+	Violated(format, args...)
+}
+
+// Conserved asserts task conservation: the task count after a
+// scheduling step must equal the count before it. what names the step
+// for the failure message.
+func Conserved(before, after int, what string) {
+	if !Enabled() || before == after {
+		return
+	}
+	Violated("%s: task conservation broken: %d before, %d after", what, before, after)
+}
+
+// BalancedWithinOne asserts Theorem 1 for one node: after a balancing
+// phase over n nodes holding total tasks globally, node id must hold
+// exactly floor(total/n) tasks, plus one if id < total mod n. This is
+// strictly stronger than "within one of the average": it pins the
+// remainder distribution the Mesh Walking Algorithm guarantees.
+func BalancedWithinOne(got, total, n, id int, what string) {
+	if !Enabled() {
+		return
+	}
+	if n <= 0 {
+		Violated("%s: balance check over %d nodes", what, n)
+	}
+	quota := total / n
+	if id < total%n {
+		quota++
+	}
+	if got != quota {
+		Violated("%s: node %d holds %d tasks after balancing, quota %d (total %d over %d nodes)",
+			what, id, got, quota, total, n)
+	}
+}
+
+// Locality asserts Theorem 2 for one node and one system phase: the
+// number of the node's own resident tasks it exported must not exceed
+// its surplus over quota (max(0, surplus)). Exporting more would mean
+// a resident task was displaced by a forwarded one — exactly the
+// locality loss the walking algorithms' export recurrence rules out.
+func Locality(ownExported, surplus int, what string) {
+	if !Enabled() {
+		return
+	}
+	limit := surplus
+	if limit < 0 {
+		limit = 0
+	}
+	if ownExported > limit {
+		Violated("%s: exported %d resident tasks with surplus %d — locality (Theorem 2) broken",
+			what, ownExported, surplus)
+	}
+}

@@ -1,0 +1,125 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+// catch runs f and returns the *Violation it panicked with, or nil if
+// it returned normally. Any other panic value fails the test.
+func catch(t *testing.T, f func()) (v *Violation) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		var ok bool
+		v, ok = r.(*Violation)
+		if !ok {
+			t.Fatalf("panic value %T (%v), want *Violation", r, r)
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestViolatedAlwaysPanicsTyped(t *testing.T) {
+	defer SetEnabled(false)() // even with gated checks off
+	v := catch(t, func() { Violated("node %d broke", 3) })
+	if v == nil {
+		t.Fatal("Violated did not panic")
+	}
+	if !strings.Contains(v.Error(), "node 3 broke") {
+		t.Errorf("message %q lacks operands", v.Error())
+	}
+}
+
+// skipIfCompiledOut skips tests of gated checks under -tags
+// noinvariants, where SetEnabled(true) cannot re-enable them.
+func skipIfCompiledOut(t *testing.T) {
+	t.Helper()
+	if !compiled {
+		t.Skip("gated checks compiled out with -tags noinvariants")
+	}
+}
+
+func TestCheckGating(t *testing.T) {
+	skipIfCompiledOut(t)
+	restore := SetEnabled(true)
+	defer restore()
+	if catch(t, func() { Check(true, "fine") }) != nil {
+		t.Error("Check(true) violated")
+	}
+	if catch(t, func() { Check(false, "broken %s", "thing") }) == nil {
+		t.Error("Check(false) did not violate while enabled")
+	}
+	SetEnabled(false)
+	if catch(t, func() { Check(false, "broken") }) != nil {
+		t.Error("Check(false) violated while disabled")
+	}
+}
+
+func TestConserved(t *testing.T) {
+	skipIfCompiledOut(t)
+	defer SetEnabled(true)()
+	if catch(t, func() { Conserved(7, 7, "phase") }) != nil {
+		t.Error("equal counts violated")
+	}
+	v := catch(t, func() { Conserved(7, 6, "mesh phase") })
+	if v == nil {
+		t.Fatal("lost task not caught")
+	}
+	if !strings.Contains(v.Msg, "mesh phase") || !strings.Contains(v.Msg, "7") {
+		t.Errorf("unhelpful message %q", v.Msg)
+	}
+}
+
+// TestBalancedWithinOneCatchesViolation is the required demonstration
+// that a deliberately unbalanced outcome is caught: 10 tasks over 4
+// nodes give quotas (3,3,2,2); a node 0 holding 4 violates Theorem 1.
+func TestBalancedWithinOneCatchesViolation(t *testing.T) {
+	skipIfCompiledOut(t)
+	defer SetEnabled(true)()
+	// The exact quota assignment: total=10, n=4, rem=2.
+	for id, quota := range []int{3, 3, 2, 2} {
+		if catch(t, func() { BalancedWithinOne(quota, 10, 4, id, "test") }) != nil {
+			t.Errorf("node %d with quota %d flagged", id, quota)
+		}
+	}
+	v := catch(t, func() { BalancedWithinOne(4, 10, 4, 0, "test") })
+	if v == nil {
+		t.Fatal("node holding quota+1 not caught")
+	}
+	// "Within one of the average" is not enough: node 2's quota is 2,
+	// so holding 3 (still within one of avg 2.5) must be caught too —
+	// the remainder assignment is part of the theorem.
+	if catch(t, func() { BalancedWithinOne(3, 10, 4, 2, "test") }) == nil {
+		t.Fatal("misassigned remainder not caught")
+	}
+}
+
+func TestLocality(t *testing.T) {
+	skipIfCompiledOut(t)
+	defer SetEnabled(true)()
+	if catch(t, func() { Locality(3, 3, "phase") }) != nil {
+		t.Error("export == surplus flagged")
+	}
+	if catch(t, func() { Locality(0, -5, "phase") }) != nil {
+		t.Error("deficit node exporting nothing flagged")
+	}
+	if catch(t, func() { Locality(1, 0, "phase") }) == nil {
+		t.Error("on-quota node exporting a resident task not caught")
+	}
+	if catch(t, func() { Locality(4, 3, "phase") }) == nil {
+		t.Error("export beyond surplus not caught")
+	}
+}
+
+func TestBalancedWithinOneBadNodeCount(t *testing.T) {
+	skipIfCompiledOut(t)
+	defer SetEnabled(true)()
+	if catch(t, func() { BalancedWithinOne(0, 0, 0, 0, "test") }) == nil {
+		t.Error("n=0 not caught")
+	}
+}

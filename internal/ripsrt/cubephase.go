@@ -1,8 +1,7 @@
 package ripsrt
 
 import (
-	"fmt"
-
+	"rips/internal/invariant"
 	"rips/internal/topo"
 )
 
@@ -29,6 +28,7 @@ func (cs *cubeSched) phase(st *nodeState) int {
 	st.overhead(st.costs.PerPhase)
 	st.rts.PushAll(st.rte.Drain())
 	w := st.rts.Len()
+	st.ownTaken = 0
 
 	// Butterfly all-reduce of the task total: after d exchanges every
 	// node knows T.
@@ -63,9 +63,9 @@ func (cs *cubeSched) phase(st *nodeState) int {
 		}
 	}
 
-	if got := st.rts.Len() + len(st.inbox); got != cur {
-		panic(fmt.Sprintf("ripsrt: cube node %d holds %d tasks, bookkeeping says %d", cs.id, got, cur))
-	}
+	// DEM only converges to within the cube dimension, so no Theorem 1
+	// check applies; conservation of the per-node bookkeeping does.
+	invariant.Conserved(st.rts.Len()+len(st.inbox), cur, "ripsrt: cube DEM system phase")
 	st.rte.PushAll(st.rts.Drain())
 	st.rte.PushAll(st.inbox)
 	st.inbox = nil

@@ -1,8 +1,7 @@
 package ripsrt
 
 import (
-	"fmt"
-
+	"rips/internal/invariant"
 	"rips/internal/topo"
 )
 
@@ -30,10 +29,12 @@ func (cs *cubeWalkSched) phase(st *nodeState) int {
 	d := cs.cube.Dim()
 	st.overhead(st.costs.PerPhase)
 	st.rts.PushAll(st.rte.Drain())
+	w := st.rts.Len()
+	st.ownTaken = 0
 
 	// Machine-wide total via a full butterfly; every node learns T and
 	// derives the quotas.
-	total := st.rts.Len()
+	total := w
 	for k := 0; k < d; k++ {
 		p := cs.id ^ (1 << k)
 		n.SendTag(p, tagColT, total, 8)
@@ -111,9 +112,12 @@ func (cs *cubeWalkSched) phase(st *nodeState) int {
 		st.overhead(st.costs.PerElem * 8)
 	}
 
-	if got := st.rts.Len() + len(st.inbox); got != quota(cs.id) || cur != got {
-		panic(fmt.Sprintf("ripsrt: cubewalk node %d holds %d tasks, quota %d", cs.id, got, quota(cs.id)))
-	}
+	// Theorem 1 (exact quota), bookkeeping conservation, and Theorem 2
+	// (resident exports bounded by surplus) after the walk.
+	got := st.rts.Len() + len(st.inbox)
+	invariant.Conserved(got, cur, "ripsrt: cubewalk system phase")
+	invariant.BalancedWithinOne(got, total, n.N(), cs.id, "ripsrt: cubewalk system phase")
+	invariant.Locality(st.ownTaken, w-quota(cs.id), "ripsrt: cubewalk system phase")
 	st.rte.PushAll(st.rts.Drain())
 	st.rte.PushAll(st.inbox)
 	st.inbox = nil

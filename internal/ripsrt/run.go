@@ -5,6 +5,7 @@ import (
 
 	"rips/internal/app"
 	"rips/internal/collective"
+	"rips/internal/invariant"
 	"rips/internal/sim"
 	"rips/internal/task"
 )
@@ -75,6 +76,13 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.Overhead = oh / sim.Time(n)
 	res.Idle = idle / sim.Time(n)
+	// Run-level invariants: every nonlocally executed task crossed at
+	// least one link, and a terminated run must have executed exactly
+	// what it generated (task conservation across all system phases —
+	// also surfaced as an error below for gated builds).
+	invariant.Check(res.Nonlocal <= res.Migrated,
+		"ripsrt: %d nonlocal executions but only %d task migrations", res.Nonlocal, res.Migrated)
+	invariant.Conserved(int(res.Generated), int(res.Executed), "ripsrt: run")
 	if res.Executed != res.Generated {
 		return res, fmt.Errorf("ripsrt: executed %d of %d generated tasks", res.Executed, res.Generated)
 	}
@@ -90,10 +98,14 @@ type nodeState struct {
 	rte   task.Queue  // ready to execute
 	rts   task.Queue  // ready to schedule (eager) / staging (system phase)
 	inbox []task.Task // tasks received during the current system phase
-	phase int         // completed system phases
-	round int
-	seq   uint64
-	comm  *collective.Comm
+	// ownTaken counts this node's resident tasks exported during the
+	// current system phase (reset at phase start); the Theorem 2
+	// locality invariant bounds it by the node's surplus over quota.
+	ownTaken int
+	phase    int // completed system phases
+	round    int
+	seq      uint64
+	comm     *collective.Comm
 	// periodic detector
 	nextCheck sim.Time
 }
@@ -343,7 +355,7 @@ func (st *nodeState) userPhaseAll() {
 				return
 			}
 		default:
-			panic(fmt.Sprintf("ripsrt: unexpected tag %d in ALL user phase", m.Tag))
+			invariant.Violated("ripsrt: unexpected tag %d in ALL user phase", m.Tag)
 		}
 	}
 }

@@ -1,8 +1,7 @@
 package ripsrt
 
 import (
-	"fmt"
-
+	"rips/internal/invariant"
 	"rips/internal/sim"
 	"rips/internal/task"
 	"rips/internal/topo"
@@ -25,7 +24,8 @@ func newPhaseScheduler(t topo.Topology, id int, exactCube bool) phaseScheduler {
 		}
 		return newCubeSched(tt, id)
 	default:
-		panic(fmt.Sprintf("ripsrt: no system-phase scheduler for %s", t.Name()))
+		invariant.Violated("ripsrt: no system-phase scheduler for %s", t.Name())
+		return nil
 	}
 }
 
@@ -67,6 +67,7 @@ func (ms *meshSched) phase(st *nodeState) int {
 	// together with the newly generated ones (paper Section 2).
 	st.rts.PushAll(st.rte.Drain())
 	w := st.rts.Len()
+	st.ownTaken = 0
 
 	// Step 1: scan the partial load vector along each row. Node (i,j)
 	// ends up holding w_{i,0..j}.
@@ -198,12 +199,13 @@ func (ms *meshSched) phase(st *nodeState) int {
 		n.SendTag(mesh.ID(i, j-1), tagLeft, horzMsg{tasks: bundle}, sizeOfTasks(bundle))
 	}
 
-	// The schedule is complete: this node must now hold exactly its
-	// quota. Anything else is a protocol bug, not a runtime condition.
+	// The schedule is complete: this node must hold exactly its quota
+	// (Theorem 1), and it must not have exported more resident tasks
+	// than its surplus (Theorem 2). Anything else is a protocol bug,
+	// not a runtime condition.
 	got := st.rts.Len() + len(st.inbox)
-	if got != qrow[j] {
-		panic(fmt.Sprintf("ripsrt: node %d holds %d tasks after scheduling, quota %d", n.ID(), got, qrow[j]))
-	}
+	invariant.BalancedWithinOne(got, bc.total, n.N(), n.ID(), "ripsrt: mesh system phase")
+	invariant.Locality(st.ownTaken, w-qrow[j], "ripsrt: mesh system phase")
 	st.rte.PushAll(st.rts.Drain())
 	st.rte.PushAll(st.inbox)
 	st.inbox = nil
@@ -246,7 +248,7 @@ func (st *nodeState) exportVector(wvec, qrow []int, y int) []int {
 // tasks keeps resident ones home — the locality argument of Theorem 2).
 func (st *nodeState) takeTasks(count int) []task.Task {
 	if count < 0 {
-		panic(fmt.Sprintf("ripsrt: takeTasks(%d)", count))
+		invariant.Violated("ripsrt: takeTasks(%d)", count)
 	}
 	out := make([]task.Task, 0, count)
 	for count > 0 && len(st.inbox) > 0 {
@@ -257,8 +259,9 @@ func (st *nodeState) takeTasks(count int) []task.Task {
 	if count > 0 {
 		own := st.rts.TakeBack(count)
 		if len(own) != count {
-			panic(fmt.Sprintf("ripsrt: node %d short %d tasks for migration", st.n.ID(), count-len(own)))
+			invariant.Violated("ripsrt: node %d short %d tasks for migration", st.n.ID(), count-len(own))
 		}
+		st.ownTaken += len(own)
 		out = append(out, own...)
 	}
 	st.n.Count(CounterMigrated, int64(len(out)))

@@ -1,8 +1,7 @@
 package ripsrt
 
 import (
-	"fmt"
-
+	"rips/internal/invariant"
 	"rips/internal/sim"
 	"rips/internal/topo"
 )
@@ -69,6 +68,7 @@ func (ts *treeSched) phase(st *nodeState) int {
 	st.overhead(st.costs.PerPhase)
 	st.rts.PushAll(st.rte.Drain())
 	w := st.rts.Len()
+	st.ownTaken = 0
 
 	// Upward sweep: subtree totals.
 	childTotal := make([]int, len(ts.children))
@@ -126,13 +126,15 @@ func (ts *treeSched) phase(st *nodeState) int {
 		}
 	}
 
+	// Theorem 1 (exact quota) and Theorem 2 (no resident task exported
+	// beyond the surplus) hold per node after the walk.
 	quota := bc.avg
 	if ts.id < bc.rem {
 		quota++
 	}
-	if got := st.rts.Len() + len(st.inbox); got != quota {
-		panic(fmt.Sprintf("ripsrt: tree node %d holds %d tasks after scheduling, quota %d", ts.id, got, quota))
-	}
+	got := st.rts.Len() + len(st.inbox)
+	invariant.BalancedWithinOne(got, bc.total, n.N(), ts.id, "ripsrt: tree system phase")
+	invariant.Locality(st.ownTaken, w-quota, "ripsrt: tree system phase")
 	st.rte.PushAll(st.rts.Drain())
 	st.rte.PushAll(st.inbox)
 	st.inbox = nil

@@ -19,6 +19,7 @@ package cubewalk
 import (
 	"fmt"
 
+	"rips/internal/invariant"
 	"rips/internal/sched"
 	"rips/internal/topo"
 )
@@ -109,8 +110,17 @@ func Plan(h *topo.Hypercube, w []int) (Result, error) {
 			if eta != 0 {
 				// The half's surplus cannot cover its boundary flow:
 				// a bookkeeping bug, not a runtime condition.
-				panic(fmt.Sprintf("cubewalk: group %d dim %d short by %d", base, k, eta))
+				invariant.Violated("cubewalk: group %d dim %d short by %d", base, k, eta)
 			}
+		}
+	}
+
+	// Executed Theorem 1: the walk lands every node exactly on quota
+	// while conserving the total.
+	if invariant.Enabled() {
+		invariant.Conserved(r.Total, sched.Sum(cur), "cubewalk: plan")
+		for id := 0; id < n; id++ {
+			invariant.BalancedWithinOne(cur[id], r.Total, n, id, "cubewalk: plan")
 		}
 	}
 

@@ -11,6 +11,7 @@ package dem
 import (
 	"fmt"
 
+	"rips/internal/invariant"
 	"rips/internal/sched"
 	"rips/internal/topo"
 )
@@ -68,6 +69,9 @@ func Plan(h *topo.Hypercube, w []int) (Result, error) {
 			hi = x
 		}
 	}
+	// DEM guarantees conservation but only dimension-bounded balance —
+	// the contrast the paper draws against MWA's within-one result.
+	invariant.Conserved(sched.Sum(w), sched.Sum(cur), "dem: plan")
 	return Result{
 		Plan:      sched.Plan{Moves: moves, Steps: h.Dim()},
 		Final:     cur,
@@ -166,6 +170,7 @@ func MeshPlan(m *topo.Mesh, w []int, maxSweeps int) (MeshResult, error) {
 			hi = x
 		}
 	}
+	invariant.Conserved(sched.Sum(w), sched.Sum(cur), "dem: mesh plan")
 	return MeshResult{
 		Plan:      sched.Plan{Moves: moves, Steps: steps},
 		Final:     cur,

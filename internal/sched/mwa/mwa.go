@@ -13,6 +13,7 @@ package mwa
 import (
 	"fmt"
 
+	"rips/internal/invariant"
 	"rips/internal/sched"
 	"rips/internal/topo"
 )
@@ -174,6 +175,15 @@ func Plan(m *topo.Mesh, w []int) (Result, error) {
 		}
 	}
 
+	// Executed Theorems 1 and 2: the walk must land every node exactly
+	// on its quota while conserving the total.
+	if invariant.Enabled() {
+		invariant.Conserved(r.Total, sched.Sum(cur), "mwa: plan")
+		for id := 0; id < n; id++ {
+			invariant.BalancedWithinOne(cur[id], r.Total, n, id, "mwa: plan")
+		}
+	}
+
 	r.Plan = sched.Plan{Moves: moves, Steps: 3 * (n1 + n2)}
 	return r, nil
 }
@@ -205,7 +215,7 @@ func sendVector(cur, quota []int, m *topo.Mesh, i, y int) []int {
 	if eta != 0 {
 		// The row's surplus cannot cover its boundary flow; this would
 		// mean t/Q bookkeeping is inconsistent — a programming error.
-		panic(fmt.Sprintf("mwa: row %d export short by %d (y=%d)", i, eta, y))
+		invariant.Violated("mwa: row %d export short by %d (y=%d)", i, eta, y)
 	}
 	return d
 }

@@ -15,6 +15,7 @@ package treewalk
 import (
 	"fmt"
 
+	"rips/internal/invariant"
 	"rips/internal/sched"
 	"rips/internal/topo"
 )
@@ -86,6 +87,20 @@ func Plan(t *topo.Tree, w []int) (Result, error) {
 	for v := 1; v < n; v++ {
 		if r.Flow[v] < 0 {
 			moves = append(moves, sched.Move{From: t.Parent(v), To: v, Count: -r.Flow[v]})
+		}
+	}
+
+	// Executed Theorem 1 via per-node flow conservation: node v's final
+	// load is w[v] minus its up-link flow plus its children's flows,
+	// and must equal its quota exactly.
+	if invariant.Enabled() {
+		in := make([]int, n)
+		for v := 1; v < n; v++ {
+			in[t.Parent(v)] += r.Flow[v]
+		}
+		for v := 0; v < n; v++ {
+			final := w[v] - r.Flow[v] + in[v]
+			invariant.BalancedWithinOne(final, r.Total, n, v, "treewalk: plan")
 		}
 	}
 

@@ -6,6 +6,7 @@ import (
 	"runtime/debug"
 	"sort"
 
+	"rips/internal/invariant"
 	"rips/internal/topo"
 )
 
@@ -100,10 +101,10 @@ func Run(cfg Config, p Program) (Result, error) {
 // New returns an engine for the configured machine.
 func New(cfg Config) *Engine {
 	if cfg.Topo == nil {
-		panic("sim: Config.Topo is nil")
+		invariant.Violated("sim: Config.Topo is nil")
 	}
 	if err := cfg.Latency.Validate(); err != nil {
-		panic(err)
+		invariant.Violated("sim: %v", err)
 	}
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 1 << 40
@@ -141,7 +142,7 @@ func (e *Engine) RunPrograms(progs []Program) (Result, error) {
 			}()
 			<-nd.resume
 			if nd.aborted {
-				panic(abortedError{})
+				panic(abortedError{}) //ripslint:allow panic control-flow: unwinds the node goroutine on engine abort
 			}
 			prog(nd)
 		}()
@@ -189,7 +190,7 @@ func (e *Engine) RunPrograms(progs []Program) (Result, error) {
 				// A wake for a node that is not waiting on a timer can
 				// only be the stale remnant of a cancelled timeout; the
 				// generation check above should have caught it.
-				panic(fmt.Sprintf("sim: wake for node %d in state %d", ev.node, nd.state))
+				invariant.Violated("sim: wake for node %d in state %d", ev.node, nd.state)
 			}
 		case evDeliver:
 			if nd.state == stateDone {
@@ -218,7 +219,8 @@ func (e *Engine) RunPrograms(progs []Program) (Result, error) {
 	}
 	for i, nd := range e.nodes {
 		res.Nodes[i] = nd.stats
-		for k, v := range nd.counters {
+		// Commutative sum: iteration order cannot affect the result.
+		for k, v := range nd.counters { //ripslint:allow maporder commutative reduction
 			res.Counters[k] += v
 		}
 	}

@@ -1,9 +1,9 @@
 package sim
 
 import (
-	"fmt"
 	"math/rand"
 
+	"rips/internal/invariant"
 	"rips/internal/topo"
 )
 
@@ -75,7 +75,7 @@ func (n *Node) yield(s nodeState) {
 	n.eng.back <- s
 	<-n.resume
 	if n.aborted {
-		panic(abortedError{})
+		panic(abortedError{}) //ripslint:allow panic control-flow: unwinds the node goroutine on engine abort
 	}
 }
 
@@ -83,7 +83,7 @@ func (n *Node) yield(s nodeState) {
 // busy (user) or overhead (system) time.
 func (n *Node) advance(d Time, system bool) {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: node %d advancing by negative time %v", n.id, d))
+		invariant.Violated("sim: node %d advancing by negative time %v", n.id, d)
 	}
 	if system {
 		n.stats.Overhead += d
@@ -108,7 +108,7 @@ func (n *Node) Overhead(d Time) { n.advance(d, true) }
 // Sleep blocks for d, accounted as idle time.
 func (n *Node) Sleep(d Time) {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: node %d sleeping negative time %v", n.id, d))
+		invariant.Violated("sim: node %d sleeping negative time %v", n.id, d)
 	}
 	n.stats.Idle += d
 	if d == 0 {
@@ -126,7 +126,7 @@ func (n *Node) Sleep(d Time) {
 // protocol the paper's runtime would have used).
 func (n *Node) Send(to int, m Message) {
 	if err := topo.Validate(n.eng.cfg.Topo, to); err != nil {
-		panic(err)
+		invariant.Violated("sim: %v", err)
 	}
 	m.From = n.id
 	m.To = to
@@ -155,7 +155,7 @@ func (n *Node) SendTag(to, tag int, data any, size int) {
 // policy — and deliberately bypasses the per-hop latency model.
 func (n *Node) Broadcast(tag int, data any, size int, delay Time) {
 	if delay < 0 {
-		panic(fmt.Sprintf("sim: node %d broadcasting with negative delay", n.id))
+		invariant.Violated("sim: node %d broadcasting with negative delay", n.id)
 	}
 	lat := n.eng.cfg.Latency
 	if lat.SendOverhead > 0 {

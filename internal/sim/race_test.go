@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"rips/internal/topo"
+)
+
+// The engine hands control between the scheduler goroutine and one
+// goroutine per node over the back/resume channels; every Node field
+// is supposed to be touched only by whichever side currently holds the
+// baton. These tests exist to give the race detector something to
+// bite on: many nodes, many handoffs, messages, broadcasts, timeouts
+// and counters, plus several engines running concurrently. They pass
+// trivially without -race; CI runs this package with it.
+
+// ringTraffic is the shared workload: rounds of neighbor exchange on a
+// ring overlaid on whatever topology the engine simulates, with
+// random-length compute bursts from the node's own seeded source.
+func ringTraffic(rounds int) Program {
+	return func(n *Node) {
+		right := (n.ID() + 1) % n.N()
+		for r := 0; r < rounds; r++ {
+			n.SendTag(right, r, n.ID(), 64)
+			m := n.RecvTag(r)
+			if m.Data.(int) != (n.ID()+n.N()-1)%n.N() {
+				panic("wrong neighbor") //ripslint:allow panic test assertion off the test goroutine
+			}
+			n.Compute(Time(n.Rand().Intn(50)+1) * Microsecond)
+			n.Count("rounds", 1)
+			if r%8 == 3 {
+				// Exercise the timeout path; nothing with this tag exists.
+				if _, ok := n.RecvTagTimeout(9999, 5*Microsecond); ok {
+					panic("phantom message") //ripslint:allow panic test assertion off the test goroutine
+				}
+			}
+		}
+	}
+}
+
+func TestRaceManyNodesHeavyTraffic(t *testing.T) {
+	const rounds = 40
+	mesh := topo.NewMesh(8, 8)
+	res, err := Run(Config{Topo: mesh, Latency: DefaultLatency(), Seed: 42}, ringTraffic(rounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(mesh.Size() * rounds); res.Counters["rounds"] != want {
+		t.Errorf("rounds counter = %d, want %d", res.Counters["rounds"], want)
+	}
+	if res.Messages < uint64(mesh.Size()*rounds) {
+		t.Errorf("messages = %d, want at least %d", res.Messages, mesh.Size()*rounds)
+	}
+}
+
+func TestRaceBroadcastStorm(t *testing.T) {
+	cube := topo.NewHypercube(5) // 32 nodes
+	_, err := Run(Config{Topo: cube, Latency: DefaultLatency(), Seed: 7}, func(n *Node) {
+		const rounds = 10
+		for r := 0; r < rounds; r++ {
+			if n.ID() == r%n.N() {
+				n.Broadcast(100+r, r, 32, 10*Microsecond)
+			} else {
+				m := n.RecvTag(100 + r)
+				if m.Data.(int) != r {
+					panic("wrong round payload") //ripslint:allow panic test assertion off the test goroutine
+				}
+			}
+			n.Compute(Time(n.Rand().Intn(20)+1) * Microsecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRaceConcurrentEngines runs several independent engines at once.
+// Engines share no state by design; the race detector verifies it,
+// and identical seeds must still produce identical virtual end times.
+func TestRaceConcurrentEngines(t *testing.T) {
+	const engines = 6
+	ends := make([]Time, engines)
+	errs := make([]error, engines)
+	var wg sync.WaitGroup
+	for i := 0; i < engines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Run(Config{Topo: topo.NewMesh(4, 4), Latency: DefaultLatency(), Seed: 99}, ringTraffic(25))
+			ends[i], errs[i] = res.End, err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < engines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("engine %d: %v", i, errs[i])
+		}
+		if ends[i] != ends[0] {
+			t.Errorf("engine %d ended at %v, engine 0 at %v; same seed must give same schedule", i, ends[i], ends[0])
+		}
+	}
+}

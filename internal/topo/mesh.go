@@ -1,6 +1,10 @@
 package topo
 
-import "fmt"
+import (
+	"fmt"
+
+	"rips/internal/invariant"
+)
 
 // Mesh is an n1 x n2 two-dimensional mesh (no wraparound links).
 // Node (i,j) has id i*n2+j; i indexes rows, j indexes columns. This is
@@ -15,7 +19,7 @@ type Mesh struct {
 // bad shape is a programming error, not a runtime condition.
 func NewMesh(n1, n2 int) *Mesh {
 	if n1 <= 0 || n2 <= 0 {
-		panic(fmt.Sprintf("topo: invalid mesh %dx%d", n1, n2))
+		invariant.Violated("topo: invalid mesh %dx%d", n1, n2)
 	}
 	return &Mesh{n1: n1, n2: n2}
 }
@@ -26,7 +30,7 @@ func NewMesh(n1, n2 int) *Mesh {
 // power of four or twice a power of four (8, 16, 32, 64, 128, 256...).
 func SquarishMesh(n int) *Mesh {
 	if n <= 0 {
-		panic(fmt.Sprintf("topo: invalid mesh size %d", n))
+		invariant.Violated("topo: invalid mesh size %d", n)
 	}
 	m := 1
 	for m*m < n {
@@ -43,7 +47,8 @@ func SquarishMesh(n int) *Mesh {
 	if 2*c*c == n {
 		return NewMesh(2*c, c)
 	}
-	panic(fmt.Sprintf("topo: %d nodes do not form an MxM or MxM/2 mesh", n))
+	invariant.Violated("topo: %d nodes do not form an MxM or MxM/2 mesh", n)
+	return nil
 }
 
 // Rows returns the number of rows n1.
@@ -98,7 +103,7 @@ type Torus struct {
 // NewTorus returns an n1 x n2 torus.
 func NewTorus(n1, n2 int) *Torus {
 	if n1 <= 0 || n2 <= 0 {
-		panic(fmt.Sprintf("topo: invalid torus %dx%d", n1, n2))
+		invariant.Violated("topo: invalid torus %dx%d", n1, n2)
 	}
 	return &Torus{n1: n1, n2: n2}
 }

@@ -1,6 +1,10 @@
 package topo
 
-import "fmt"
+import (
+	"fmt"
+
+	"rips/internal/invariant"
+)
 
 // Tree is a complete binary tree laid out in heap order: node 0 is the
 // root; the children of node i are 2i+1 and 2i+2. The Tree Walking
@@ -12,7 +16,7 @@ type Tree struct {
 // NewTree returns a binary tree with n nodes.
 func NewTree(n int) *Tree {
 	if n <= 0 {
-		panic(fmt.Sprintf("topo: invalid tree size %d", n))
+		invariant.Violated("topo: invalid tree size %d", n)
 	}
 	return &Tree{n: n}
 }
@@ -95,7 +99,7 @@ type Hypercube struct {
 // NewHypercube returns a hypercube with 2^dim nodes.
 func NewHypercube(dim int) *Hypercube {
 	if dim < 0 || dim > 30 {
-		panic(fmt.Sprintf("topo: invalid hypercube dimension %d", dim))
+		invariant.Violated("topo: invalid hypercube dimension %d", dim)
 	}
 	return &Hypercube{dim: dim}
 }
@@ -141,7 +145,7 @@ type Ring struct {
 // NewRing returns a ring of n nodes.
 func NewRing(n int) *Ring {
 	if n <= 0 {
-		panic(fmt.Sprintf("topo: invalid ring size %d", n))
+		invariant.Violated("topo: invalid ring size %d", n)
 	}
 	return &Ring{n: n}
 }
