@@ -1,0 +1,118 @@
+package rips_test
+
+import (
+	"testing"
+	"time"
+
+	"rips"
+)
+
+// TestParallelBackend runs the real shared-memory backend through the
+// public facade and checks the wall-clock measures and the exactness
+// of the answer.
+func TestParallelBackend(t *testing.T) {
+	a := rips.NQueens(10)
+	p := rips.Measure(a)
+	for _, alg := range []rips.Algorithm{rips.RIPS, rips.Steal} {
+		res, err := rips.RunProfiled(a, p, rips.Config{Procs: 4, Backend: rips.Parallel, Algorithm: alg, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.Tasks != int64(p.Tasks) {
+			t.Errorf("%v: tasks %d, want %d", alg, res.Tasks, p.Tasks)
+		}
+		if res.AppResult != p.Result {
+			t.Errorf("%v: AppResult %d, want %d solutions", alg, res.AppResult, p.Result)
+		}
+		if res.Wall <= 0 {
+			t.Errorf("%v: Wall = %v", alg, res.Wall)
+		}
+		if res.Time != 0 {
+			t.Errorf("%v: virtual Time = %v on the Parallel backend", alg, res.Time)
+		}
+		if res.Efficiency <= 0 || res.Efficiency > 1 {
+			t.Errorf("%v: efficiency %v", alg, res.Efficiency)
+		}
+		if alg == rips.RIPS && res.Phases < 1 {
+			t.Errorf("RIPS: phases %d", res.Phases)
+		}
+	}
+}
+
+// TestParallelBackendPolicyKnobs exercises the Eager/All knobs on the
+// real backend.
+func TestParallelBackendPolicyKnobs(t *testing.T) {
+	a := rips.NQueens(9)
+	for _, cfg := range []rips.Config{
+		{Procs: 4, Backend: rips.Parallel, Eager: true},
+		{Procs: 4, Backend: rips.Parallel, All: true},
+		{Procs: 7, Backend: rips.Parallel, Topology: "tree"},
+		{Procs: 8, Backend: rips.Parallel, Topology: "hypercube"},
+	} {
+		res, err := rips.Run(a, cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if res.Phases < 1 {
+			t.Errorf("%+v: phases %d", cfg, res.Phases)
+		}
+	}
+}
+
+// TestParallelBackendErrors pins the invalid backend/algorithm combos.
+func TestParallelBackendErrors(t *testing.T) {
+	a := rips.NQueens(8)
+	if _, err := rips.Run(a, rips.Config{Procs: 4, Algorithm: rips.Steal}); err == nil {
+		t.Error("steal on the simulator accepted")
+	}
+	if _, err := rips.Run(a, rips.Config{Procs: 4, Backend: rips.Parallel, Algorithm: rips.Random}); err == nil {
+		t.Error("random baseline on the Parallel backend accepted")
+	}
+	if _, err := rips.Run(a, rips.Config{Procs: 4, Backend: rips.Parallel, Periodic: rips.Millisecond}); err == nil {
+		t.Error("periodic detector on the Parallel backend accepted")
+	}
+}
+
+// TestZeroBackoffTerminates is the regression test for the detector
+// throttles: with the backoff disabled entirely (negative = zero
+// wait), both backends must still terminate with the right answer —
+// the phase-indexed transfer requests guarantee progress even when
+// every drained node initiates instantly.
+func TestZeroBackoffTerminates(t *testing.T) {
+	a := rips.NQueens(9)
+	p := rips.Measure(a)
+
+	res, err := rips.RunProfiled(a, p, rips.Config{Procs: 8, InitBackoff: -1})
+	if err != nil {
+		t.Fatalf("simulate with zero backoff: %v", err)
+	}
+	if res.Tasks != int64(p.Tasks) {
+		t.Errorf("simulate with zero backoff: tasks %d, want %d", res.Tasks, p.Tasks)
+	}
+	// Zero backoff means more (emptier) phases, never fewer tasks.
+	thr, err := rips.RunProfiled(a, p, rips.Config{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases < thr.Phases {
+		t.Errorf("zero backoff ran %d phases, throttled ran %d", res.Phases, thr.Phases)
+	}
+
+	pres, err := rips.RunProfiled(a, p, rips.Config{Procs: 4, Backend: rips.Parallel, DetectInterval: -time.Nanosecond})
+	if err != nil {
+		t.Fatalf("parallel with zero detect interval: %v", err)
+	}
+	if pres.Tasks != int64(p.Tasks) || pres.AppResult != p.Result {
+		t.Errorf("parallel with zero detect interval: tasks %d result %d, want %d and %d",
+			pres.Tasks, pres.AppResult, p.Tasks, p.Result)
+	}
+}
+
+func TestBackendStrings(t *testing.T) {
+	if rips.Simulate.String() != "simulate" || rips.Parallel.String() != "parallel" {
+		t.Fatalf("Backend strings = %q, %q", rips.Simulate.String(), rips.Parallel.String())
+	}
+	if rips.Steal.String() != "steal" {
+		t.Fatalf("Steal.String() = %q", rips.Steal.String())
+	}
+}

@@ -12,16 +12,25 @@
 // where experiment is one of: fig4, table1, table2, fig5, table3,
 // ablation, detail, all. -quick substitutes reduced workloads and
 // machine sizes so everything completes in seconds.
+//
+// The parscale experiment is different in kind: it runs the workload
+// for real on the shared-memory parallel backend (internal/par) and
+// reports the wall-clock scaling curve, RIPS next to Chase-Lev work
+// stealing. It takes its own trailing flags:
+//
+//	ripsbench parscale [-n N] [-reps N] [-smoke]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"rips/internal/apps/nqueens"
 	"rips/internal/exp"
+	"rips/internal/invariant"
 	"rips/internal/metrics"
 	"rips/internal/ripsrt"
 	"rips/internal/sim"
@@ -36,15 +45,19 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ripsbench [flags] fig4|table1|table2|fig5|table3|ablation|topologies|taxonomy|detail|all\n")
+		fmt.Fprintf(os.Stderr, "usage: ripsbench [flags] fig4|table1|table2|fig5|table3|ablation|topologies|taxonomy|detail|parscale|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
 	what := flag.Arg(0)
+	if flag.NArg() > 1 && what != "parscale" {
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	run := func(name string, f func() error) {
 		start := time.Now() //ripslint:allow wallclock benchmark harness measures real elapsed time
@@ -74,6 +87,8 @@ func main() {
 		run("taxonomy", taxonomy)
 	case "detail":
 		run("detail", detail)
+	case "parscale":
+		run("parscale", func() error { return parscale(flag.Args()[1:]) })
 	case "all":
 		run("fig4", fig4)
 		run("table1+table2+fig5", fig5) // fig5 subsumes tables I and II
@@ -215,6 +230,35 @@ func taxonomy() error {
 		return err
 	}
 	exp.PrintTaxonomy(os.Stdout, rows)
+	return nil
+}
+
+// parscale runs the real-parallel scaling experiment: 13-Queens on
+// the internal/par backend, GOMAXPROCS swept from 1 to NumCPU, RIPS
+// and work stealing side by side. Invariant checks (conservation,
+// Theorem 1 balance) run inside every system phase unless disabled
+// via RIPS_INVARIANTS. -smoke shrinks the run to seconds for CI.
+func parscale(args []string) error {
+	fs := flag.NewFlagSet("parscale", flag.ExitOnError)
+	queens := fs.Int("n", 13, "N-Queens board size")
+	reps := fs.Int("reps", 3, "runs per point; the fastest is kept")
+	smoke := fs.Bool("smoke", false, "tiny CI run: 10-Queens, 1-2 workers, one rep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	counts := exp.ParScaleCounts(runtime.NumCPU())
+	if *smoke {
+		*queens, *reps = 10, 1
+		counts = exp.ParScaleCounts(min(2, runtime.NumCPU()))
+	}
+	a := nqueens.New(*queens, 4)
+	fmt.Fprintf(os.Stderr, "ripsbench: parscale %s on %d cores, worker counts %v, %d reps (invariants: %v)\n",
+		a.Name(), runtime.NumCPU(), counts, *reps, invariant.Enabled())
+	pts, err := exp.ParScale(a, counts, *reps, 0, *seed)
+	if err != nil {
+		return err
+	}
+	exp.PrintParScale(os.Stdout, a, pts)
 	return nil
 }
 

@@ -20,6 +20,32 @@
 // placed on the offending line or the line directly above it (for the
 // package-scoped phasetest check, anywhere in the package). The check
 // names are wallclock, rand, maporder, errdrop, panic and phasetest.
+//
+// A file whose whole purpose conflicts with a check can waive it once
+// at the top instead of on every line:
+//
+//	//ripslint:allow-file <check> <reason...>
+//
+// File-scope waivers must state a reason (a reasonless allow-file is
+// ignored) and are governed by policy:
+//
+//   - wallclock: sanctioned for internal/par — the real-parallel
+//     backend exists to measure actual elapsed time, so every one of
+//     its files that reads the clock carries an allow-file directive
+//     explaining that scheduling decisions still depend only on task
+//     counts — and for benchmark drivers (cmd/ripsbench). Simulated
+//     code gets no file waivers; an isolated legitimate read uses the
+//     line form.
+//   - maporder: file-scope waivers are refused inside the scheduling
+//     core (internal/sim, internal/ripsrt, internal/sched,
+//     internal/par): there every order-insensitive map loop must
+//     justify itself individually with a line-scoped directive.
+//     Outside the core the check does not fire at all, so the file
+//     form is only meaningful — and honored — for code later pulled
+//     into scope.
+//   - rand, errdrop, panic: no blanket exemptions are currently
+//     sanctioned; use the line form.
+//
 // The suite is stdlib-only: go/ast + go/parser + go/types, no external
 // dependencies.
 package analysis

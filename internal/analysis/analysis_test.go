@@ -38,6 +38,8 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"determinism_bad", "rips/internal/sim/fake", []*Analyzer{Determinism}},
 		{"determinism_examples", "rips/examples/fake", []*Analyzer{Determinism}},
 		{"determinism_mapscope", "rips/internal/metricsfake", []*Analyzer{Determinism}},
+		{"filescope_waived", "rips/internal/par/fake", []*Analyzer{Determinism}},
+		{"filescope_bad", "rips/internal/sim/fake2", []*Analyzer{Determinism}},
 		{"errcheck_bad", "rips/internal/errfake", []*Analyzer{Errcheck}},
 		{"panicpolicy_bad", "rips/internal/panicfake", []*Analyzer{PanicPolicy}},
 		{"phaseproto_ok", "rips/internal/sched/fakealgo", []*Analyzer{PhaseProtocol}},
@@ -122,7 +124,7 @@ func checkGolden(t *testing.T, dir string, findings []Finding) {
 // dependency-light packages as an integration check: the committed
 // tree must be finding-free.
 func TestRealPackagesClean(t *testing.T) {
-	for _, rel := range []string{"internal/task", "internal/topo", "internal/invariant"} {
+	for _, rel := range []string{"internal/task", "internal/topo", "internal/invariant", "internal/metrics", "internal/par"} {
 		pkg, err := sharedLoader.Load(rel)
 		if err != nil {
 			t.Fatalf("load %s: %v", rel, err)
@@ -153,5 +155,27 @@ func TestDirectiveScan(t *testing.T) {
 	}
 	if byCheck["maporder"] != 1 || byCheck["wallclock"] != 2 {
 		t.Errorf("parsed directives = %v, want 1 maporder and 2 wallclock", byCheck)
+	}
+}
+
+// TestFileScopeDirectiveScan checks the allow-file parser: the scope
+// flag must be set, the check name must not swallow the "-file"
+// marker, and a reasonless allow-file must be dropped at scan time.
+func TestFileScopeDirectiveScan(t *testing.T) {
+	pkg, err := sharedLoader.LoadDir(filepath.Join("testdata", "src", "filescope_bad"), "rips/internal/sim/fake2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fileScope []directive
+	for _, d := range pkg.directives {
+		if d.fileScope {
+			fileScope = append(fileScope, d)
+		}
+	}
+	if len(fileScope) != 1 {
+		t.Fatalf("parsed %d file-scope directives, want 1 (the reasonless one dropped): %+v", len(fileScope), fileScope)
+	}
+	if d := fileScope[0]; d.check != "maporder" || d.reason == "" {
+		t.Errorf("file-scope directive = %+v, want check maporder with a reason", d)
 	}
 }

@@ -53,16 +53,25 @@ var seededRandFuncs = map[string]bool{
 
 // mapOrderScope lists the module-relative directories where scheduling
 // decisions live and map iteration order is therefore load-bearing.
-var mapOrderScope = []string{"internal/sim", "internal/ripsrt", "internal/sched"}
+// internal/par is included: its phase protocol runs on real goroutines
+// but its scheduling decisions (load snapshots, planning, transfers)
+// carry the same determinism contract as the simulator's. File-scope
+// maporder waivers are refused here — see Package.suppressed.
+var mapOrderScope = []string{"internal/sim", "internal/ripsrt", "internal/sched", "internal/par"}
 
-func runDeterminism(p *Pass) {
-	inMapScope := false
+// inMapOrderScope reports whether the package directory rel is inside
+// the scheduling core for maporder purposes.
+func inMapOrderScope(rel string) bool {
 	for _, d := range mapOrderScope {
-		if underDir(p.Pkg.Rel, d) {
-			inMapScope = true
-			break
+		if underDir(rel, d) {
+			return true
 		}
 	}
+	return false
+}
+
+func runDeterminism(p *Pass) {
+	inMapScope := inMapOrderScope(p.Pkg.Rel)
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {

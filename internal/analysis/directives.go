@@ -6,22 +6,35 @@ import (
 	"strings"
 )
 
-// directive is one parsed //ripslint:allow comment.
+// directive is one parsed //ripslint:allow[-file] comment.
 type directive struct {
 	file   string
 	line   int
 	check  string // "wallclock", "rand", "maporder", "errdrop", "panic", "phasetest"
 	reason string
+	// fileScope marks an allow-file directive, which waives the check
+	// for its whole file rather than one line.
+	fileScope bool
 }
 
 // directivePrefix is the comment marker. The full syntax is
 //
 //	//ripslint:allow <check> [reason...]
+//	//ripslint:allow-file <check> <reason...>
 //
-// and the directive waives findings of that check on its own line and
-// on the line directly below (so it can ride at the end of the
-// offending line or stand alone above it).
+// The line form waives findings of that check on its own line and on
+// the line directly below (so it can ride at the end of the offending
+// line or stand alone above it). The file form waives the check for
+// the whole file and REQUIRES a reason — a reasonless allow-file is
+// ignored, so broad waivers are always self-documenting. See the
+// package comment for which checks may be file-waived where.
 const directivePrefix = "ripslint:allow"
+
+// fileScopeSuffix distinguishes the file form. It must be tested
+// before the line form: "ripslint:allow-file" has "ripslint:allow" as
+// a prefix, and cutting only the short marker would misparse "-file"
+// as the check name.
+const fileScopeSuffix = "-file"
 
 // scanDirectives extracts every ripslint directive from the files.
 func scanDirectives(fset *token.FileSet, files []*ast.File) []directive {
@@ -35,16 +48,26 @@ func scanDirectives(fset *token.FileSet, files []*ast.File) []directive {
 				if !ok {
 					continue
 				}
+				fileScope := false
+				if tail, ok := strings.CutPrefix(rest, fileScopeSuffix); ok {
+					fileScope = true
+					rest = tail
+				}
 				fields := strings.Fields(rest)
 				if len(fields) == 0 {
 					continue
 				}
+				reason := strings.Join(fields[1:], " ")
+				if fileScope && reason == "" {
+					continue // file-scope waivers must carry a reason
+				}
 				pos := fset.Position(c.Pos())
 				out = append(out, directive{
-					file:   pos.Filename,
-					line:   pos.Line,
-					check:  fields[0],
-					reason: strings.Join(fields[1:], " "),
+					file:      pos.Filename,
+					line:      pos.Line,
+					check:     fields[0],
+					reason:    reason,
+					fileScope: fileScope,
 				})
 			}
 		}
@@ -54,7 +77,10 @@ func scanDirectives(fset *token.FileSet, files []*ast.File) []directive {
 
 // suppressed reports whether a finding of the given check at pos is
 // waived by a directive. Package-scoped checks (phasetest) are waived
-// by a directive anywhere in the package.
+// by a directive anywhere in the package; file-scope directives waive
+// their whole file — except maporder inside the scheduling core
+// (mapOrderScope), where every order-dependent loop must justify
+// itself with a line-scoped waiver.
 func (p *Package) suppressed(check string, pos token.Position) bool {
 	for _, d := range p.directives {
 		if d.check != check {
@@ -63,7 +89,16 @@ func (p *Package) suppressed(check string, pos token.Position) bool {
 		if check == "phasetest" {
 			return true
 		}
-		if d.file == pos.Filename && (d.line == pos.Line || d.line+1 == pos.Line) {
+		if d.file != pos.Filename {
+			continue
+		}
+		if d.fileScope {
+			if check == "maporder" && inMapOrderScope(p.Rel) {
+				continue
+			}
+			return true
+		}
+		if d.line == pos.Line || d.line+1 == pos.Line {
 			return true
 		}
 	}

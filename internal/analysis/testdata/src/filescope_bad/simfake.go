@@ -1,0 +1,39 @@
+//ripslint:allow-file maporder this blanket waiver is refused inside the scheduling core
+//ripslint:allow-file wallclock
+
+// Package simfake is ripslint test data. It is loaded under the
+// synthetic import path rips/internal/sim/fake2 — scheduling-core code
+// — and pins the two ways a file-scope waiver is rejected: maporder
+// blanket waivers are refused inside the core (each loop must justify
+// itself on its own line), and a reasonless allow-file is ignored
+// outright.
+package simfake
+
+import "time"
+
+// Pick keeps firing despite the file-scope maporder directive: inside
+// the core only line-scoped waivers count.
+func Pick(load map[int]int) int {
+	best := -1
+	for id := range load { // want "map iteration order"
+		if best < 0 || id < best {
+			best = id
+		}
+	}
+	return best
+}
+
+// Sum is fine with the sanctioned line form.
+func Sum(load map[int]int) int {
+	total := 0
+	for _, v := range load { //ripslint:allow maporder commutative reduction
+		total += v
+	}
+	return total
+}
+
+// Stamp keeps firing: the wallclock allow-file above has no reason and
+// is therefore ignored.
+func Stamp() time.Time {
+	return time.Now() // want "wallclock"
+}

@@ -1,0 +1,45 @@
+//ripslint:allow-file wallclock fake parallel backend: measures real elapsed time by design
+
+// Package parfake is ripslint test data. It is loaded under the
+// synthetic import path rips/internal/par/fake — the real-parallel
+// backend, where a file-scope wallclock waiver is sanctioned policy —
+// and shows that the waiver covers every clock read in the file while
+// other checks keep firing.
+package parfake
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed reads the clock twice; both reads are covered by the
+// allow-file directive at the top.
+func Elapsed() time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}
+
+// Nap is also covered: the waiver is per check, not per function.
+func Nap() {
+	time.Sleep(time.Microsecond)
+}
+
+// Draw still fires — the file waiver names wallclock only.
+func Draw() int {
+	return rand.Intn(6) // want "global math/rand"
+}
+
+// Pick still fires: rips/internal/par is inside the maporder scope and
+// the check has no file waiver here.
+func Pick(load map[int]int) int {
+	best := -1
+	for id := range load { // want "map iteration order"
+		if best < 0 || id < best {
+			best = id
+		}
+	}
+	return best
+}
+
+func work() {}

@@ -42,6 +42,31 @@ type App interface {
 	Execute(data any, emit func(Spawn)) sim.Time
 }
 
+// Counted is an optional App extension for workloads whose tasks
+// produce a summable application-level result — N-Queens solutions
+// found below a task's state, goal states reached within an IDA*
+// bound. The runtimes aggregate the contributions, which gives tests a
+// direct way to prove that a scheduling backend executed exactly the
+// sequential computation: the aggregate must match the sequential
+// profile's Result bit for bit, however tasks were placed.
+type Counted interface {
+	App
+	// ExecuteCount is Execute returning additionally the task's
+	// contribution to the application result. Implementations must
+	// keep Execute and ExecuteCount behaviourally identical (same
+	// children, same virtual time).
+	ExecuteCount(data any, emit func(Spawn)) (sim.Time, int64)
+}
+
+// ExecuteCount runs one task, using the app's result counting when it
+// implements Counted and reporting a zero contribution otherwise.
+func ExecuteCount(a App, data any, emit func(Spawn)) (sim.Time, int64) {
+	if c, ok := a.(Counted); ok {
+		return c.ExecuteCount(data, emit)
+	}
+	return a.Execute(data, emit), 0
+}
+
 // BlockDistributed marks apps whose root tasks start block-distributed
 // across the machine — the static SPMD decomposition a real code like
 // GROMOS performs at startup (each processor owns its atom block).
@@ -76,6 +101,9 @@ type Profile struct {
 	Tasks  int
 	Work   sim.Time // Ts: the sequential execution time
 	Rounds []RoundProfile
+	// Result is the aggregated application result of Counted apps
+	// (e.g. the solution count); 0 for apps without result counting.
+	Result int64
 }
 
 // Measure executes the App sequentially (children run depth-first on
@@ -89,7 +117,8 @@ func Measure(a App) Profile {
 		for len(stack) > 0 {
 			t := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			w := a.Execute(t.Data, func(s Spawn) { stack = append(stack, s) })
+			w, res := ExecuteCount(a, t.Data, func(s Spawn) { stack = append(stack, s) })
+			p.Result += res
 			rp.Tasks++
 			rp.Work += w
 			if w > rp.MaxTask {

@@ -70,6 +70,14 @@ func (a *App) Roots(round int) []app.Spawn {
 // as tasks) until the split depth, after which it runs the remaining
 // subtree to completion.
 func (a *App) Execute(data any, emit func(app.Spawn)) sim.Time {
+	w, _ := a.ExecuteCount(data, emit)
+	return w
+}
+
+// ExecuteCount is Execute reporting also the number of solutions found
+// below the task's state (app.Counted); expansion tasks contribute 0,
+// leaf tasks the solution count of their whole subtree.
+func (a *App) ExecuteCount(data any, emit func(app.Spawn)) (sim.Time, int64) {
 	s := data.(state)
 	full := uint32(1<<a.n) - 1
 	if int(s.Row) < a.split && int(s.Row) < a.n {
@@ -89,10 +97,10 @@ func (a *App) Execute(data any, emit func(app.Spawn)) sim.Time {
 			children++
 		}
 		// Expansion itself costs one node visit plus spawn work.
-		return CostPerNode + sim.Time(children)*spawnCost
+		return CostPerNode + sim.Time(children)*spawnCost, 0
 	}
-	_, nodes := count(full, s.Cols, s.LD, s.RD)
-	return CostPerNode + sim.Time(nodes)*CostPerNode
+	solutions, nodes := count(full, s.Cols, s.LD, s.RD)
+	return CostPerNode + sim.Time(nodes)*CostPerNode, int64(solutions)
 }
 
 // count runs the classic bitmask DFS, returning the number of

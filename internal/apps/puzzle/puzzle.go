@@ -256,9 +256,19 @@ func (a *App) Roots(round int) []app.Spawn {
 // depth; beyond it, the task runs the bounded DFS to completion and is
 // charged its real node count.
 func (a *App) Execute(data any, emit func(app.Spawn)) sim.Time {
+	w, _ := a.ExecuteCount(data, emit)
+	return w
+}
+
+// ExecuteCount is Execute reporting also the number of goal states the
+// task's bounded DFS reached (app.Counted). Iterations below the
+// optimal bound contribute 0 everywhere; the final iteration's total
+// is the number of distinct optimal solution paths — a quantity every
+// scheduling backend must reproduce exactly.
+func (a *App) ExecuteCount(data any, emit func(app.Spawn)) (sim.Time, int64) {
 	nd := data.(node)
 	if nd.g+nd.h > nd.bound {
-		return CostPerNode // pruned on arrival
+		return CostPerNode, 0 // pruned on arrival
 	}
 	if int(nd.bound)-int(nd.g) > a.budget && nd.h != 0 {
 		children := 0
@@ -273,30 +283,32 @@ func (a *App) Execute(data any, emit func(app.Spawn)) sim.Time {
 				children++
 			}
 		}
-		return CostPerNode + sim.Time(children)*spawnCost
+		return CostPerNode + sim.Time(children)*spawnCost, 0
 	}
-	nodes := search(nd.b, nd.g, nd.h, nd.bound, nd.prev)
-	return sim.Time(nodes) * CostPerNode
+	nodes, goals := search(nd.b, nd.g, nd.h, nd.bound, nd.prev)
+	return sim.Time(nodes) * CostPerNode, int64(goals)
 }
 
 // search is the full bounded DFS (no early exit), returning the number
-// of nodes visited (including this one).
-func search(b Board, g, h, bound int16, prev int8) uint64 {
+// of nodes visited (including this one) and of goal states reached.
+func search(b Board, g, h, bound int16, prev int8) (nodes, goals uint64) {
 	if g+h > bound {
-		return 1
+		return 1, 0
 	}
 	if h == 0 {
-		return 1
+		return 1, 1
 	}
-	var nodes uint64 = 1
+	nodes = 1
 	for _, m := range b.moves() {
 		if m == prev {
 			continue
 		}
 		nb, dh := b.apply(m)
-		nodes += search(nb, g+1, h+int16(dh), bound, b.blank)
+		n, s := search(nb, g+1, h+int16(dh), bound, b.blank)
+		nodes += n
+		goals += s
 	}
-	return nodes
+	return nodes, goals
 }
 
 // Configs returns the paper's three 15-puzzle configurations, realized

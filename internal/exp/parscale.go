@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"rips/internal/app"
+	"rips/internal/metrics"
+	"rips/internal/par"
+	"rips/internal/topo"
+)
+
+// ParScale is the real-parallel scaling experiment: the same workload
+// runs on the internal/par backend at increasing worker counts, RIPS
+// (ANY-Lazy over the walking-algorithm system phases) side by side
+// with Chase-Lev work stealing, and the curve reports wall-clock
+// speedup against each strategy's own one-worker run. This is the
+// zero-simulation counterpart of Table III: the paper's claim that
+// global incremental scheduling stays within a small factor of the
+// best dynamic scheduler is re-tested on actual cores.
+
+// ParScalePoint is one worker count of the scaling curve.
+type ParScalePoint struct {
+	Workers     int
+	RIPS, Steal par.Result
+	// Speedups are against the strategy's own 1-worker wall time;
+	// efficiencies are busy/(workers*wall).
+	RIPSSpeedup, StealSpeedup float64
+	RIPSEff, StealEff         float64
+}
+
+// ParScaleCounts returns the worker counts of the scaling curve:
+// powers of two from 1 up to maxWorkers, plus maxWorkers itself.
+func ParScaleCounts(maxWorkers int) []int {
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	var counts []int
+	for n := 1; n <= maxWorkers; n *= 2 {
+		counts = append(counts, n)
+	}
+	if last := counts[len(counts)-1]; last != maxWorkers {
+		counts = append(counts, maxWorkers)
+	}
+	return counts
+}
+
+// ParScale measures the scaling curve. Each point pins GOMAXPROCS to
+// its worker count (restored afterwards) so a w-worker run really uses
+// w cores, and keeps the fastest of reps runs to shed scheduling
+// noise. The workload's answer (solution count, task totals) is
+// verified identical across every point — a wrong answer fails the
+// experiment rather than quietly shading a speedup.
+func ParScale(a app.App, counts []int, reps int, detect time.Duration, seed int64) ([]ParScalePoint, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	best := func(workers int, strat par.Strategy) (par.Result, error) {
+		cfg := par.Config{
+			Topo:           topo.SquarishMesh(workers),
+			App:            a,
+			Strategy:       strat,
+			DetectInterval: detect,
+			Seed:           seed,
+		}
+		var out par.Result
+		for i := 0; i < reps; i++ {
+			res, err := par.Run(cfg)
+			if err != nil {
+				return par.Result{}, err
+			}
+			if i == 0 || res.Wall < out.Wall {
+				out = res
+			}
+		}
+		return out, nil
+	}
+
+	var pts []ParScalePoint
+	var ripsBase, stealBase time.Duration
+	var refResult, refTasks int64
+	for i, w := range counts {
+		runtime.GOMAXPROCS(w)
+		rres, err := best(w, par.RIPS)
+		if err != nil {
+			return nil, fmt.Errorf("parscale: rips at %d workers: %w", w, err)
+		}
+		sres, err := best(w, par.Steal)
+		if err != nil {
+			return nil, fmt.Errorf("parscale: steal at %d workers: %w", w, err)
+		}
+		if i == 0 {
+			ripsBase, stealBase = rres.Wall, sres.Wall
+			refResult, refTasks = rres.AppResult, rres.Generated
+		}
+		for _, r := range []par.Result{rres, sres} {
+			if r.AppResult != refResult || r.Generated != refTasks {
+				return nil, fmt.Errorf("parscale: answer diverged at %d workers: result %d tasks %d, want %d and %d",
+					w, r.AppResult, r.Generated, refResult, refTasks)
+			}
+		}
+		pts = append(pts, ParScalePoint{
+			Workers:      w,
+			RIPS:         rres,
+			Steal:        sres,
+			RIPSSpeedup:  metrics.WallSpeedup(ripsBase, rres.Wall),
+			StealSpeedup: metrics.WallSpeedup(stealBase, sres.Wall),
+			RIPSEff:      metrics.WallEfficiency(rres.Busy, w, rres.Wall),
+			StealEff:     metrics.WallEfficiency(sres.Busy, w, sres.Wall),
+		})
+	}
+	return pts, nil
+}
+
+// PrintParScale renders the scaling curve, RIPS and work stealing side
+// by side.
+func PrintParScale(w io.Writer, a app.App, pts []ParScalePoint) {
+	fmt.Fprintf(w, "Real-parallel scaling: %s (wall-clock, min of reps; speedup vs each strategy's 1-worker run)\n", a.Name())
+	fmt.Fprintf(w, "%3s | %10s %7s %5s %7s %8s | %10s %7s %5s %7s\n",
+		"P", "rips wall", "speedup", "eff", "phases", "migrated", "steal wall", "speedup", "eff", "steals")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%3d | %10v %6.2fx %4.0f%% %7d %8d | %10v %6.2fx %4.0f%% %7d\n",
+			p.Workers,
+			p.RIPS.Wall.Round(time.Microsecond), p.RIPSSpeedup, 100*p.RIPSEff, p.RIPS.Phases, p.RIPS.Migrated,
+			p.Steal.Wall.Round(time.Microsecond), p.StealSpeedup, 100*p.StealEff, p.Steal.Steals)
+	}
+	if n := len(pts); n > 0 {
+		fmt.Fprintf(w, "answer check: app result %d, %d tasks, identical at every point\n",
+			pts[n-1].RIPS.AppResult, pts[n-1].RIPS.Generated)
+	}
+}

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"rips/internal/apps/nqueens"
+)
+
+func TestParScaleCounts(t *testing.T) {
+	cases := []struct {
+		max  int
+		want []int
+	}{
+		{1, []int{1}},
+		{4, []int{1, 2, 4}},
+		{6, []int{1, 2, 4, 6}},
+		{0, []int{1}},
+	}
+	for _, c := range cases {
+		got := ParScaleCounts(c.max)
+		if len(got) != len(c.want) {
+			t.Errorf("ParScaleCounts(%d) = %v, want %v", c.max, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParScaleCounts(%d) = %v, want %v", c.max, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestParScale(t *testing.T) {
+	a := nqueens.New(9, 3)
+	pts, err := ParScale(a, []int{1, 2}, 1, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.RIPS.AppResult != 352 || p.Steal.AppResult != 352 {
+			t.Errorf("%d workers: app results %d/%d, want 352 solutions",
+				p.Workers, p.RIPS.AppResult, p.Steal.AppResult)
+		}
+		if p.RIPSSpeedup <= 0 || p.StealSpeedup <= 0 {
+			t.Errorf("%d workers: non-positive speedups %v/%v", p.Workers, p.RIPSSpeedup, p.StealSpeedup)
+		}
+		if p.RIPSEff <= 0 || p.RIPSEff > 1 || p.StealEff <= 0 || p.StealEff > 1 {
+			t.Errorf("%d workers: efficiencies out of range %v/%v", p.Workers, p.RIPSEff, p.StealEff)
+		}
+	}
+	if pts[0].RIPSSpeedup != 1 || pts[0].StealSpeedup != 1 {
+		t.Errorf("1-worker speedups = %v/%v, want 1", pts[0].RIPSSpeedup, pts[0].StealSpeedup)
+	}
+
+	var buf strings.Builder
+	PrintParScale(&buf, a, pts)
+	out := buf.String()
+	for _, want := range []string{"9-queens", "rips wall", "steal wall", "352"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintParScale output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package metrics
+
+import "time"
+
+// Wall-clock variants of the paper's measures, used by the
+// real-parallel backend (internal/par): there the relevant times are
+// measured in elapsed nanoseconds rather than simulated virtual time,
+// and the sequential baseline is a one-worker run of the same binary.
+
+// WallEfficiency is mu for a real run: the summed task-execution time
+// over the machine-time product, busy / (n * wall). It is 1.0 when
+// every core computes the whole time and degrades with idling and
+// scheduling overhead exactly like the simulated mu.
+func WallEfficiency(busy time.Duration, n int, wall time.Duration) float64 {
+	if wall <= 0 || n <= 0 {
+		return 0
+	}
+	return float64(busy) / (float64(wall) * float64(n))
+}
+
+// WallSpeedup is T(base)/T(p): the scaling speedup of a run against a
+// baseline wall time (typically the one-worker run of the same
+// strategy).
+func WallSpeedup(base, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(base) / float64(wall)
+}
+
+// Parallelism is the effective parallelism busy/wall — how many cores'
+// worth of computation the run sustained. Bounded by the worker count;
+// the gap to it is overhead plus idling.
+func Parallelism(busy, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(busy) / float64(wall)
+}

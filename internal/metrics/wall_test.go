@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWallEfficiency(t *testing.T) {
+	// 4 workers busy 1s each over a 1s wall: perfect efficiency.
+	if got := WallEfficiency(4*time.Second, 4, time.Second); got != 1.0 {
+		t.Errorf("WallEfficiency(4s, 4, 1s) = %v, want 1.0", got)
+	}
+	if got := WallEfficiency(2*time.Second, 4, time.Second); got != 0.5 {
+		t.Errorf("WallEfficiency(2s, 4, 1s) = %v, want 0.5", got)
+	}
+	if got := WallEfficiency(time.Second, 4, 0); got != 0 {
+		t.Errorf("WallEfficiency with zero wall = %v, want 0", got)
+	}
+	if got := WallEfficiency(time.Second, 0, time.Second); got != 0 {
+		t.Errorf("WallEfficiency with zero workers = %v, want 0", got)
+	}
+}
+
+func TestWallSpeedup(t *testing.T) {
+	if got := WallSpeedup(8*time.Second, 2*time.Second); got != 4.0 {
+		t.Errorf("WallSpeedup(8s, 2s) = %v, want 4.0", got)
+	}
+	if got := WallSpeedup(time.Second, 0); got != 0 {
+		t.Errorf("WallSpeedup with zero wall = %v, want 0", got)
+	}
+}
+
+func TestParallelism(t *testing.T) {
+	if got := Parallelism(3*time.Second, time.Second); got != 3.0 {
+		t.Errorf("Parallelism(3s, 1s) = %v, want 3.0", got)
+	}
+	if got := Parallelism(time.Second, 0); got != 0 {
+		t.Errorf("Parallelism with zero wall = %v, want 0", got)
+	}
+}

@@ -1,0 +1,50 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEpochBarrier drives several workers through many epochs: the
+// leader callback must run exactly once per epoch with every worker
+// parked, and every worker must observe the same epoch index sequence.
+func TestEpochBarrier(t *testing.T) {
+	const (
+		parties = 5
+		epochs  = 200
+	)
+	b := newEpochBarrier(parties)
+	leaderRuns := 0
+	shared := 0 // written by the leader only; data race if the world is not stopped
+	seen := make([][]int64, parties)
+
+	var wg sync.WaitGroup
+	for id := 0; id < parties; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < epochs; i++ {
+				e := b.await(func() {
+					leaderRuns++
+					shared++
+				})
+				seen[id] = append(seen[id], e)
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	if leaderRuns != epochs {
+		t.Fatalf("leader ran %d times, want %d", leaderRuns, epochs)
+	}
+	if shared != epochs {
+		t.Fatalf("shared counter = %d, want %d", shared, epochs)
+	}
+	for id, s := range seen {
+		for i, e := range s {
+			if e != int64(i) {
+				t.Fatalf("worker %d saw epoch %d at position %d", id, e, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package par is the real-parallel execution backend: it runs the
+// unchanged app.App workloads over P worker goroutines on actual
+// cores, where the virtual-time simulator (internal/sim + ripsrt)
+// runs them one node at a time. The workers are pinned to the nodes
+// of a virtual machine topology — worker k plays node k of the mesh,
+// tree or hypercube — and execute the paper's phase protocol for
+// real:
+//
+//   - User phases: every worker executes tasks from its own deque,
+//     filing spawned children under the configured local policy (Lazy:
+//     straight back into the executable deque; Eager: into a staging
+//     queue that only a system phase can release).
+//   - Transfer detection: the ANY policy is an atomic request word
+//     carrying the user-phase index — the first drained worker
+//     publishes it (compare-and-swap, so redundant initiators cancel
+//     exactly like ripsrt's init broadcast with a phase index), and
+//     every other worker honours it after finishing at most one more
+//     task. The ALL policy needs no signalling at all: a drained
+//     worker simply enters the phase barrier, which by construction
+//     completes only when every worker has drained.
+//   - System phases: a phase-indexed epoch barrier stops the world;
+//     the last worker to arrive becomes the leader, snapshots the
+//     per-worker loads, runs the pure planner of the machine topology
+//     (mwa.Plan, treewalk.Plan or cubewalk.Plan — the same code the
+//     simulator's message-passing phases are validated against) and
+//     applies the plan as slice transfers between deques. Conservation
+//     and the Theorem 1 balance are invariant-checked on every phase.
+//
+// The same backend houses a Chase-Lev-style work-stealing strategy
+// (Steal) over the identical worker/deque layout, so RIPS versus
+// work-stealing is an apples-to-apples wall-clock comparison — the
+// benchmark cmd/ripsbench parscale reports both side by side.
+//
+// Because this backend measures real elapsed time, its files carry
+// file-scope wallclock waivers (see the policy in internal/analysis):
+// wall-clock reads are the whole point here, while everything the
+// answer depends on — the task decomposition — stays deterministic.
+// Cross-validation tests prove the solution counts match the
+// simulator's and the sequential profile's at every worker count.
+package par
+
+import (
+	"fmt"
+	"time"
+
+	"rips/internal/app"
+	"rips/internal/invariant"
+	"rips/internal/ripsrt"
+	"rips/internal/sim"
+	"rips/internal/topo"
+)
+
+// Strategy selects the scheduling engine run by the workers.
+type Strategy int
+
+const (
+	// RIPS alternates user phases with stop-the-world system phases
+	// running the topology's exact walking algorithm.
+	RIPS Strategy = iota
+	// Steal is the work-stealing comparator: no phases, idle workers
+	// steal from the top of random victims' Chase-Lev deques.
+	Steal
+)
+
+func (s Strategy) String() string {
+	if s == Steal {
+		return "steal"
+	}
+	return "rips"
+}
+
+// DefaultDetectInterval is the ANY-policy initiation delay used when
+// Config.DetectInterval is zero: a drained worker waits this long for
+// another worker to initiate (or for more tasks to be generated)
+// before requesting the transfer itself. The real-time analogue of
+// ripsrt.DefaultInitBackoff.
+const DefaultDetectInterval = 100 * time.Microsecond
+
+// Config describes one real-parallel run.
+type Config struct {
+	// Topo is the virtual machine the workers are pinned to; its Size
+	// is the worker count. RIPS requires a mesh, tree or hypercube
+	// (the topologies with exact walking algorithms); Steal accepts
+	// any topology and uses only its size.
+	Topo topo.Topology
+	// App is the workload; its Execute runs for real on the workers.
+	App app.App
+	// Strategy selects RIPS (default) or work stealing.
+	Strategy Strategy
+	// Local and Global select the RIPS transfer policy (ANY-Lazy, the
+	// paper's best combination, is the zero value). Ignored by Steal.
+	Local  ripsrt.LocalPolicy
+	Global ripsrt.GlobalPolicy
+	// DetectInterval throttles the ANY detector: a drained worker
+	// waits this long before publishing the transfer request, giving
+	// busy workers time to spawn more tasks (the wall-clock analogue
+	// of ripsrt.Config.InitBackoff). Negative disables the wait; zero
+	// means DefaultDetectInterval.
+	DetectInterval time.Duration
+	// Seed feeds the steal strategy's per-worker victim RNGs. The
+	// answer never depends on it; only steal order does.
+	Seed int64
+}
+
+func (c *Config) validate() error {
+	if c.Topo == nil {
+		return fmt.Errorf("par: Config.Topo is required")
+	}
+	if c.App == nil {
+		return fmt.Errorf("par: Config.App is nil")
+	}
+	if c.Topo.Size() < 1 {
+		return fmt.Errorf("par: empty topology %s", c.Topo.Name())
+	}
+	switch c.Strategy {
+	case RIPS:
+		switch c.Topo.(type) {
+		case *topo.Mesh, *topo.Tree, *topo.Hypercube:
+		default:
+			return fmt.Errorf("par: no system-phase planner for %s", c.Topo.Name())
+		}
+	case Steal:
+	default:
+		return fmt.Errorf("par: unknown strategy %d", int(c.Strategy))
+	}
+	return nil
+}
+
+func (c *Config) detectInterval() time.Duration {
+	switch {
+	case c.DetectInterval < 0:
+		return 0
+	case c.DetectInterval == 0:
+		return DefaultDetectInterval
+	default:
+		return c.DetectInterval
+	}
+}
+
+// Result carries the wall-clock measures of one run — the real-time
+// analogues of the paper's T, Th and Ti — plus the task accounting
+// shared with the simulator backend.
+type Result struct {
+	// Workers is the worker count (the topology size).
+	Workers int
+	// Wall is the elapsed execution time T.
+	Wall time.Duration
+	// Busy is the total task-execution time summed over workers; the
+	// effective parallelism is Busy/Wall.
+	Busy time.Duration
+	// Overhead is the per-worker scheduling overhead Th. Under RIPS
+	// the system phases stop the world, so every worker pays the full
+	// stop-the-world time; under Steal it is zero (steal overhead is
+	// indistinguishable from idle spinning).
+	Overhead time.Duration
+	// Idle is the per-worker average idle time Ti, derived as
+	// Wall - Overhead - Busy/Workers.
+	Idle time.Duration
+	// Task accounting, as in ripsrt.Result.
+	Generated, Executed, Nonlocal int64
+	// Migrated counts task transfers applied by RIPS system phases;
+	// Steals counts successful steals of the Steal strategy.
+	Migrated, Steals int64
+	// Phases is the number of RIPS system phases (0 under Steal).
+	Phases int64
+	// PhaseTotals is the global task total observed by each system
+	// phase in order (nil under Steal).
+	PhaseTotals []int
+	// VirtualWork is the summed virtual time reported by Execute — it
+	// must equal the sequential profile's Work for any worker count,
+	// which cross-validation tests assert.
+	VirtualWork sim.Time
+	// AppResult is the aggregated app.Counted result (e.g. solutions
+	// found); it must match the sequential profile's Result exactly.
+	AppResult int64
+}
+
+// Run executes the workload on real cores and returns the wall-clock
+// measures. The caller controls true hardware parallelism through
+// GOMAXPROCS; Run itself never changes it.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	var err error
+	if cfg.Strategy == Steal {
+		res, err = runSteal(&cfg)
+	} else {
+		res, err = runRIPS(&cfg)
+	}
+	if err != nil {
+		return res, err
+	}
+	invariant.Conserved(int(res.Generated), int(res.Executed), "par: run")
+	if res.Executed != res.Generated {
+		return res, fmt.Errorf("par: executed %d of %d generated tasks", res.Executed, res.Generated)
+	}
+	return res, nil
+}
+
+// workerID packs per-worker task IDs into the node-partitioned space
+// used by the simulator runtime.
+func packID(worker int, seq uint64) uint64 {
+	return uint64(worker)<<40 | seq
+}
+
+// counters is the per-worker accounting every strategy shares. Each
+// worker mutates only its own struct during execution; the barriers
+// (RIPS epoch barrier, Steal round barrier) order the final reads.
+type counters struct {
+	seq       uint64
+	generated int64
+	executed  int64
+	nonlocal  int64
+	appResult int64
+	vwork     sim.Time
+	busy      time.Duration
+}
+
+// sumInto accumulates every worker's counters into the result.
+func sumInto(res *Result, ws []*counters) {
+	for _, w := range ws {
+		res.Generated += w.generated
+		res.Executed += w.executed
+		res.Nonlocal += w.nonlocal
+		res.AppResult += w.appResult
+		res.VirtualWork += w.vwork
+		res.Busy += w.busy
+	}
+}
+
+// derive fills the Wall-derived per-worker averages.
+func derive(res *Result, wall time.Duration) {
+	res.Wall = wall
+	idle := wall - res.Overhead - res.Busy/time.Duration(res.Workers)
+	if idle < 0 {
+		idle = 0
+	}
+	res.Idle = idle
+}

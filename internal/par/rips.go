@@ -1,0 +1,261 @@
+//ripslint:allow-file wallclock the real-parallel backend measures actual elapsed time by design; scheduling decisions depend only on task counts, never on the clock
+
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rips/internal/app"
+	"rips/internal/invariant"
+	"rips/internal/ripsrt"
+	"rips/internal/task"
+)
+
+// ripsWorker is one worker's private state under the RIPS strategy.
+// Only its owner touches it during user phases; the epoch barrier
+// hands it to the phase leader during system phases.
+type ripsWorker struct {
+	counters
+	id    int
+	rte   task.Queue  // ready to execute
+	stage []task.Task // ready to schedule (Eager local policy)
+}
+
+func (w *ripsWorker) newID() uint64 {
+	w.seq++
+	return packID(w.id, w.seq)
+}
+
+// ripsRun is the shared state of one RIPS-strategy run.
+type ripsRun struct {
+	cfg     *Config
+	n       int
+	workers []*ripsWorker
+	bar     *epochBarrier
+
+	// req is the ANY detector: the highest epoch index for which a
+	// transfer has been requested (-1 initially). The first drained
+	// worker of epoch e publishes e with a compare-and-swap — exactly
+	// the phase-indexed init broadcast of the simulator runtime, with
+	// redundant initiators cancelled by the CAS instead of by message
+	// filtering.
+	req atomic.Int64
+
+	// Leader-only state, ordered by the epoch barrier.
+	round       int
+	done        bool
+	err         error
+	phases      int64
+	migrated    int64
+	phaseTotals []int
+	sysTime     time.Duration
+}
+
+func runRIPS(cfg *Config) (Result, error) {
+	r := &ripsRun{cfg: cfg, n: cfg.Topo.Size(), bar: newEpochBarrier(cfg.Topo.Size())}
+	r.req.Store(-1)
+	for i := 0; i < r.n; i++ {
+		r.workers = append(r.workers, &ripsWorker{id: i})
+	}
+	r.loadRoots(0)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < r.n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r.workerMain(id)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := Result{
+		Workers:     r.n,
+		Overhead:    r.sysTime,
+		Migrated:    r.migrated,
+		Phases:      r.phases,
+		PhaseTotals: r.phaseTotals,
+	}
+	cs := make([]*counters, r.n)
+	for i, w := range r.workers {
+		cs[i] = &w.counters
+	}
+	sumInto(&res, cs)
+	derive(&res, wall)
+	return res, r.err
+}
+
+// loadRoots stages a round's root tasks: block-distributed apps start
+// with each worker owning its slice, all others start at worker 0 and
+// let the first system phase spread the work (the paper's SPMD start).
+// Called single-threaded (before the workers start) or by the phase
+// leader (inside the barrier).
+func (r *ripsRun) loadRoots(round int) {
+	roots := r.cfg.App.Roots(round)
+	if app.RootsDistributed(r.cfg.App) {
+		for i, w := range r.workers {
+			lo, hi := app.RootBlock(len(roots), r.n, i)
+			for _, sp := range roots[lo:hi] {
+				w.rte.PushBack(task.Task{ID: w.newID(), Origin: i, Size: sp.Size, Data: sp.Data})
+			}
+			w.generated += int64(hi - lo)
+		}
+		return
+	}
+	w := r.workers[0]
+	for _, sp := range roots {
+		w.rte.PushBack(task.Task{ID: w.newID(), Origin: 0, Size: sp.Size, Data: sp.Data})
+	}
+	w.generated += int64(len(roots))
+}
+
+// workerMain is one worker's phase loop: a system phase at every
+// barrier epoch, then a user phase until the transfer condition fires.
+func (r *ripsRun) workerMain(id int) {
+	w := r.workers[id]
+	for {
+		epoch := r.bar.await(r.systemPhase)
+		if r.done { // leader decision, ordered by the barrier
+			return
+		}
+		r.userPhase(w, epoch)
+	}
+}
+
+// userPhase executes tasks until this epoch's transfer condition is
+// met. Under ANY a worker holding tasks honours a transfer request
+// only after finishing the task in hand — and executes at least one
+// task if it has any, which guarantees global progress (every system
+// phase is separated by at least one real execution somewhere). A
+// drained worker requests the transfer itself after the detector
+// interval. Under ALL there is nothing to signal: draining IS the
+// local condition, and the epoch barrier completes exactly when every
+// worker has drained.
+func (r *ripsRun) userPhase(w *ripsWorker, epoch int64) {
+	executed := false
+	for {
+		if executed && r.cfg.Global == ripsrt.Any && r.req.Load() >= epoch {
+			return // someone requested the transfer; one task finished since
+		}
+		tk, ok := w.rte.PopFront()
+		if !ok {
+			break // drained: the local condition holds
+		}
+		r.execute(w, tk)
+		executed = true
+	}
+	if r.cfg.Global == ripsrt.All {
+		return
+	}
+	r.initiate(epoch)
+}
+
+// initiate publishes the ANY transfer request for this epoch, waiting
+// the detector interval first so that a momentary drain during the
+// initial fan-out does not trigger a storm of nearly-empty phases.
+func (r *ripsRun) initiate(epoch int64) {
+	if r.req.Load() >= epoch {
+		return
+	}
+	if d := r.cfg.detectInterval(); d > 0 {
+		time.Sleep(d)
+	}
+	for {
+		cur := r.req.Load()
+		if cur >= epoch {
+			return // a concurrent initiator won; redundant init cancelled
+		}
+		if r.req.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// execute runs one task for real and files its children per the local
+// policy.
+func (r *ripsRun) execute(w *ripsWorker, tk task.Task) {
+	if tk.Origin != w.id {
+		w.nonlocal++
+	}
+	w.executed++
+	var children []task.Task
+	start := time.Now()
+	vw, res := app.ExecuteCount(r.cfg.App, tk.Data, func(sp app.Spawn) {
+		children = append(children, task.Task{ID: w.newID(), Origin: w.id, Size: sp.Size, Data: sp.Data})
+	})
+	w.busy += time.Since(start)
+	w.vwork += vw
+	w.appResult += res
+	if len(children) > 0 {
+		w.generated += int64(len(children))
+		if r.cfg.Local == ripsrt.Eager {
+			w.stage = append(w.stage, children...)
+		} else {
+			w.rte.PushAll(children)
+		}
+	}
+}
+
+// systemPhase runs with the world stopped (inside the epoch barrier):
+// it makes every task schedulable, snapshots the loads, runs the pure
+// walking algorithm of the machine topology and applies the plan as
+// slice transfers between worker deques. A zero global total detects
+// the round boundary, exactly like the simulator runtime.
+func (r *ripsRun) systemPhase() {
+	start := time.Now()
+	defer func() { r.sysTime += time.Since(start) }()
+
+	loads := make([]int, r.n)
+	total := 0
+	for i, w := range r.workers {
+		// Leftover RTE tasks are rescheduled together with the staged
+		// ones (paper Section 2).
+		w.rte.PushAll(w.stage)
+		w.stage = w.stage[:0]
+		loads[i] = w.rte.Len()
+		total += loads[i]
+	}
+	r.phases++
+	r.phaseTotals = append(r.phaseTotals, total)
+
+	if total == 0 {
+		r.round++
+		if r.round >= r.cfg.App.Rounds() {
+			r.done = true
+			return
+		}
+		r.loadRoots(r.round)
+		return
+	}
+
+	plan, planTotal, err := planLoads(r.cfg.Topo, loads)
+	if err != nil {
+		r.err = err
+		r.done = true
+		return
+	}
+	invariant.Check(planTotal == total, "par: planner saw %d tasks, snapshot had %d", planTotal, total)
+	for _, mv := range plan.Moves {
+		// Taking from the back forwards tasks that just arrived in this
+		// same phase first, keeping resident tasks home (the locality
+		// preference of Theorem 2).
+		ts := r.workers[mv.From].rte.TakeBack(mv.Count)
+		if len(ts) != mv.Count {
+			invariant.Violated("par: worker %d short %d tasks for migration", mv.From, mv.Count-len(ts))
+		}
+		r.workers[mv.To].rte.PushAll(ts)
+		r.migrated += int64(mv.Count)
+	}
+
+	// Executed Theorem 1 and conservation on every real system phase.
+	after := 0
+	for i, w := range r.workers {
+		after += w.rte.Len()
+		invariant.BalancedWithinOne(w.rte.Len(), total, r.n, i, "par: system phase")
+	}
+	invariant.Conserved(total, after, "par: system phase")
+}

@@ -1,0 +1,209 @@
+//ripslint:allow-file wallclock the work-stealing comparator measures actual elapsed time by design; stealing order is timing-dependent but the executed task set is not
+
+package par
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rips/internal/app"
+	"rips/internal/invariant"
+	"rips/internal/task"
+)
+
+// stealWorker is one worker's private state under the Steal strategy.
+type stealWorker struct {
+	counters
+	id     int
+	d      *deque
+	rng    *rand.Rand // victim selection only; never affects the answer
+	steals int64
+}
+
+func (w *stealWorker) newID() uint64 {
+	w.seq++
+	return packID(w.id, w.seq)
+}
+
+// stealRun is the shared state of one work-stealing run.
+type stealRun struct {
+	cfg     *Config
+	n       int
+	workers []*stealWorker
+	bar     *epochBarrier
+	// pending counts tasks generated but not yet executed; it reaches
+	// zero exactly when the round's whole task tree has run, which is
+	// the strategy's (centralized) termination detector.
+	pending atomic.Int64
+	// Leader-only state, ordered by the round barrier.
+	round int
+	done  bool
+}
+
+func runSteal(cfg *Config) (Result, error) {
+	r := &stealRun{cfg: cfg, n: cfg.Topo.Size(), bar: newEpochBarrier(cfg.Topo.Size())}
+	for i := 0; i < r.n; i++ {
+		r.workers = append(r.workers, &stealWorker{
+			id:  i,
+			d:   newDeque(),
+			rng: rand.New(rand.NewSource(cfg.Seed ^ int64(i)*0x9e3779b9)),
+		})
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < r.n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r.workerMain(id)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := Result{Workers: r.n}
+	cs := make([]*counters, r.n)
+	for i, w := range r.workers {
+		cs[i] = &w.counters
+		res.Steals += w.steals
+	}
+	sumInto(&res, cs)
+	derive(&res, wall)
+	return res, nil
+}
+
+// loadRoots seeds a round. Like the RIPS strategy, block-distributed
+// apps start spread out and everything else starts on worker 0 — here
+// it is the thieves, not a system phase, that spread the work.
+func (r *stealRun) loadRoots(round int) {
+	roots := r.cfg.App.Roots(round)
+	r.pending.Store(int64(len(roots)))
+	push := func(w *stealWorker, sp app.Spawn) {
+		t := &task.Task{ID: w.newID(), Origin: w.id, Size: sp.Size, Data: sp.Data}
+		w.d.push(t)
+		w.generated++
+	}
+	if app.RootsDistributed(r.cfg.App) {
+		for i, w := range r.workers {
+			lo, hi := app.RootBlock(len(roots), r.n, i)
+			for _, sp := range roots[lo:hi] {
+				push(w, sp)
+			}
+		}
+		return
+	}
+	for _, sp := range roots {
+		push(r.workers[0], sp)
+	}
+}
+
+// workerMain alternates rounds (separated by the barrier, where the
+// leader reseeds the next round) with the steal loop.
+func (r *stealRun) workerMain(id int) {
+	w := r.workers[id]
+	for {
+		r.bar.await(r.advanceRound)
+		if r.done {
+			return
+		}
+		r.work(w)
+	}
+}
+
+// advanceRound runs at the round barrier: every deque must be empty
+// (pending hit zero), and the next round — if any — is staged.
+func (r *stealRun) advanceRound() {
+	for _, w := range r.workers {
+		if n := w.d.size(); n != 0 {
+			invariant.Violated("par: steal worker %d holds %d tasks at round barrier", w.id, n)
+		}
+	}
+	if r.round >= r.cfg.App.Rounds() {
+		r.done = true
+		return
+	}
+	r.loadRoots(r.round)
+	r.round++
+}
+
+// work executes and steals until the round's task tree is exhausted.
+func (r *stealRun) work(w *stealWorker) {
+	idleSweeps := 0
+	for {
+		t := w.d.pop()
+		if t == nil {
+			if r.pending.Load() == 0 {
+				return
+			}
+			t = r.stealOne(w)
+			if t == nil {
+				// Nothing stealable right now: every remaining task is
+				// in execution. Yield, then back off to a short sleep so
+				// spinning thieves do not starve the workers they will
+				// steal from.
+				idleSweeps++
+				if idleSweeps > 16 {
+					time.Sleep(time.Microsecond)
+				} else {
+					runtime.Gosched()
+				}
+				continue
+			}
+			w.steals++
+		}
+		idleSweeps = 0
+		r.execute(w, t)
+	}
+}
+
+// stealOne sweeps the victims once in random rotation, returning the
+// first stolen task.
+func (r *stealRun) stealOne(w *stealWorker) *task.Task {
+	off := w.rng.Intn(r.n)
+	for k := 0; k < r.n; k++ {
+		v := (off + k) % r.n
+		if v == w.id {
+			continue
+		}
+		for {
+			t, retry := r.workers[v].d.steal()
+			if t != nil {
+				return t
+			}
+			if !retry {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// execute runs one task for real. The pending counter is raised by the
+// children before the task's own completion is subtracted, so it can
+// only reach zero when the whole tree has executed.
+func (r *stealRun) execute(w *stealWorker, t *task.Task) {
+	if t.Origin != w.id {
+		w.nonlocal++
+	}
+	w.executed++
+	var children []task.Task
+	start := time.Now()
+	vw, res := app.ExecuteCount(r.cfg.App, t.Data, func(sp app.Spawn) {
+		children = append(children, task.Task{ID: w.newID(), Origin: w.id, Size: sp.Size, Data: sp.Data})
+	})
+	w.busy += time.Since(start)
+	w.vwork += vw
+	w.appResult += res
+	if len(children) > 0 {
+		w.generated += int64(len(children))
+		r.pending.Add(int64(len(children)))
+		for i := range children {
+			w.d.push(&children[i])
+		}
+	}
+	r.pending.Add(-1)
+}

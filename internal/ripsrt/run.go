@@ -17,6 +17,7 @@ const (
 	CounterNonlocal  = "rips.nonlocal"  // tasks executed away from their origin
 	CounterMigrated  = "rips.migrated"  // task·link transfers in system phases
 	CounterPhases    = "rips.phases"    // system phases (counted once, at node 0)
+	CounterAppResult = "rips.appresult" // aggregated app.Counted contributions
 )
 
 // Result of a RIPS run.
@@ -33,6 +34,9 @@ type Result struct {
 	Generated, Executed, Nonlocal, Migrated int64
 	// Phases is the number of system phases executed.
 	Phases int64
+	// AppResult is the aggregated application result of Counted apps
+	// (e.g. solutions found); 0 for apps without result counting.
+	AppResult int64
 	// PhaseTotals is the global task total T observed by each system
 	// phase in order — the expansion/collapse curve of the workload
 	// (the final entries are the zero-total phases that detect round
@@ -64,6 +68,7 @@ func Run(cfg Config) (Result, error) {
 		Nonlocal:  sr.Counters[CounterNonlocal],
 		Migrated:  sr.Counters[CounterMigrated],
 		Phases:    sr.Counters[CounterPhases],
+		AppResult: sr.Counters[CounterAppResult],
 	}
 	res.PhaseTotals = phaseTotals
 	n := int64(cfg.machineTopo().Size())
@@ -174,9 +179,12 @@ func (st *nodeState) execute(tk task.Task) {
 	}
 	n.Count(CounterExecuted, 1)
 	var children []task.Task
-	work := st.cfg.App.Execute(tk.Data, func(sp app.Spawn) {
+	work, res := app.ExecuteCount(st.cfg.App, tk.Data, func(sp app.Spawn) {
 		children = append(children, task.Task{ID: st.newID(), Origin: n.ID(), Size: sp.Size, Data: sp.Data})
 	})
+	if res != 0 {
+		n.Count(CounterAppResult, res)
+	}
 	n.Compute(work)
 	if len(children) > 0 {
 		st.overhead(sim.Time(len(children)) * st.costs.PerEnqueue)

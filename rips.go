@@ -24,6 +24,7 @@ package rips
 
 import (
 	"fmt"
+	"time"
 
 	"rips/internal/app"
 	"rips/internal/apps/gromos"
@@ -31,6 +32,7 @@ import (
 	"rips/internal/apps/puzzle"
 	"rips/internal/dynsched"
 	"rips/internal/metrics"
+	"rips/internal/par"
 	"rips/internal/ripsrt"
 	"rips/internal/sim"
 	"rips/internal/topo"
@@ -83,6 +85,11 @@ const (
 	// scheduling). A useful lower bound showing why a balancer is
 	// needed at all.
 	Static
+	// Steal is Chase-Lev work stealing, the standard shared-memory
+	// scheduler RIPS's global approach is compared against. It runs
+	// only on the Parallel backend (there is no message-cost model for
+	// it in the simulator).
+	Steal
 )
 
 func (a Algorithm) String() string {
@@ -97,8 +104,31 @@ func (a Algorithm) String() string {
 		return "rid"
 	case Static:
 		return "static"
+	case Steal:
+		return "steal"
 	}
 	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// Backend selects what actually executes the run.
+type Backend int
+
+const (
+	// Simulate (the default) runs the workload on the deterministic
+	// virtual-time simulator of a distributed-memory machine — the
+	// paper's methodology, with modelled message costs.
+	Simulate Backend = iota
+	// Parallel runs the workload for real on P worker goroutines over
+	// shared memory (internal/par): real cores, real phase barriers,
+	// wall-clock results. Supports the RIPS and Steal algorithms.
+	Parallel
+)
+
+func (b Backend) String() string {
+	if b == Parallel {
+		return "parallel"
+	}
+	return "simulate"
 }
 
 // Config describes one simulated run.
@@ -115,6 +145,9 @@ type Config struct {
 	Topology string
 	// Algorithm selects the scheduler (default RIPS).
 	Algorithm Algorithm
+	// Backend selects the simulator (default) or real shared-memory
+	// parallel execution.
+	Backend Backend
 	// Eager switches RIPS to the two-queue eager local policy.
 	Eager bool
 	// All switches RIPS to the ALL global transfer policy.
@@ -129,15 +162,31 @@ type Config struct {
 	// RIDUpdateFactor overrides RID's load-update factor u
 	// (default 0.4, the paper's tuned value).
 	RIDUpdateFactor float64
-	// Seed makes runs reproducible; runs are deterministic per seed.
+	// InitBackoff throttles the simulated ANY detector: a drained node
+	// waits this much virtual time before broadcasting init, so that a
+	// round's initial fan-out does not trigger a storm of nearly-empty
+	// system phases. Negative disables the wait; zero means the
+	// runtime default of 1ms. Simulate backend only.
+	InitBackoff Time
+	// DetectInterval is the real-time analogue of InitBackoff for the
+	// Parallel backend: how long a drained worker waits before
+	// requesting a transfer. Negative disables the wait; zero means
+	// the backend default of 100us. Parallel backend only.
+	DetectInterval time.Duration
+	// Seed makes runs reproducible; simulated runs are deterministic
+	// per seed (the Parallel backend's answer is seed- and
+	// timing-independent, but steal orders are not).
 	Seed int64
 }
 
 // Result carries the paper's measures for one run.
 type Result struct {
-	// Time is the parallel execution time T.
+	// Time is the parallel execution time T. Zero on the Parallel
+	// backend, where the measured time is the real Wall below.
 	Time Time
-	// Overhead (Th) and Idle (Ti) are per-node averages.
+	// Overhead (Th) and Idle (Ti) are per-node averages. On the
+	// Parallel backend they are measured in real (wall-clock)
+	// nanoseconds rather than virtual time.
 	Overhead, Idle Time
 	// Tasks is the number of tasks generated and executed.
 	Tasks int64
@@ -147,8 +196,18 @@ type Result struct {
 	Phases int64
 	// SeqTime is the sequential execution time Ts.
 	SeqTime Time
-	// Efficiency is Ts/(N*T); Speedup is Ts/T.
+	// Efficiency is Ts/(N*T); Speedup is Ts/T. On the Parallel
+	// backend, Efficiency is busy/(N*wall) and Speedup is
+	// Efficiency*N (the effective parallelism).
 	Efficiency, Speedup float64
+	// Wall is the elapsed real time of a Parallel-backend run (zero
+	// for simulated runs, whose time is the virtual Time above).
+	Wall time.Duration
+	// Steals counts successful steals of a Parallel Steal run.
+	Steals int64
+	// AppResult is the aggregated application result (e.g. solutions
+	// found) for result-counting workloads.
+	AppResult int64
 }
 
 // machine resolves the configured interconnect.
@@ -200,9 +259,14 @@ func RunProfiled(a App, p Profile, cfg Config) (Result, error) {
 	}
 	var out Result
 	out.SeqTime = p.Work
+	if cfg.Backend == Parallel {
+		return runParallel(a, p, cfg, mesh)
+	}
 	switch cfg.Algorithm {
+	case Steal:
+		return Result{}, fmt.Errorf("rips: the steal algorithm runs only on the Parallel backend")
 	case RIPS:
-		rc := ripsrt.Config{Topo: mesh, App: a, Seed: cfg.Seed}
+		rc := ripsrt.Config{Topo: mesh, App: a, Seed: cfg.Seed, InitBackoff: cfg.InitBackoff}
 		if cfg.Eager {
 			rc.Local = ripsrt.Eager
 		}
@@ -224,6 +288,7 @@ func RunProfiled(a App, p Profile, cfg Config) (Result, error) {
 		out.Tasks = res.Generated
 		out.Nonlocal = res.Nonlocal
 		out.Phases = res.Phases
+		out.AppResult = res.AppResult
 	case Random, Gradient, RID, Static:
 		dc := dynsched.Config{Topo: mesh, App: a, Seed: cfg.Seed}
 		switch cfg.Algorithm {
@@ -255,6 +320,50 @@ func RunProfiled(a App, p Profile, cfg Config) (Result, error) {
 	out.Efficiency = metrics.Efficiency(p.Work, mesh.Size(), out.Time)
 	out.Speedup = metrics.Speedup(p.Work, out.Time)
 	return out, nil
+}
+
+// runParallel dispatches a run to the real shared-memory backend.
+func runParallel(a App, p Profile, cfg Config, machine topo.Topology) (Result, error) {
+	if cfg.Periodic > 0 {
+		return Result{}, fmt.Errorf("rips: the periodic detector is not available on the Parallel backend")
+	}
+	pc := par.Config{
+		Topo:           machine,
+		App:            a,
+		DetectInterval: cfg.DetectInterval,
+		Seed:           cfg.Seed,
+	}
+	switch cfg.Algorithm {
+	case RIPS:
+		if cfg.Eager {
+			pc.Local = ripsrt.Eager
+		}
+		if cfg.All {
+			pc.Global = ripsrt.All
+		}
+	case Steal:
+		pc.Strategy = par.Steal
+	default:
+		return Result{}, fmt.Errorf("rips: algorithm %v runs only on the Simulate backend", cfg.Algorithm)
+	}
+	res, err := par.Run(pc)
+	if err != nil {
+		return Result{}, err
+	}
+	eff := metrics.WallEfficiency(res.Busy, res.Workers, res.Wall)
+	return Result{
+		Overhead:   Time(res.Overhead),
+		Idle:       Time(res.Idle),
+		Tasks:      res.Generated,
+		Nonlocal:   res.Nonlocal,
+		Phases:     res.Phases,
+		SeqTime:    p.Work,
+		Efficiency: eff,
+		Speedup:    eff * float64(res.Workers),
+		Wall:       res.Wall,
+		Steals:     res.Steals,
+		AppResult:  res.AppResult,
+	}, nil
 }
 
 // NQueens returns the paper's exhaustive N-Queens search workload
