@@ -18,7 +18,24 @@
 // reports the wall-clock scaling curve, RIPS next to Chase-Lev work
 // stealing. It takes its own trailing flags:
 //
-//	ripsbench parscale [-n N] [-reps N] [-smoke]
+//	ripsbench parscale [-app nq|ida|gromos] [-n N] [-reps N] [-smoke]
+//
+// where -n is the family's size knob (board for nq, paper
+// configuration 1-3 for ida, cutoff in angstroms for gromos; 0 picks
+// the family default), so the paper's Table I workload contrast can be
+// replayed on real cores.
+//
+// The difftest experiment is the differential cross-validation
+// harness: it samples configurations from the app x topology x policy
+// x seed lattice and runs each on every backend (simulator, parallel
+// RIPS, work stealing), requiring bit-identical answers and task
+// totals, with per-phase invariant checks promoted to hard failures:
+//
+//	ripsbench difftest [-n N] [-seed N] [-smoke] [-config "..."]
+//
+// -config re-runs one configuration verbatim (the form failures are
+// printed in); otherwise -n configurations are sampled from -seed, and
+// -smoke restricts the pool to the cheap seven-app set CI gates on.
 package main
 
 import (
@@ -29,6 +46,7 @@ import (
 	"time"
 
 	"rips/internal/apps/nqueens"
+	"rips/internal/difftest"
 	"rips/internal/exp"
 	"rips/internal/invariant"
 	"rips/internal/metrics"
@@ -45,7 +63,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ripsbench [flags] fig4|table1|table2|fig5|table3|ablation|topologies|taxonomy|detail|parscale|all\n")
+		fmt.Fprintf(os.Stderr, "usage: ripsbench [flags] fig4|table1|table2|fig5|table3|ablation|topologies|taxonomy|detail|parscale|difftest|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -54,7 +72,7 @@ func main() {
 		os.Exit(2)
 	}
 	what := flag.Arg(0)
-	if flag.NArg() > 1 && what != "parscale" {
+	if flag.NArg() > 1 && what != "parscale" && what != "difftest" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -89,6 +107,8 @@ func main() {
 		run("detail", detail)
 	case "parscale":
 		run("parscale", func() error { return parscale(flag.Args()[1:]) })
+	case "difftest":
+		run("difftest", func() error { return difftestCmd(flag.Args()[1:]) })
 	case "all":
 		run("fig4", fig4)
 		run("table1+table2+fig5", fig5) // fig5 subsumes tables I and II
@@ -233,25 +253,34 @@ func taxonomy() error {
 	return nil
 }
 
-// parscale runs the real-parallel scaling experiment: 13-Queens on
-// the internal/par backend, GOMAXPROCS swept from 1 to NumCPU, RIPS
-// and work stealing side by side. Invariant checks (conservation,
-// Theorem 1 balance) run inside every system phase unless disabled
-// via RIPS_INVARIANTS. -smoke shrinks the run to seconds for CI.
+// parscale runs the real-parallel scaling experiment on the
+// internal/par backend: GOMAXPROCS swept from 1 to NumCPU, RIPS and
+// work stealing side by side. -app selects the workload family (the
+// Table I contrast on real cores: nq, ida or gromos); -n is that
+// family's size knob. Invariant checks (conservation, Theorem 1
+// balance) run inside every system phase unless disabled via
+// RIPS_INVARIANTS. -smoke shrinks the run to seconds for CI.
 func parscale(args []string) error {
 	fs := flag.NewFlagSet("parscale", flag.ExitOnError)
-	queens := fs.Int("n", 13, "N-Queens board size")
+	family := fs.String("app", "nq", "workload family: nq, ida or gromos")
+	size := fs.Int("n", 0, "family size (nq board / ida config 1-3 / gromos cutoff in A); 0 picks the default")
 	reps := fs.Int("reps", 3, "runs per point; the fastest is kept")
-	smoke := fs.Bool("smoke", false, "tiny CI run: 10-Queens, 1-2 workers, one rep")
+	smoke := fs.Bool("smoke", false, "tiny CI run: reduced workload, 1-2 workers, one rep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	counts := exp.ParScaleCounts(runtime.NumCPU())
 	if *smoke {
-		*queens, *reps = 10, 1
+		*reps = 1
 		counts = exp.ParScaleCounts(min(2, runtime.NumCPU()))
+		if *family == "nq" && *size == 0 {
+			*size = 10
+		}
 	}
-	a := nqueens.New(*queens, 4)
+	a, err := exp.ParScaleApp(*family, *size)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "ripsbench: parscale %s on %d cores, worker counts %v, %d reps (invariants: %v)\n",
 		a.Name(), runtime.NumCPU(), counts, *reps, invariant.Enabled())
 	pts, err := exp.ParScale(a, counts, *reps, 0, *seed)
@@ -260,6 +289,53 @@ func parscale(args []string) error {
 	}
 	exp.PrintParScale(os.Stdout, a, pts)
 	return nil
+}
+
+// difftestCmd runs the differential cross-validation lattice (see
+// internal/difftest): every sampled configuration on every backend,
+// identical answers required, invariants promoted to hard failures.
+// Failing configurations are shrunk to minimal repros before printing.
+func difftestCmd(args []string) error {
+	fs := flag.NewFlagSet("difftest", flag.ExitOnError)
+	n := fs.Int("n", 200, "number of lattice configurations to sample")
+	dseed := fs.Int64("seed", 1, "master seed naming the sample")
+	smoke := fs.Bool("smoke", false, "restrict the app pool to the cheap seven-app set (the CI gate)")
+	one := fs.String("config", "", "re-run one configuration verbatim instead of sampling")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h := difftest.NewHarness()
+	if *one != "" {
+		cfg, err := difftest.Parse(*one)
+		if err != nil {
+			return err
+		}
+		if f := h.Check(cfg); f != nil {
+			return f
+		}
+		fmt.Printf("ok: %s identical on all backends\n", cfg)
+		return nil
+	}
+	cfgs := difftest.Sample(*n, *dseed, *smoke)
+	fmt.Fprintf(os.Stderr, "ripsbench: difftest %d configs (seed %d, smoke %v) on %d cores\n",
+		len(cfgs), *dseed, *smoke, runtime.NumCPU())
+	rep := h.Run(cfgs, os.Stderr)
+	fmt.Printf("difftest: %d configs, %d failures; per app:", rep.Configs, len(rep.Failures))
+	for _, s := range difftest.Apps() {
+		if c := rep.PerApp[s.Name]; c > 0 {
+			fmt.Printf(" %s=%d", s.Name, c)
+		}
+	}
+	fmt.Println()
+	if len(rep.Failures) == 0 {
+		return nil
+	}
+	for _, f := range rep.Failures {
+		fmt.Printf("FAIL %v\n", f)
+	}
+	min := difftest.Shrink(rep.Failures[0].Config, func(c difftest.Config) bool { return h.Check(c) != nil })
+	fmt.Printf("minimal repro: ripsbench difftest -config %q\n", min.String())
+	return fmt.Errorf("difftest: %d of %d configurations failed", len(rep.Failures), rep.Configs)
 }
 
 // detail reproduces the Section 4 narrative: 15-Queens under RIPS on

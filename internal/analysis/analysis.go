@@ -19,7 +19,8 @@
 //
 // placed on the offending line or the line directly above it (for the
 // package-scoped phasetest check, anywhere in the package). The check
-// names are wallclock, rand, maporder, errdrop, panic and phasetest.
+// names are wallclock, sleep, rand, maporder, errdrop, panic and
+// phasetest.
 //
 // A file whose whole purpose conflicts with a check can waive it once
 // at the top instead of on every line:
@@ -36,6 +37,12 @@
 //     counts — and for benchmark drivers (cmd/ripsbench). Simulated
 //     code gets no file waivers; an isolated legitimate read uses the
 //     line form.
+//   - sleep: file-scope waivers are refused inside the scheduling
+//     core, even where a wallclock file waiver stands: injected delays
+//     shape the real schedule, so each one is justified on its line,
+//     and deliberate schedule perturbation lives behind the
+//     ripsperturb build tag (internal/par/perturb.go), outside the
+//     lint's default file set.
 //   - maporder: file-scope waivers are refused inside the scheduling
 //     core (internal/sim, internal/ripsrt, internal/sched,
 //     internal/par): there every order-insensitive map loop must

@@ -11,11 +11,18 @@ import (
 //
 // Checks:
 //
-//   - wallclock: calls into package time that read or depend on the
-//     wall clock (time.Now, time.Since, timers, ...). The simulator
-//     has its own virtual clock (sim.Time); wall-clock reads leak host
-//     timing into results. Benchmarks that genuinely measure host time
-//     annotate the call with //ripslint:allow wallclock.
+//   - wallclock: calls into package time that read the wall clock
+//     (time.Now, time.Since, time.Until). The simulator has its own
+//     virtual clock (sim.Time); wall-clock reads leak host timing into
+//     results. Benchmarks that genuinely measure host time annotate
+//     the call with //ripslint:allow wallclock.
+//   - sleep: calls into package time that inject host-timed delays or
+//     events (time.Sleep, timers, tickers). Injected delays shape the
+//     real schedule, which is one step worse than reading the clock,
+//     so inside the scheduling core they are never covered by a
+//     file-scope waiver: each one justifies itself with a line
+//     directive, and schedule-perturbation code lives behind the
+//     ripsperturb build tag instead (see internal/par/perturb.go).
 //   - rand: package-level math/rand functions, which draw from the
 //     process-global, unseeded (Go ≥1.20: randomly seeded) source.
 //     Deterministic code must thread a seeded *rand.Rand (rand.New,
@@ -38,11 +45,16 @@ var Determinism = &Analyzer{
 }
 
 // wallClockFuncs are the package time functions that read the host
-// clock or create host-time-driven events.
+// clock.
 var wallClockFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true,
-	"Tick": true, "After": true, "AfterFunc": true,
-	"NewTimer": true, "NewTicker": true, "Sleep": true,
+}
+
+// sleepFuncs are the package time functions that inject host-timed
+// delays or events into the schedule.
+var sleepFuncs = map[string]bool{
+	"Sleep": true, "Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
 }
 
 // seededRandFuncs are the math/rand package-level functions that build
@@ -89,6 +101,9 @@ func runDeterminism(p *Pass) {
 				case pkgPath == "time" && wallClockFuncs[n.Sel.Name]:
 					p.Reportf(n.Pos(), "wallclock",
 						"time.%s reads the host clock; simulated code must use the virtual clock (sim.Time)", n.Sel.Name)
+				case pkgPath == "time" && sleepFuncs[n.Sel.Name]:
+					p.Reportf(n.Pos(), "sleep",
+						"time.%s injects host-timed delays into the schedule; justify per line or gate behind a build tag", n.Sel.Name)
 				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !seededRandFuncs[n.Sel.Name]:
 					p.Reportf(n.Pos(), "rand",
 						"rand.%s draws from the global math/rand source; use a seeded *rand.Rand (e.g. sim.Node.Rand)", n.Sel.Name)

@@ -78,9 +78,13 @@ func scanDirectives(fset *token.FileSet, files []*ast.File) []directive {
 // suppressed reports whether a finding of the given check at pos is
 // waived by a directive. Package-scoped checks (phasetest) are waived
 // by a directive anywhere in the package; file-scope directives waive
-// their whole file — except maporder inside the scheduling core
-// (mapOrderScope), where every order-dependent loop must justify
-// itself with a line-scoped waiver.
+// their whole file — except maporder and sleep inside the scheduling
+// core (mapOrderScope): there every order-dependent loop and every
+// injected delay must justify itself with a line-scoped waiver, so a
+// blanket wallclock waiver (sanctioned for the real-parallel backend's
+// elapsed-time measurements) can never smuggle in schedule-shaping
+// sleeps — the mistake of copying the perturbation hook out of its
+// ripsperturb build tag is caught here.
 func (p *Package) suppressed(check string, pos token.Position) bool {
 	for _, d := range p.directives {
 		if d.check != check {
@@ -93,7 +97,7 @@ func (p *Package) suppressed(check string, pos token.Position) bool {
 			continue
 		}
 		if d.fileScope {
-			if check == "maporder" && inMapOrderScope(p.Rel) {
+			if (check == "maporder" || check == "sleep") && inMapOrderScope(p.Rel) {
 				continue
 			}
 			return true

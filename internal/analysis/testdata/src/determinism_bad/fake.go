@@ -13,7 +13,7 @@ func Stamp() time.Time {
 }
 
 func Countdown() <-chan time.Time {
-	return time.After(time.Second) // want "wallclock"
+	return time.After(time.Second) // want "injects host-timed delays"
 }
 
 func Draw() int {

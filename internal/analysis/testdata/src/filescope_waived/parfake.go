@@ -20,9 +20,17 @@ func Elapsed() time.Duration {
 	return time.Since(start)
 }
 
-// Nap is also covered: the waiver is per check, not per function.
+// Nap is NOT covered: sleeping is the separate sleep check, and its
+// file-scope waivers are refused inside the scheduling core — a
+// wallclock waiver never smuggles in schedule-shaping delays.
 func Nap() {
-	time.Sleep(time.Microsecond)
+	time.Sleep(time.Microsecond) // want "injects host-timed delays"
+}
+
+// Doze is covered: injected delays may be waived, but only line by
+// line, each with its own justification.
+func Doze() {
+	time.Sleep(time.Microsecond) //ripslint:allow sleep fake backoff justified per line
 }
 
 // Draw still fires — the file waiver names wallclock only.

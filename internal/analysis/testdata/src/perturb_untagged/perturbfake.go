@@ -1,0 +1,53 @@
+//ripslint:allow-file wallclock copied blanket waiver: must not cover the sleeps below
+//ripslint:allow-file sleep copied blanket waiver: refused inside the scheduling core
+
+// Package perturbfake is ripslint test data pinning the perturbation
+// hook policy. It mirrors internal/par/perturb_enabled.go with the
+// `//go:build ripsperturb` line removed — the mistake of promoting the
+// schedule-perturbation hook into the default build — and is loaded
+// under the synthetic import path rips/internal/par/perturbfake.
+// Inside the scheduling core no file-scope waiver covers injected
+// delays, not even the blanket directives copied above, so the hook's
+// sleep is flagged the moment it escapes its build tag. The rand-based
+// variant below pins the same policy for the global math/rand source.
+package perturbfake
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// perturb is the hash-jitter hook body. The yield is fine; the sleep
+// must carry a line waiver or stay behind the ripsperturb tag.
+func perturb(worker int, point int64) {
+	x := (uint64(worker) + 1) * 0x9e3779b97f4a7c15
+	x ^= uint64(point) * 0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	switch x & 3 {
+	case 0, 1:
+		runtime.Gosched()
+	case 2:
+		time.Sleep(time.Duration(x & 1023)) // want "injects host-timed delays"
+	}
+}
+
+// perturbRand is the tempting-but-wrong variant: jitter drawn from the
+// process-global rand source adds cross-worker synchronization and
+// non-reproducible schedules; no blanket rand exemption is sanctioned,
+// so it fires.
+func perturbRand() {
+	if rand.Intn(4) == 0 { // want "global math/rand"
+		runtime.Gosched()
+	}
+}
+
+// measure shows what the copied wallclock waiver legitimately covers:
+// reading the clock to report elapsed time.
+func measure() time.Duration {
+	start := time.Now()
+	perturb(0, 1)
+	return time.Since(start)
+}
+
+var _ = measure

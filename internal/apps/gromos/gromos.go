@@ -203,13 +203,31 @@ func (a *App) Roots(round int) []app.Spawn {
 
 // Execute computes the nonbonded interaction load of one charge group:
 // the real pair count of its atoms within the cutoff radius.
+//
+// Execute is real-execution safe: after New returns, pos, groups and
+// cells are never written again, so the cell-list lookups below are
+// concurrent reads of frozen data — any number of workers may execute
+// charge groups of one shared instance in parallel.
 func (a *App) Execute(data any, emit func(app.Spawn)) sim.Time {
+	w, _ := a.ExecuteCount(data, emit)
+	return w
+}
+
+// ExecuteCount is Execute reporting also the group's neighbor count
+// (app.Counted): the number of in-cutoff pairs its atoms participate
+// in, the real quantity the cost model is priced on. The aggregate
+// over a run must equal TotalPairs however tasks were placed — a
+// direct proof that every charge group was executed exactly once.
+func (a *App) ExecuteCount(data any, emit func(app.Spawn)) (sim.Time, int64) {
 	g := a.groups[data.(int32)]
 	w := sim.Time(0)
+	pairs := int64(0)
 	for i := g[0]; i < g[1]; i++ {
-		w += CostPerAtom + sim.Time(a.neighbors(i))*CostPerPair
+		n := a.neighbors(i)
+		pairs += int64(n)
+		w += CostPerAtom + sim.Time(n)*CostPerPair
 	}
-	return w
+	return w, pairs
 }
 
 // TotalPairs returns the summed per-atom neighbor count (pairs counted

@@ -126,3 +126,28 @@ func TestNewPanicsOnBadCutoff(t *testing.T) {
 	}()
 	New(0)
 }
+
+// TestCounted checks the app.Counted contract: ExecuteCount must agree
+// with Execute on virtual time, and the aggregate over all charge
+// groups must be exactly TotalPairs — the groups partition the atoms,
+// so each atom's neighbor count is summed exactly once.
+func TestCounted(t *testing.T) {
+	a := New(8)
+	if _, ok := app.App(a).(app.Counted); !ok {
+		t.Fatal("gromos does not implement app.Counted")
+	}
+	var total int64
+	for g := int32(0); g < NumGroups; g++ {
+		w, pairs := a.ExecuteCount(g, nil)
+		if we := a.Execute(g, nil); we != w {
+			t.Fatalf("group %d: Execute work %v != ExecuteCount work %v", g, we, w)
+		}
+		total += pairs
+	}
+	if want := int64(a.TotalPairs()); total != want {
+		t.Errorf("summed pair count = %d, want TotalPairs = %d", total, want)
+	}
+	if p := app.Measure(a); p.Result != total {
+		t.Errorf("Measure Result = %d, want %d", p.Result, total)
+	}
+}

@@ -16,6 +16,14 @@
 // paper's Section 1 taxonomy, which the exp.Taxonomy experiment turns
 // into a table: static scheduling suffices exactly where the paper
 // says it does.
+//
+// All three kernels are real-execution safe: Execute reads only fields
+// frozen at construction, carries all per-task state in the task
+// payload, and interacts with the runtime exclusively through emit, so
+// any number of workers may execute tasks of one shared instance
+// concurrently. Each kernel implements app.Counted with its inner-loop
+// operation count (work / costPerOp), giving the differential tests a
+// summable result that must survive any task placement bit for bit.
 package kernels
 
 import (
@@ -77,10 +85,20 @@ func (g *Gauss) Roots(round int) []app.Spawn {
 }
 
 func (g *Gauss) Execute(data any, emit func(app.Spawn)) sim.Time {
+	w, _ := g.ExecuteCount(data, emit)
+	return w
+}
+
+// ExecuteCount is Execute reporting also the task's row-update
+// operation count (app.Counted): rows eliminated times the remaining
+// matrix width. Summed over a run it must equal the elimination's
+// total operation count however tasks were placed.
+func (g *Gauss) ExecuteCount(data any, emit func(app.Spawn)) (sim.Time, int64) {
 	t := data.(gaussTask)
 	rows := int(t.hi - t.lo)
 	width := g.n - int(t.k) // remaining columns incl. the pivot column
-	return sim.Time(rows*width) * costPerOp
+	ops := rows * width
+	return sim.Time(ops) * costPerOp, int64(ops)
 }
 
 // FFT is an n-point radix-2 FFT: log2(n) rounds of n/2 butterflies,
@@ -121,8 +139,15 @@ func (f *FFT) Roots(round int) []app.Spawn {
 }
 
 func (f *FFT) Execute(data any, emit func(app.Spawn)) sim.Time {
-	// A butterfly is ~10 flops.
-	return sim.Time(10*data.(fftTask).count) * costPerOp
+	w, _ := f.ExecuteCount(data, emit)
+	return w
+}
+
+// ExecuteCount is Execute reporting also the task's flop count
+// (app.Counted): 10 flops per butterfly.
+func (f *FFT) ExecuteCount(data any, emit func(app.Spawn)) (sim.Time, int64) {
+	ops := 10 * int64(data.(fftTask).count) // a butterfly is ~10 flops
+	return sim.Time(ops) * costPerOp, ops
 }
 
 // Multigrid is one V-cycle of an adaptive 2D multigrid solver on an
@@ -193,6 +218,16 @@ func (m *Multigrid) Roots(round int) []app.Spawn {
 }
 
 func (m *Multigrid) Execute(data any, emit func(app.Spawn)) sim.Time {
+	w, _ := m.ExecuteCount(data, emit)
+	return w
+}
+
+// ExecuteCount is Execute reporting also the task's smoothing flop
+// count (app.Counted). Refinement children contribute their own flops
+// when they execute, so the aggregate counts every smoothing pass the
+// adaptive solver really performed — including the dynamically spawned
+// ones, which is exactly where a dropped child task would surface.
+func (m *Multigrid) ExecuteCount(data any, emit func(app.Spawn)) (sim.Time, int64) {
 	t := data.(mgTask)
 	side := int(t.side)
 	// A 5-point smoothing sweep is ~6 flops per point.
@@ -212,5 +247,5 @@ func (m *Multigrid) Execute(data any, emit func(app.Spawn)) sim.Time {
 			}
 		}
 	}
-	return sim.Time(work) * costPerOp
+	return sim.Time(work) * costPerOp, int64(work)
 }

@@ -120,3 +120,40 @@ func TestNoChildren(t *testing.T) {
 		}
 	}
 }
+
+// TestCounted checks the app.Counted contract for all three kernels:
+// ExecuteCount must be behaviourally identical to Execute (same
+// children, same virtual time), and the aggregated count must be the
+// run's inner-loop operation total — work / costPerOp — which is what
+// the differential tests compare across backends.
+func TestCounted(t *testing.T) {
+	for _, a := range []app.App{NewGauss(32, 4), NewFFT(8, 8), NewMultigrid(32, 3, 4)} {
+		c, ok := a.(app.Counted)
+		if !ok {
+			t.Fatalf("%s does not implement app.Counted", a.Name())
+		}
+		for r := 0; r < a.Rounds(); r++ {
+			for _, root := range a.Roots(r) {
+				var kidsE, kidsC []app.Spawn
+				w := a.Execute(root.Data, func(s app.Spawn) { kidsE = append(kidsE, s) })
+				wc, n := c.ExecuteCount(root.Data, func(s app.Spawn) { kidsC = append(kidsC, s) })
+				if w != wc {
+					t.Fatalf("%s: Execute work %v != ExecuteCount work %v", a.Name(), w, wc)
+				}
+				if len(kidsE) != len(kidsC) {
+					t.Fatalf("%s: Execute emitted %d children, ExecuteCount %d", a.Name(), len(kidsE), len(kidsC))
+				}
+				if n < 0 {
+					t.Fatalf("%s: negative op count %d", a.Name(), n)
+				}
+			}
+		}
+		p := app.Measure(a)
+		if want := int64(p.Work / costPerOp); p.Result != want {
+			t.Errorf("%s: Result = %d ops, want work/costPerOp = %d", a.Name(), p.Result, want)
+		}
+		if p.Result == 0 {
+			t.Errorf("%s: zero aggregate op count", a.Name())
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"rips/internal/ripsrt"
+	"rips/internal/topo"
+)
+
+// Config is one point of the differential-testing lattice: a workload,
+// a machine, a RIPS transfer policy and a seed. Every backend runs the
+// same Config; the backend axis is deliberately NOT part of it —
+// difftest's whole point is that the backend must not matter.
+type Config struct {
+	// App names an AppSpec (see Apps).
+	App string
+	// Topology is "mesh", "tree" or "hypercube".
+	Topology string
+	// Rows, Cols give the mesh shape; unused for tree and hypercube.
+	Rows, Cols int
+	// Workers is the machine size (Rows*Cols for meshes, the node
+	// count for trees, a power of two for hypercubes).
+	Workers int
+	// Local and Global select the RIPS transfer policy.
+	Local  ripsrt.LocalPolicy
+	Global ripsrt.GlobalPolicy
+	// Seed feeds the simulator's node RNGs and the steal backend's
+	// victim selection. The answer must not depend on it.
+	Seed int64
+}
+
+// String renders the config in the canonical k=v form Parse accepts:
+//
+//	app=nq12 topo=mesh:2x4 policy=any-lazy seed=3
+func (c Config) String() string {
+	shape := ""
+	switch c.Topology {
+	case "mesh":
+		shape = fmt.Sprintf("%dx%d", c.Rows, c.Cols)
+	default:
+		shape = strconv.Itoa(c.Workers)
+	}
+	return fmt.Sprintf("app=%s topo=%s:%s policy=%s-%s seed=%d",
+		c.App, c.Topology, shape, c.Global, c.Local, c.Seed)
+}
+
+// Parse decodes the String form back into a Config, so a failure
+// printed by a test or CI log can be re-run verbatim with
+// `ripsbench difftest -config "..."`.
+func Parse(s string) (Config, error) {
+	var c Config
+	for _, field := range strings.Fields(s) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return c, fmt.Errorf("difftest: field %q is not key=value", field)
+		}
+		switch k {
+		case "app":
+			c.App = v
+		case "topo":
+			kind, shape, ok := strings.Cut(v, ":")
+			if !ok {
+				return c, fmt.Errorf("difftest: topo %q is not kind:shape", v)
+			}
+			c.Topology = kind
+			if kind == "mesh" {
+				r, cl, ok := strings.Cut(shape, "x")
+				if !ok {
+					return c, fmt.Errorf("difftest: mesh shape %q is not RxC", shape)
+				}
+				var err error
+				if c.Rows, err = strconv.Atoi(r); err != nil {
+					return c, fmt.Errorf("difftest: mesh rows %q: %v", r, err)
+				}
+				if c.Cols, err = strconv.Atoi(cl); err != nil {
+					return c, fmt.Errorf("difftest: mesh cols %q: %v", cl, err)
+				}
+				c.Workers = c.Rows * c.Cols
+			} else {
+				n, err := strconv.Atoi(shape)
+				if err != nil {
+					return c, fmt.Errorf("difftest: %s size %q: %v", kind, shape, err)
+				}
+				c.Workers = n
+			}
+		case "policy":
+			g, l, ok := strings.Cut(v, "-")
+			if !ok {
+				return c, fmt.Errorf("difftest: policy %q is not global-local", v)
+			}
+			switch g {
+			case "any":
+				c.Global = ripsrt.Any
+			case "all":
+				c.Global = ripsrt.All
+			default:
+				return c, fmt.Errorf("difftest: unknown global policy %q", g)
+			}
+			switch l {
+			case "lazy":
+				c.Local = ripsrt.Lazy
+			case "eager":
+				c.Local = ripsrt.Eager
+			default:
+				return c, fmt.Errorf("difftest: unknown local policy %q", l)
+			}
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return c, fmt.Errorf("difftest: seed %q: %v", v, err)
+			}
+			c.Seed = n
+		default:
+			return c, fmt.Errorf("difftest: unknown key %q", k)
+		}
+	}
+	if c.App == "" {
+		return c, fmt.Errorf("difftest: config %q names no app", s)
+	}
+	if c.Topology == "" {
+		c.Topology, c.Rows, c.Cols, c.Workers = "mesh", 2, 2, 4
+	}
+	return c, c.validate()
+}
+
+func (c Config) validate() error {
+	if _, err := appSpec(c.App); err != nil {
+		return err
+	}
+	switch c.Topology {
+	case "mesh":
+		if c.Rows < 1 || c.Cols < 1 {
+			return fmt.Errorf("difftest: bad mesh shape %dx%d", c.Rows, c.Cols)
+		}
+	case "tree":
+		if c.Workers < 1 {
+			return fmt.Errorf("difftest: bad tree size %d", c.Workers)
+		}
+	case "hypercube":
+		if c.Workers < 1 || c.Workers&(c.Workers-1) != 0 {
+			return fmt.Errorf("difftest: hypercube size %d is not a power of two", c.Workers)
+		}
+	default:
+		return fmt.Errorf("difftest: unknown topology %q", c.Topology)
+	}
+	return nil
+}
+
+// machine builds the config's topology.
+func (c Config) machine() topo.Topology {
+	switch c.Topology {
+	case "tree":
+		return topo.NewTree(c.Workers)
+	case "hypercube":
+		d := 0
+		for 1<<d < c.Workers {
+			d++
+		}
+		return topo.NewHypercube(d)
+	default:
+		return topo.NewMesh(c.Rows, c.Cols)
+	}
+}
+
+// The machine axis of the lattice. Sizes stay small (1..9 workers):
+// the differential properties are size-independent, small machines
+// keep 200-config samples inside a CI budget, and every protocol edge
+// case the backends have (single worker, odd meshes, non-full trees,
+// power-of-two cubes) is in range.
+var (
+	meshShapes = [][2]int{{1, 1}, {1, 2}, {2, 2}, {2, 3}, {2, 4}, {3, 3}}
+	treeSizes  = []int{2, 3, 5, 7, 8}
+	cubeSizes  = []int{2, 4, 8}
+	seeds      = []int64{0, 1, 2, 3, 5, 8, 13, 21}
+)
+
+// Sample draws n lattice configs. The app axis is stratified — apps
+// rotate round-robin so every app appears ⌈n/len(apps)⌉ or ⌊n/len(apps)⌋
+// times — and the machine, policy and seed axes are drawn uniformly
+// from the given rng, so one (n, seed) pair names a reproducible
+// sample. smoke restricts the app pool to the cheap variants (every
+// family still covered); the full pool adds the heavy instances
+// (IDA* configs 2-3, GROMOS 12 A and 16 A).
+func Sample(n int, seed int64, smoke bool) []Config {
+	rng := rand.New(rand.NewSource(seed))
+	var pool []AppSpec
+	for _, s := range Apps() {
+		if smoke && s.Heavy {
+			continue
+		}
+		pool = append(pool, s)
+	}
+	out := make([]Config, 0, n)
+	for i := 0; i < n; i++ {
+		c := Config{App: pool[i%len(pool)].Name, Seed: seeds[rng.Intn(len(seeds))]}
+		switch rng.Intn(3) {
+		case 0:
+			sh := meshShapes[rng.Intn(len(meshShapes))]
+			c.Topology, c.Rows, c.Cols, c.Workers = "mesh", sh[0], sh[1], sh[0]*sh[1]
+		case 1:
+			c.Topology, c.Workers = "tree", treeSizes[rng.Intn(len(treeSizes))]
+		default:
+			c.Topology, c.Workers = "hypercube", cubeSizes[rng.Intn(len(cubeSizes))]
+		}
+		if rng.Intn(2) == 1 {
+			c.Local = ripsrt.Eager
+		}
+		if rng.Intn(2) == 1 {
+			c.Global = ripsrt.All
+		}
+		out = append(out, c)
+	}
+	return out
+}

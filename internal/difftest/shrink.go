@@ -1,0 +1,105 @@
+package difftest
+
+import "rips/internal/ripsrt"
+
+// Shrink greedily minimizes a failing configuration: it walks the
+// lattice axes in a fixed order — seed, global policy, local policy,
+// topology, machine size, app — and commits every single-axis
+// simplification under which fails still returns non-nil. The result
+// is 1-minimal per axis (not globally minimal: greedy shrinking never
+// backtracks), which in practice pins a protocol bug to the smallest
+// machine and cheapest workload that still shows it.
+//
+// fails must be a pure predicate of the configuration. Check qualifies
+// for deterministic divergences; for schedule-dependent failures the
+// caller should wrap Check in a retry loop so a flaky repro is not
+// shrunk past the point where it stops reproducing.
+func Shrink(cfg Config, fails func(Config) bool) Config {
+	try := func(cand Config) bool {
+		if cand == cfg || cand.validate() != nil || !fails(cand) {
+			return false
+		}
+		cfg = cand
+		return true
+	}
+
+	// Seed first: a seed-independent repro removes the whole
+	// pseudo-random axis from the investigation.
+	cand := cfg
+	cand.Seed = 0
+	try(cand)
+
+	// Policy axes toward the simplest protocol: ANY needs no
+	// all-drained consensus, Lazy needs no staging buffer.
+	cand = cfg
+	cand.Global = ripsrt.Any
+	try(cand)
+	cand = cfg
+	cand.Local = ripsrt.Lazy
+	try(cand)
+
+	// Topology toward the mesh (the paper's base machine), then the
+	// machine toward fewer workers. Candidate shapes are tried
+	// smallest-first and the first failing one wins, so the committed
+	// machine is the smallest on its axis.
+	if cfg.Topology != "mesh" {
+		for _, sh := range meshShapes {
+			cand = cfg
+			cand.Topology, cand.Rows, cand.Cols, cand.Workers = "mesh", sh[0], sh[1], sh[0]*sh[1]
+			if try(cand) {
+				break
+			}
+		}
+	}
+	switch cfg.Topology {
+	case "mesh":
+		for _, sh := range meshShapes {
+			if sh[0]*sh[1] >= cfg.Workers {
+				break
+			}
+			cand = cfg
+			cand.Rows, cand.Cols, cand.Workers = sh[0], sh[1], sh[0]*sh[1]
+			if try(cand) {
+				break
+			}
+		}
+	case "tree":
+		for _, n := range treeSizes {
+			if n >= cfg.Workers {
+				break
+			}
+			cand = cfg
+			cand.Workers = n
+			if try(cand) {
+				break
+			}
+		}
+	case "hypercube":
+		for _, n := range cubeSizes {
+			if n >= cfg.Workers {
+				break
+			}
+			cand = cfg
+			cand.Workers = n
+			if try(cand) {
+				break
+			}
+		}
+	}
+
+	// App last, toward the front of Apps() (cheapest first). A bug that
+	// reproduces on the multigrid kernel instead of a 13-queens tree
+	// turns a minutes-long repro into milliseconds.
+	for _, s := range Apps() {
+		if s.Name == cfg.App {
+			break
+		}
+		cand = cfg
+		cand.App = s.Name
+		if try(cand) {
+			break
+		}
+	}
+
+	return cfg
+}

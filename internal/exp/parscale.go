@@ -7,6 +7,9 @@ import (
 	"time"
 
 	"rips/internal/app"
+	"rips/internal/apps/gromos"
+	"rips/internal/apps/nqueens"
+	"rips/internal/apps/puzzle"
 	"rips/internal/metrics"
 	"rips/internal/par"
 	"rips/internal/topo"
@@ -20,6 +23,45 @@ import (
 // zero-simulation counterpart of Table III: the paper's claim that
 // global incremental scheduling stays within a small factor of the
 // best dynamic scheduler is re-tested on actual cores.
+
+// ParScaleApp constructs a workload for the scaling experiment by
+// family name, reproducing the Table I workload contrast on real
+// cores: "nq" is highly parallel uniform search (size = board, 0 means
+// 13), "ida" is irregular iterative deepening with wildly varying
+// round sizes (size = paper configuration 1..3, 0 means 1), and
+// "gromos" is the static near-uniform pair-list computation (size =
+// cutoff radius in angstroms, 0 means 8). The three families stress
+// the scheduler in the three ways the paper's taxonomy distinguishes,
+// so their curves are directly comparable.
+func ParScaleApp(family string, size int) (app.App, error) {
+	switch family {
+	case "nq":
+		if size == 0 {
+			size = 13
+		}
+		if size < 4 {
+			return nil, fmt.Errorf("parscale: nq size %d (want a board of at least 4)", size)
+		}
+		return nqueens.New(size, 4), nil
+	case "ida":
+		if size == 0 {
+			size = 1
+		}
+		if size < 1 || size > 3 {
+			return nil, fmt.Errorf("parscale: ida size %d (want a paper configuration 1..3)", size)
+		}
+		return puzzle.Config(size), nil
+	case "gromos":
+		if size == 0 {
+			size = 8
+		}
+		if size < 1 {
+			return nil, fmt.Errorf("parscale: gromos size %d (want a positive cutoff in angstroms)", size)
+		}
+		return gromos.New(float64(size)), nil
+	}
+	return nil, fmt.Errorf("parscale: unknown app family %q (want nq, ida or gromos)", family)
+}
 
 // ParScalePoint is one worker count of the scaling curve.
 type ParScalePoint struct {
@@ -98,10 +140,13 @@ func ParScale(a app.App, counts []int, reps int, detect time.Duration, seed int6
 			ripsBase, stealBase = rres.Wall, sres.Wall
 			refResult, refTasks = rres.AppResult, rres.Generated
 		}
-		for _, r := range []par.Result{rres, sres} {
-			if r.AppResult != refResult || r.Generated != refTasks {
-				return nil, fmt.Errorf("parscale: answer diverged at %d workers: result %d tasks %d, want %d and %d",
-					w, r.AppResult, r.Generated, refResult, refTasks)
+		for _, chk := range []struct {
+			strat string
+			res   par.Result
+		}{{"rips", rres}, {"steal", sres}} {
+			if chk.res.AppResult != refResult || chk.res.Generated != refTasks {
+				return nil, fmt.Errorf("parscale: %s answer diverged at %d workers: result %d (want %d), tasks %d (want %d)",
+					chk.strat, w, chk.res.AppResult, refResult, chk.res.Generated, refTasks)
 			}
 		}
 		pts = append(pts, ParScalePoint{

@@ -1,11 +1,18 @@
 package exp
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"rips/internal/apps/nqueens"
+	"rips/internal/par"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 func TestParScaleCounts(t *testing.T) {
 	cases := []struct {
@@ -64,5 +71,83 @@ func TestParScale(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("PrintParScale output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestParScaleApp pins the family names and size validation of the
+// Table I workload contrast.
+func TestParScaleApp(t *testing.T) {
+	for _, c := range []struct {
+		family string
+		size   int
+		name   string
+	}{
+		{"nq", 0, "13-queens"},
+		{"nq", 9, "9-queens"},
+		{"ida", 0, "15-puzzle #1"},
+		{"ida", 2, "15-puzzle #2"},
+		{"gromos", 0, "gromos 8A"},
+		{"gromos", 12, "gromos 12A"},
+	} {
+		a, err := ParScaleApp(c.family, c.size)
+		if err != nil {
+			t.Errorf("ParScaleApp(%q, %d): %v", c.family, c.size, err)
+			continue
+		}
+		if a.Name() != c.name {
+			t.Errorf("ParScaleApp(%q, %d).Name() = %q, want %q", c.family, c.size, a.Name(), c.name)
+		}
+	}
+	for _, c := range []struct {
+		family string
+		size   int
+	}{
+		{"nq", 3}, {"ida", 4}, {"ida", -1}, {"gromos", -8}, {"chess", 0},
+	} {
+		if _, err := ParScaleApp(c.family, c.size); err == nil {
+			t.Errorf("ParScaleApp(%q, %d) succeeded, want error", c.family, c.size)
+		}
+	}
+}
+
+// TestPrintParScaleGolden locks the exact rendering of the scaling
+// table against testdata/parscale.golden (refresh with -update). The
+// points are synthetic so the output is byte-stable: the golden file
+// is about format — column alignment, units, the answer-check line —
+// not about measured times.
+func TestPrintParScaleGolden(t *testing.T) {
+	pts := []ParScalePoint{
+		{
+			Workers:     1,
+			RIPS:        par.Result{Wall: 8 * time.Millisecond, Phases: 9, AppResult: 352, Generated: 2352},
+			Steal:       par.Result{Wall: 7500 * time.Microsecond, AppResult: 352, Generated: 2352},
+			RIPSSpeedup: 1, StealSpeedup: 1, RIPSEff: 0.97, StealEff: 0.99,
+		},
+		{
+			Workers:     4,
+			RIPS:        par.Result{Wall: 2200*time.Microsecond + 500*time.Nanosecond, Phases: 11, Migrated: 96, AppResult: 352, Generated: 2352},
+			Steal:       par.Result{Wall: 2 * time.Millisecond, Steals: 41, AppResult: 352, Generated: 2352},
+			RIPSSpeedup: 3.64, StealSpeedup: 3.75, RIPSEff: 0.88, StealEff: 0.93,
+		},
+	}
+	var buf strings.Builder
+	PrintParScale(&buf, nqueens.New(9, 3), pts)
+
+	golden := filepath.Join("testdata", "parscale.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(buf.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("PrintParScale output drifted from %s (refresh with -update):\ngot:\n%s\nwant:\n%s",
+			golden, buf.String(), want)
 	}
 }

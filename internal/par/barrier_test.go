@@ -1,8 +1,11 @@
 package par
 
 import (
+	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestEpochBarrier drives several workers through many epochs: the
@@ -45,6 +48,70 @@ func TestEpochBarrier(t *testing.T) {
 			if e != int64(i) {
 				t.Fatalf("worker %d saw epoch %d at position %d", id, e, i)
 			}
+		}
+	}
+}
+
+// TestEpochBarrierStress is the adversarial version: 1000 epochs with
+// every worker sleeping or yielding a random interval before each
+// arrival, so arrival orders, leader identity and wakeup orders are
+// shuffled on every epoch. Run under -race in CI, it checks the two
+// properties the RIPS protocol hangs off the barrier:
+//
+//   - exactly one leader per epoch, and the leader observes every
+//     epoch index exactly once, in order — an epoch index is never
+//     reused or skipped (the ANY detector tags requests with it, so a
+//     reused index would cancel a live request);
+//   - every worker sees the identical index sequence 0..999, i.e. no
+//     worker ever laps the barrier or starves.
+func TestEpochBarrierStress(t *testing.T) {
+	const (
+		parties = 8
+		epochs  = 1000
+	)
+	b := newEpochBarrier(parties)
+	// ledger[e] counts leader callbacks for epoch index e; the leader
+	// callback runs with the world stopped, so plain ints are safe —
+	// -race verifies exactly that.
+	ledger := make([]int, epochs)
+	leaderEpochs := 0
+
+	var wg sync.WaitGroup
+	for id := 0; id < parties; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id) * 7919))
+			for i := 0; i < epochs; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					time.Sleep(time.Duration(rng.Intn(50)) * time.Microsecond)
+				case 1:
+					runtime.Gosched()
+				}
+				e := b.await(func() {
+					if leaderEpochs >= epochs {
+						t.Errorf("leader ran for a %dth epoch", leaderEpochs+1)
+						return
+					}
+					ledger[leaderEpochs]++
+					leaderEpochs++
+				})
+				if e != int64(i) {
+					t.Errorf("worker %d saw epoch %d at position %d (index reuse or skip)", id, e, i)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	if leaderEpochs != epochs {
+		t.Fatalf("leader ran %d epochs, want %d", leaderEpochs, epochs)
+	}
+	for e, n := range ledger {
+		if n != 1 {
+			t.Fatalf("epoch %d had %d leaders, want exactly 1", e, n)
 		}
 	}
 }

@@ -56,6 +56,9 @@ func checkSim(t *testing.T, label string, res ripsrt.Result, want seqTruth) {
 	if res.Generated != want.tasks {
 		t.Errorf("%s: Generated = %d, want %d tasks", label, res.Generated, want.tasks)
 	}
+	if res.VirtualWork != want.work {
+		t.Errorf("%s: VirtualWork = %v, want %v", label, res.VirtualWork, want.work)
+	}
 }
 
 // crossValidate runs one app through every backend on a spread of

@@ -1,0 +1,21 @@
+//go:build !ripsperturb
+
+package par
+
+// This file is the default (disabled) half of the schedule-perturbation
+// hook; the enabled half lives in perturb_enabled.go behind the
+// ripsperturb build tag. The hook exists for the differential tests:
+// the phase protocol's correctness must not depend on the incidental
+// goroutine interleaving of one machine, so race/stress runs compile
+// with -tags ripsperturb to jitter every worker's arrival at the
+// scheduling points (barrier entry, ANY initiation, steal attempts)
+// and make the race detector visit interleavings a quiet machine never
+// produces. Normal builds compile this no-op, which inlines to nothing.
+
+// perturbEnabled reports at compile time whether the hook is active.
+const perturbEnabled = false
+
+// perturb is the schedule-perturbation point: worker id and a
+// monotonic per-worker point counter select the (deterministic)
+// perturbation. Disabled builds do nothing.
+func perturb(worker int, point int64) {}

@@ -1,0 +1,56 @@
+//go:build ripsperturb
+
+//ripslint:allow-file wallclock the perturbation hook sleeps on purpose to shake goroutine interleavings; it is compiled only under -tags ripsperturb and never influences what is computed, only when
+
+package par
+
+import (
+	"runtime"
+	"time"
+)
+
+// This file is the enabled half of the schedule-perturbation hook (see
+// perturb.go for the contract). It injects pre-barrier yields and
+// short sleeps chosen by a deterministic hash of (worker, point), so:
+//
+//   - every worker follows a different, reproducible jitter sequence —
+//     no shared RNG, no new synchronization that would itself order
+//     the schedule (a perturbation hook must not be a happens-before
+//     edge between workers);
+//   - repeated runs of one binary explore the same nominal sequence
+//     but land differently against the OS scheduler, and the race
+//     detector gets adversarial arrival orders at the epoch barrier,
+//     the ANY-request CAS and the steal loop for free.
+//
+// The answer must be bit-identical under any interleaving — that is
+// exactly what internal/difftest and the crossval tests assert while
+// this tag is on (CI runs them with -race -tags ripsperturb).
+
+// perturbEnabled reports at compile time whether the hook is active.
+const perturbEnabled = true
+
+// perturbMaxSleep bounds one injected sleep. Long enough to push a
+// worker past a whole barrier window on another core, short enough
+// that a difftest smoke sample stays in CI budget.
+const perturbMaxSleep = 100 * time.Microsecond
+
+// perturb jitters the calling worker: roughly half the points yield
+// the processor, a quarter sleep up to perturbMaxSleep, and the rest
+// fall straight through. The choice is a pure function of (worker,
+// point) — a SplitMix64-style finalizer over the pair — so a failing
+// schedule can be replayed by re-running the same configuration.
+func perturb(worker int, point int64) {
+	x := (uint64(worker) + 1) * 0x9e3779b97f4a7c15
+	x ^= uint64(point) * 0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	switch x & 3 {
+	case 0, 1:
+		runtime.Gosched()
+	case 2:
+		time.Sleep(time.Duration(x>>2%uint64(perturbMaxSleep)) + 1)
+	}
+}

@@ -117,7 +117,13 @@ func (r *ripsRun) loadRoots(round int) {
 // barrier epoch, then a user phase until the transfer condition fires.
 func (r *ripsRun) workerMain(id int) {
 	w := r.workers[id]
+	var point int64
 	for {
+		// Schedule-perturbation point (no-op unless built with
+		// -tags ripsperturb): jitter this worker's barrier arrival so
+		// stress runs explore adversarial epoch interleavings.
+		point++
+		perturb(id, point)
 		epoch := r.bar.await(r.systemPhase)
 		if r.done { // leader decision, ordered by the barrier
 			return
@@ -151,19 +157,22 @@ func (r *ripsRun) userPhase(w *ripsWorker, epoch int64) {
 	if r.cfg.Global == ripsrt.All {
 		return
 	}
-	r.initiate(epoch)
+	r.initiate(w, epoch)
 }
 
 // initiate publishes the ANY transfer request for this epoch, waiting
 // the detector interval first so that a momentary drain during the
 // initial fan-out does not trigger a storm of nearly-empty phases.
-func (r *ripsRun) initiate(epoch int64) {
+func (r *ripsRun) initiate(w *ripsWorker, epoch int64) {
 	if r.req.Load() >= epoch {
 		return
 	}
 	if d := r.cfg.detectInterval(); d > 0 {
-		time.Sleep(d)
+		time.Sleep(d) //ripslint:allow sleep the detector interval delays the ANY request, mirroring the simulator's InitBackoff; it never changes what is computed
 	}
+	// Perturbation point: delay the request CAS so redundant
+	// initiators of the same epoch really race each other.
+	perturb(w.id, epoch)
 	for {
 		cur := r.req.Load()
 		if cur >= epoch {

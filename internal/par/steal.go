@@ -133,12 +133,18 @@ func (r *stealRun) advanceRound() {
 // work executes and steals until the round's task tree is exhausted.
 func (r *stealRun) work(w *stealWorker) {
 	idleSweeps := 0
+	var point int64
 	for {
 		t := w.d.pop()
 		if t == nil {
 			if r.pending.Load() == 0 {
 				return
 			}
+			// Perturbation point (no-op unless -tags ripsperturb):
+			// jitter the thief between its empty pop and the steal
+			// sweep, the window where owner pushes race thieves.
+			point++
+			perturb(w.id, point)
 			t = r.stealOne(w)
 			if t == nil {
 				// Nothing stealable right now: every remaining task is
@@ -147,7 +153,7 @@ func (r *stealRun) work(w *stealWorker) {
 				// steal from.
 				idleSweeps++
 				if idleSweeps > 16 {
-					time.Sleep(time.Microsecond)
+					time.Sleep(time.Microsecond) //ripslint:allow sleep idle-thief backoff; affects only how soon a steal retries, never which tasks run
 				} else {
 					runtime.Gosched()
 				}

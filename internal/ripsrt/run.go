@@ -37,6 +37,11 @@ type Result struct {
 	// AppResult is the aggregated application result of Counted apps
 	// (e.g. solutions found); 0 for apps without result counting.
 	AppResult int64
+	// VirtualWork is the summed virtual compute time reported by
+	// Execute across all nodes. It must equal the sequential profile's
+	// Work for any machine and policy — the same cross-backend
+	// identity internal/par.Result.VirtualWork is checked against.
+	VirtualWork sim.Time
 	// PhaseTotals is the global task total T observed by each system
 	// phase in order — the expansion/collapse curve of the workload
 	// (the final entries are the zero-total phases that detect round
@@ -75,6 +80,9 @@ func Run(cfg Config) (Result, error) {
 	var oh, idle sim.Time
 	for _, st := range sr.Nodes {
 		oh += st.Overhead
+		// Node busy time is exactly the virtual compute charged by
+		// Execute (Node.Compute), so the sum is the run's virtual work.
+		res.VirtualWork += st.Busy
 		// Everything between a node's finish and the end of the run is
 		// waiting on others: count it as idle, like the node-local idle.
 		idle += st.Idle + (sr.End - st.Finish)
