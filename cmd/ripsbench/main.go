@@ -18,12 +18,15 @@
 // reports the wall-clock scaling curve, RIPS next to Chase-Lev work
 // stealing. It takes its own trailing flags:
 //
-//	ripsbench parscale [-app nq|ida|gromos] [-n N] [-reps N] [-smoke]
+//	ripsbench parscale [-app nq|ida|gromos] [-n N] [-reps N] [-smoke] [-json FILE]
 //
 // where -n is the family's size knob (board for nq, paper
 // configuration 1-3 for ida, cutoff in angstroms for gromos; 0 picks
 // the family default), so the paper's Table I workload contrast can be
-// replayed on real cores.
+// replayed on real cores. -json additionally writes the machine-readable
+// BENCH_par.json trajectory: the full curve plus a serial-vs-parallel
+// plan-application comparison of the system-phase cost on a 16-worker
+// mesh (see internal/exp.ParScaleJSON for the schema).
 //
 // The difftest experiment is the differential cross-validation
 // harness: it samples configurations from the app x topology x policy
@@ -266,6 +269,7 @@ func parscale(args []string) error {
 	size := fs.Int("n", 0, "family size (nq board / ida config 1-3 / gromos cutoff in A); 0 picks the default")
 	reps := fs.Int("reps", 3, "runs per point; the fastest is kept")
 	smoke := fs.Bool("smoke", false, "tiny CI run: reduced workload, 1-2 workers, one rep")
+	jsonPath := fs.String("json", "", "also write the BENCH_par.json trajectory (scaling curve + serial-vs-parallel system-phase comparison) to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -288,6 +292,25 @@ func parscale(args []string) error {
 		return err
 	}
 	exp.PrintParScale(os.Stdout, a, pts)
+	if *jsonPath == "" {
+		return nil
+	}
+	// The headline comparison runs on a 16-worker mesh regardless of
+	// the host core count (Cores in the JSON records the truth): the
+	// per-phase number isolates the stop-the-world system-phase cost
+	// under a controlled heavy migration, which the parallel apply
+	// attacks.
+	sp := exp.SystemPhaseCompare(16, 2048, 8, *reps)
+	f, err := os.Create(*jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := exp.WriteParScaleJSON(f, a, *reps, pts, sp); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ripsbench: wrote %s (serial %v/phase vs parallel %v/phase at %d workers)\n",
+		*jsonPath, time.Duration(sp.SerialNsPerPhase), time.Duration(sp.ParallelNsPerPhase), sp.Workers)
 	return nil
 }
 

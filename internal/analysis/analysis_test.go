@@ -41,6 +41,7 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"filescope_waived", "rips/internal/par/fake", []*Analyzer{Determinism}},
 		{"filescope_bad", "rips/internal/sim/fake2", []*Analyzer{Determinism}},
 		{"perturb_untagged", "rips/internal/par/perturbfake", []*Analyzer{Determinism}},
+		{"sleep_adaptive", "rips/internal/par/adaptivefake", []*Analyzer{Determinism}},
 		{"errcheck_bad", "rips/internal/errfake", []*Analyzer{Errcheck}},
 		{"panicpolicy_bad", "rips/internal/panicfake", []*Analyzer{PanicPolicy}},
 		{"phaseproto_ok", "rips/internal/sched/fakealgo", []*Analyzer{PhaseProtocol}},

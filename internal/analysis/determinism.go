@@ -23,6 +23,13 @@ import (
 //     file-scope waiver: each one justifies itself with a line
 //     directive, and schedule-perturbation code lives behind the
 //     ripsperturb build tag instead (see internal/par/perturb.go).
+//     A call whose duration is computed rather than constant — an
+//     adaptive wait like the par backend's EWMA-scaled detector
+//     interval — is flagged with its own wording, because a computed
+//     delay can feed measured state back into the schedule; the waiver
+//     policy is exactly the same (a per-line directive naming the
+//     sleep check), the diagnostic just makes the feedback loop
+//     something the author visibly signed off on.
 //   - rand: package-level math/rand functions, which draw from the
 //     process-global, unseeded (Go ≥1.20: randomly seeded) source.
 //     Deterministic code must thread a seeded *rand.Rand (rand.New,
@@ -82,11 +89,28 @@ func inMapOrderScope(rel string) bool {
 	return false
 }
 
+// computedDuration reports whether the call's first argument is a
+// non-constant expression — a duration computed at run time rather
+// than spelled in the source.
+func computedDuration(p *Pass, call *ast.CallExpr) bool {
+	if call == nil || len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := p.Pkg.Info.Types[call.Args[0]]
+	return ok && tv.Value == nil
+}
+
 func runDeterminism(p *Pass) {
 	inMapScope := inMapOrderScope(p.Pkg.Rel)
 	for _, f := range p.Pkg.Files {
+		// calls maps a call's Fun expression to the call, so the
+		// selector cases below can inspect the arguments (Inspect
+		// visits the CallExpr before its Fun).
+		calls := map[ast.Expr]*ast.CallExpr{}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.CallExpr:
+				calls[n.Fun] = n
 			case *ast.SelectorExpr:
 				pkgPath, ok := importedPackage(p.Pkg.Info, n)
 				if !ok {
@@ -102,6 +126,11 @@ func runDeterminism(p *Pass) {
 					p.Reportf(n.Pos(), "wallclock",
 						"time.%s reads the host clock; simulated code must use the virtual clock (sim.Time)", n.Sel.Name)
 				case pkgPath == "time" && sleepFuncs[n.Sel.Name]:
+					if computedDuration(p, calls[ast.Expr(n)]) {
+						p.Reportf(n.Pos(), "sleep",
+							"time.%s with a computed duration injects an adaptive host-timed delay that can feed measured state back into the schedule; the waiver policy is unchanged — justify per line or gate behind a build tag", n.Sel.Name)
+						return true
+					}
 					p.Reportf(n.Pos(), "sleep",
 						"time.%s injects host-timed delays into the schedule; justify per line or gate behind a build tag", n.Sel.Name)
 				case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !seededRandFuncs[n.Sel.Name]:

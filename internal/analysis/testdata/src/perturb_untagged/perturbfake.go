@@ -28,7 +28,7 @@ func perturb(worker int, point int64) {
 	case 0, 1:
 		runtime.Gosched()
 	case 2:
-		time.Sleep(time.Duration(x & 1023)) // want "injects host-timed delays"
+		time.Sleep(time.Duration(x & 1023)) // want "computed duration"
 	}
 }
 

@@ -1,0 +1,38 @@
+// Package adaptivefake is ripslint test data for the computed-duration
+// sleep diagnostic. It is loaded under the synthetic import path
+// rips/internal/par/adaptivefake so the determinism analyzer treats it
+// as scheduling-core code, where sleep waivers must be per line.
+package adaptivefake
+
+import "time"
+
+// ConstantWait spells its duration in the source: the plain sleep
+// wording applies.
+func ConstantWait() {
+	time.Sleep(100 * time.Microsecond) // want "injects host-timed delays into the schedule"
+}
+
+// DerivedConstant folds constants only; it is still a constant
+// expression, so the plain wording applies.
+func DerivedConstant() {
+	time.Sleep(2 * 50 * time.Millisecond) // want "injects host-timed delays into the schedule"
+}
+
+// AdaptiveWait computes its duration at run time — the shape of the
+// par backend's EWMA-scaled detector interval — and gets the computed
+// wording.
+func AdaptiveWait(factor float64) {
+	time.Sleep(time.Duration(factor * float64(time.Microsecond))) // want "computed duration"
+}
+
+// AdaptiveTimer covers the timer constructors: a computed duration
+// flows into time.After the same way.
+func AdaptiveTimer(d time.Duration) <-chan time.Time {
+	return time.After(d) // want "computed duration"
+}
+
+// WaivedAdaptive carries the unchanged per-line waiver: the computed
+// variant is covered by exactly the same directive as the constant one.
+func WaivedAdaptive(d time.Duration) {
+	time.Sleep(d) //ripslint:allow sleep adaptive backoff; delays only when phases happen, never what is computed
+}

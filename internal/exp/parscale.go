@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -160,6 +161,115 @@ func ParScale(a app.App, counts []int, reps int, detect time.Duration, seed int6
 		})
 	}
 	return pts, nil
+}
+
+// SystemPhaseJSON compares the stop-the-world system-phase cost of the
+// serial leader-only plan application against the waved parallel apply
+// (see DESIGN.md §9) at the same worker count, measured under the
+// controlled skewed load of par.MeasureSystemPhase: each phase plans
+// and applies a migration of Workers/2 * TasksPerWorker tasks. Each
+// side is the minimum over reps measurements of the mean phase time.
+type SystemPhaseJSON struct {
+	Workers            int   `json:"workers"`
+	TasksPerWorker     int   `json:"tasks_per_worker"`
+	Phases             int   `json:"phases"`
+	SerialNsPerPhase   int64 `json:"serial_ns_per_phase"`
+	ParallelNsPerPhase int64 `json:"parallel_ns_per_phase"`
+	ParallelWaves      int64 `json:"parallel_waves"`
+}
+
+// SystemPhaseCompare measures SystemPhaseJSON, keeping the fastest of
+// reps measurements of phases phases per side.
+func SystemPhaseCompare(workers, tasksPerWorker, phases, reps int) *SystemPhaseJSON {
+	if reps < 1 {
+		reps = 1
+	}
+	measure := func(serial bool) (time.Duration, int64) {
+		var best time.Duration
+		var waves int64
+		for i := 0; i < reps; i++ {
+			per, wv := par.MeasureSystemPhase(workers, tasksPerWorker, phases, serial)
+			if i == 0 || per < best {
+				best, waves = per, wv
+			}
+		}
+		return best, waves
+	}
+	out := &SystemPhaseJSON{Workers: workers, TasksPerWorker: tasksPerWorker, Phases: phases}
+	sPer, _ := measure(true)
+	pPer, pWv := measure(false)
+	out.SerialNsPerPhase = int64(sPer)
+	out.ParallelNsPerPhase, out.ParallelWaves = int64(pPer), pWv
+	return out
+}
+
+// ParScaleJSON is the machine-readable scaling trajectory written by
+// `ripsbench parscale -json` (the BENCH_par.json artifact CI uploads):
+// the whole curve plus the environment needed to read it honestly —
+// Cores records the host's real parallelism, so a 16-worker point on a
+// 1-core box is understood as oversubscribed goroutines, not hardware
+// scaling.
+type ParScaleJSON struct {
+	Schema      string              `json:"schema"`
+	App         string              `json:"app"`
+	Cores       int                 `json:"cores"`
+	GOOS        string              `json:"goos"`
+	GOARCH      string              `json:"goarch"`
+	Reps        int                 `json:"reps"`
+	Points      []ParScalePointJSON `json:"points"`
+	SystemPhase *SystemPhaseJSON    `json:"system_phase,omitempty"`
+}
+
+// ParScalePointJSON flattens one ParScalePoint to stable field names.
+type ParScalePointJSON struct {
+	Workers        int     `json:"workers"`
+	RIPSWallNs     int64   `json:"rips_wall_ns"`
+	RIPSOverheadNs int64   `json:"rips_overhead_ns"`
+	RIPSPhases     int64   `json:"rips_phases"`
+	RIPSWaves      int64   `json:"rips_waves"`
+	RIPSMigrated   int64   `json:"rips_migrated"`
+	RIPSSpeedup    float64 `json:"rips_speedup"`
+	RIPSEff        float64 `json:"rips_eff"`
+	StealWallNs    int64   `json:"steal_wall_ns"`
+	StealSteals    int64   `json:"steal_steals"`
+	StealSpeedup   float64 `json:"steal_speedup"`
+	StealEff       float64 `json:"steal_eff"`
+}
+
+// ParScaleJSONSchema names the current BENCH_par.json schema.
+const ParScaleJSONSchema = "rips-parscale/v1"
+
+// WriteParScaleJSON emits the scaling curve (and the optional
+// system-phase comparison) as indented JSON.
+func WriteParScaleJSON(w io.Writer, a app.App, reps int, pts []ParScalePoint, sp *SystemPhaseJSON) error {
+	doc := ParScaleJSON{
+		Schema:      ParScaleJSONSchema,
+		App:         a.Name(),
+		Cores:       runtime.NumCPU(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Reps:        reps,
+		SystemPhase: sp,
+	}
+	for _, p := range pts {
+		doc.Points = append(doc.Points, ParScalePointJSON{
+			Workers:        p.Workers,
+			RIPSWallNs:     p.RIPS.Wall.Nanoseconds(),
+			RIPSOverheadNs: p.RIPS.Overhead.Nanoseconds(),
+			RIPSPhases:     p.RIPS.Phases,
+			RIPSWaves:      p.RIPS.Waves,
+			RIPSMigrated:   p.RIPS.Migrated,
+			RIPSSpeedup:    p.RIPSSpeedup,
+			RIPSEff:        p.RIPSEff,
+			StealWallNs:    p.Steal.Wall.Nanoseconds(),
+			StealSteals:    p.Steal.Steals,
+			StealSpeedup:   p.StealSpeedup,
+			StealEff:       p.StealEff,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
 }
 
 // PrintParScale renders the scaling curve, RIPS and work stealing side

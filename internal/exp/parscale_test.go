@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -107,6 +108,60 @@ func TestParScaleApp(t *testing.T) {
 		if _, err := ParScaleApp(c.family, c.size); err == nil {
 			t.Errorf("ParScaleApp(%q, %d) succeeded, want error", c.family, c.size)
 		}
+	}
+}
+
+// TestWriteParScaleJSON round-trips the BENCH_par.json document: the
+// schema tag, the environment fields, and the flattened point values
+// must survive encoding.
+func TestWriteParScaleJSON(t *testing.T) {
+	pts := []ParScalePoint{
+		{
+			Workers:     2,
+			RIPS:        par.Result{Wall: 3 * time.Millisecond, Overhead: 400 * time.Microsecond, Phases: 7, Waves: 5, Migrated: 120, AppResult: 352},
+			Steal:       par.Result{Wall: 2 * time.Millisecond, Steals: 17, AppResult: 352},
+			RIPSSpeedup: 1.8, StealSpeedup: 1.9, RIPSEff: 0.9, StealEff: 0.95,
+		},
+	}
+	sp := &SystemPhaseJSON{Workers: 16, TasksPerWorker: 64, Phases: 8, SerialNsPerPhase: 900, ParallelNsPerPhase: 400, ParallelWaves: 9}
+	var buf strings.Builder
+	if err := WriteParScaleJSON(&buf, nqueens.New(9, 3), 3, pts, sp); err != nil {
+		t.Fatal(err)
+	}
+	var doc ParScaleJSON
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("BENCH_par.json does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.Schema != ParScaleJSONSchema || doc.App != "9-queens" || doc.Reps != 3 || doc.Cores < 1 {
+		t.Errorf("header = %+v", doc)
+	}
+	if len(doc.Points) != 1 {
+		t.Fatalf("%d points, want 1", len(doc.Points))
+	}
+	p := doc.Points[0]
+	if p.Workers != 2 || p.RIPSWallNs != 3e6 || p.RIPSOverheadNs != 4e5 ||
+		p.RIPSPhases != 7 || p.RIPSWaves != 5 || p.RIPSMigrated != 120 ||
+		p.StealWallNs != 2e6 || p.StealSteals != 17 {
+		t.Errorf("point = %+v", p)
+	}
+	if doc.SystemPhase == nil || *doc.SystemPhase != *sp {
+		t.Errorf("system phase = %+v, want %+v", doc.SystemPhase, sp)
+	}
+}
+
+// TestSystemPhaseCompare checks the serial-vs-parallel comparison runs
+// end to end: positive per-phase costs on both sides, waves fanned out
+// only by the parallel apply.
+func TestSystemPhaseCompare(t *testing.T) {
+	sp := SystemPhaseCompare(4, 64, 3, 1)
+	if sp.Workers != 4 || sp.TasksPerWorker != 64 || sp.Phases != 3 {
+		t.Errorf("comparison = %+v", sp)
+	}
+	if sp.SerialNsPerPhase <= 0 || sp.ParallelNsPerPhase <= 0 {
+		t.Errorf("non-positive per-phase costs: %+v", sp)
+	}
+	if sp.ParallelWaves == 0 {
+		t.Errorf("parallel apply fanned out no waves: %+v", sp)
 	}
 }
 

@@ -1,0 +1,240 @@
+package par
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rips/internal/sched"
+	"rips/internal/task"
+	"rips/internal/topo"
+)
+
+// TestPartitionWaves drives the wave partition on a hand-built
+// forwarding chain: every move sources tasks that the previous move
+// has yet to deliver, so each move must land in its own wave.
+func TestPartitionWaves(t *testing.T) {
+	cfg := Config{Topo: topo.NewMesh(1, 4), App: queens8()}
+	r := newRipsRun(&cfg)
+	copy(r.loads, []int{8, 0, 0, 0})
+	w0 := r.workers[0]
+	ids := map[uint64]bool{}
+	for i := 0; i < 8; i++ {
+		id := w0.newID()
+		ids[id] = true
+		w0.rte.PushBack(task.Task{ID: id, Origin: 0})
+	}
+
+	chain := []sched.Move{{From: 0, To: 1, Count: 6}, {From: 1, To: 2, Count: 4}, {From: 2, To: 3, Count: 2}}
+	r.stageMoves(chain)
+	r.partitionWaves()
+	if len(r.waveEnds) != 3 {
+		t.Fatalf("waveEnds = %v, want one wave per forwarding hop (3)", r.waveEnds)
+	}
+	for wv, end := range r.waveEnds {
+		if end != wv+1 {
+			t.Errorf("wave %d ends at move %d, want %d", wv, end, wv+1)
+		}
+	}
+
+	// Replay the waves (single-threaded here; concurrency is covered by
+	// TestParallelApplyConcurrent) and check the chain really lands.
+	for wv := 0; wv < len(r.waveEnds); wv++ {
+		for _, w := range r.workers {
+			r.applyTake(w, wv)
+		}
+		for _, w := range r.workers {
+			r.applyPush(w, wv)
+		}
+	}
+	want := []int{2, 2, 2, 2}
+	for i, w := range r.workers {
+		if w.rte.Len() != want[i] {
+			t.Errorf("worker %d holds %d tasks after the chain, want %d", i, w.rte.Len(), want[i])
+		}
+		for {
+			tk, ok := w.rte.PopFront()
+			if !ok {
+				break
+			}
+			if !ids[tk.ID] {
+				t.Errorf("worker %d holds duplicated or unknown task %d", i, tk.ID)
+			}
+			delete(ids, tk.ID)
+		}
+	}
+	if len(ids) != 0 {
+		t.Errorf("%d tasks lost in the forwarding chain", len(ids))
+	}
+}
+
+// TestParallelApplyConcurrent runs one full system phase with every
+// worker applying its share of the plan concurrently (real goroutines,
+// real sub-barriers — under -race and -tags ripsperturb this is the
+// adversarial interleaving test for the exchange protocol). The phase
+// must land the exact canonical quota on every worker and preserve the
+// task multiset.
+func TestParallelApplyConcurrent(t *testing.T) {
+	for _, tp := range []topo.Topology{
+		topo.NewMesh(1, 8), // chain: maximal forwarding depth
+		topo.NewMesh(4, 4),
+		topo.NewTree(7),
+		topo.NewHypercube(3),
+	} {
+		t.Run(tp.Name(), func(t *testing.T) {
+			cfg := Config{Topo: tp, App: queens8(), ParallelApplyMin: -1}
+			r := newRipsRun(&cfg)
+			n := tp.Size()
+			const total = 203 // awkward remainder so quotas differ by one
+			ids := map[uint64]bool{}
+			w0 := r.workers[0]
+			for i := 0; i < total; i++ {
+				id := w0.newID()
+				ids[id] = true
+				w0.rte.PushBack(task.Task{ID: id, Origin: 0})
+			}
+
+			var wg sync.WaitGroup
+			for _, w := range r.workers {
+				wg.Add(1)
+				go func(w *ripsWorker) {
+					defer wg.Done()
+					var point int64
+					if !r.phaseStep(w, &point) {
+						t.Error("phaseStep reported the run done mid-round")
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			if r.waves == 0 {
+				t.Error("no waves fanned out despite ParallelApplyMin < 0")
+			}
+			for i, w := range r.workers {
+				quota := total / n
+				if i < total%n {
+					quota++
+				}
+				if w.rte.Len() != quota {
+					t.Errorf("worker %d holds %d tasks, want canonical quota %d", i, w.rte.Len(), quota)
+				}
+				for {
+					tk, ok := w.rte.PopFront()
+					if !ok {
+						break
+					}
+					if !ids[tk.ID] {
+						t.Errorf("worker %d holds duplicated or unknown task %d", i, tk.ID)
+					}
+					delete(ids, tk.ID)
+				}
+			}
+			if len(ids) != 0 {
+				t.Errorf("%d tasks lost by the parallel apply", len(ids))
+			}
+		})
+	}
+}
+
+// TestApplyModesAgree proves the apply strategy is answer-invisible:
+// default thresholding, forced serial, and forced parallel application
+// must execute the identical task decomposition.
+func TestApplyModesAgree(t *testing.T) {
+	base := Config{Topo: topo.NewMesh(2, 2), App: queens8()}
+	ref := mustRun(t, base)
+	checkQueens8(t, ref, "RIPS default apply")
+
+	serial := base
+	serial.SerialApply = true
+	sres := mustRun(t, serial)
+	if sres.Waves != 0 {
+		t.Errorf("SerialApply fanned out %d waves", sres.Waves)
+	}
+
+	forced := base
+	forced.ParallelApplyMin = -1
+	pres := mustRun(t, forced)
+	if pres.Migrated > 0 && pres.Waves == 0 {
+		t.Errorf("forced parallel apply migrated %d tasks in zero waves", pres.Migrated)
+	}
+
+	for label, res := range map[string]Result{"serial": sres, "parallel": pres} {
+		if res.AppResult != ref.AppResult || res.Generated != ref.Generated ||
+			res.Executed != ref.Executed || res.VirtualWork != ref.VirtualWork {
+			t.Errorf("%s apply diverges from default: result %d/%d generated %d/%d work %v/%v",
+				label, res.AppResult, ref.AppResult, res.Generated, ref.Generated,
+				res.VirtualWork, ref.VirtualWork)
+		}
+	}
+}
+
+// TestAdaptiveDetector unit-tests the EWMA wait: starved phases climb
+// to the cap, productive phases fall back to the base, and the
+// constant/disabled Config overrides bypass adaptation entirely.
+func TestAdaptiveDetector(t *testing.T) {
+	r := &ripsRun{cfg: &Config{}, n: 64, wait: DefaultDetectInterval}
+	for i := 0; i < 64; i++ {
+		r.phaseMoved = 0
+		r.updateDetector()
+	}
+	if want := adaptMaxFactor * DefaultDetectInterval; r.wait != want {
+		t.Errorf("starved detector wait = %v, want cap %v", r.wait, want)
+	}
+	for i := 0; i < 64; i++ {
+		r.phaseMoved = 8 * r.n
+		r.updateDetector()
+	}
+	if r.wait != DefaultDetectInterval {
+		t.Errorf("productive detector wait = %v, want base %v", r.wait, DefaultDetectInterval)
+	}
+
+	rc := &ripsRun{cfg: &Config{DetectInterval: time.Millisecond}, n: 64, wait: DefaultDetectInterval}
+	rc.phaseMoved = 0
+	rc.updateDetector()
+	if got := rc.detectWait(); got != time.Millisecond {
+		t.Errorf("constant override wait = %v, want %v", got, time.Millisecond)
+	}
+	rd := &ripsRun{cfg: &Config{DetectInterval: -1}, n: 64}
+	if got := rd.detectWait(); got != 0 {
+		t.Errorf("disabled detector wait = %v, want 0", got)
+	}
+}
+
+// TestDetectModesAgree cross-validates detector timing against the
+// answer: adaptive, constant and disabled waits may only change when
+// phases happen, never what is computed.
+func TestDetectModesAgree(t *testing.T) {
+	var ref Result
+	for i, interval := range []time.Duration{0, 50 * time.Microsecond, -1} {
+		res := mustRun(t, Config{
+			Topo:           topo.NewMesh(2, 2),
+			App:            queens8(),
+			DetectInterval: interval,
+		})
+		checkQueens8(t, res, "RIPS detect interval "+interval.String())
+		if i == 0 {
+			ref = res
+			continue
+		}
+		if res.AppResult != ref.AppResult || res.Generated != ref.Generated ||
+			res.VirtualWork != ref.VirtualWork {
+			t.Errorf("detect interval %v diverges: result %d/%d generated %d/%d",
+				interval, res.AppResult, ref.AppResult, res.Generated, ref.Generated)
+		}
+	}
+}
+
+// TestPhaseSummaryBounded checks the default (no TracePhases) run keeps
+// only the bounded summary: no trace, but count/sum/max populated.
+func TestPhaseSummaryBounded(t *testing.T) {
+	res := mustRun(t, Config{Topo: topo.NewMesh(2, 2), App: queens8()})
+	if res.PhaseTotals != nil {
+		t.Errorf("PhaseTotals recorded without TracePhases: %d entries", len(res.PhaseTotals))
+	}
+	if res.Phases == 0 || res.PhaseSum <= 0 || res.PhaseMax <= 0 {
+		t.Errorf("phase summary empty: phases=%d sum=%d max=%d", res.Phases, res.PhaseSum, res.PhaseMax)
+	}
+	if int64(res.PhaseMax) > res.PhaseSum {
+		t.Errorf("PhaseMax %d exceeds PhaseSum %d", res.PhaseMax, res.PhaseSum)
+	}
+}

@@ -1,0 +1,220 @@
+package par
+
+import (
+	"sync"
+	"testing"
+
+	"rips/internal/app"
+	"rips/internal/sched"
+	"rips/internal/sim"
+	"rips/internal/task"
+	"rips/internal/topo"
+)
+
+// benchNode is one task of the synthetic benchmark workload: a node of
+// a tree preallocated at construction, walked by pointer. Executing a
+// node allocates nothing — the payload interface holds a pointer, so
+// no boxing happens on emit.
+type benchNode struct {
+	children []*benchNode
+}
+
+// benchApp is the allocation-free workload behind the par benchmarks
+// and the steady-state zero-alloc proof: a uniform tree of depth d and
+// fanout f whose Execute only walks preallocated nodes.
+type benchApp struct {
+	root *benchNode
+}
+
+func newBenchApp(depth, fanout int) *benchApp {
+	var build func(d int) *benchNode
+	build = func(d int) *benchNode {
+		n := &benchNode{}
+		if d > 0 {
+			n.children = make([]*benchNode, fanout)
+			for i := range n.children {
+				n.children[i] = build(d - 1)
+			}
+		}
+		return n
+	}
+	return &benchApp{root: build(depth)}
+}
+
+func (a *benchApp) Name() string              { return "benchtree" }
+func (a *benchApp) Rounds() int               { return 1 }
+func (a *benchApp) Roots(int) []app.Spawn     { return []app.Spawn{{Data: a.root}} }
+func (a *benchApp) Execute(data any, emit func(app.Spawn)) sim.Time {
+	for _, c := range data.(*benchNode).children {
+		emit(app.Spawn{Data: c})
+	}
+	return 1
+}
+
+// TestSteadyStateZeroAlloc is the zero-allocation contract of the RIPS
+// hot path: once the reusable buffers are warm, executing tasks,
+// running a balanced system phase, and applying a staged plan through
+// the exchange buffers must not allocate at all. The planner itself is
+// excluded from the contract (it builds fresh trace vectors per call;
+// see DESIGN.md §9) — which is why the balanced fast path matters: it
+// is the steady state, and it skips the planner entirely.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	t.Run("execute", func(t *testing.T) {
+		cfg := Config{Topo: topo.NewMesh(1, 1), App: newBenchApp(1, 8)}
+		r := newRipsRun(&cfg)
+		w := r.workers[0]
+		root := cfg.App.(*benchApp).root
+		drain := func() {
+			for {
+				if _, ok := w.rte.PopFront(); !ok {
+					return
+				}
+			}
+		}
+		body := func() {
+			r.execute(w, task.Task{Origin: 0, Data: root})
+			drain()
+		}
+		body() // warm scratch and queue capacity
+		if avg := testing.AllocsPerRun(200, body); avg != 0 {
+			t.Errorf("execute hot path allocates %.1f times per task", avg)
+		}
+	})
+
+	t.Run("balanced-phase", func(t *testing.T) {
+		cfg := Config{Topo: topo.NewMesh(2, 2), App: newBenchApp(1, 2)}
+		r := newRipsRun(&cfg)
+		for _, w := range r.workers {
+			for k := 0; k < 8; k++ {
+				w.rte.PushBack(task.Task{ID: w.newID(), Origin: w.id})
+			}
+		}
+		body := func() { r.beginPhase() } // balanced: snapshot + invariants, no planner
+		body()
+		if avg := testing.AllocsPerRun(200, body); avg != 0 {
+			t.Errorf("balanced system phase allocates %.1f times per phase", avg)
+		}
+	})
+
+	t.Run("apply", func(t *testing.T) {
+		cfg := Config{Topo: topo.NewMesh(1, 2), App: newBenchApp(1, 2)}
+		r := newRipsRun(&cfg)
+		const k = 64
+		w0 := r.workers[0]
+		for i := 0; i < 2*k; i++ {
+			w0.rte.PushBack(task.Task{ID: w0.newID(), Origin: 0})
+		}
+		fwd := []sched.Move{{From: 0, To: 1, Count: k}}
+		back := []sched.Move{{From: 1, To: 0, Count: k}}
+		apply := func(ms []sched.Move, l0, l1 int) {
+			r.loads[0], r.loads[1] = l0, l1
+			r.moves = r.moves[:0]
+			r.waveEnds = r.waveEnds[:0]
+			r.stageMoves(ms)
+			r.partitionWaves()
+			for wv := 0; wv < len(r.waveEnds); wv++ {
+				r.applyTake(r.workers[0], wv)
+				r.applyTake(r.workers[1], wv)
+				r.applyPush(r.workers[0], wv)
+				r.applyPush(r.workers[1], wv)
+			}
+		}
+		body := func() { // ping-pong k tasks so state returns to start
+			apply(fwd, 2*k, 0)
+			apply(back, k, k)
+		}
+		body() // warm move list, wave list, exchange buffers, queues
+		if avg := testing.AllocsPerRun(100, body); avg != 0 {
+			t.Errorf("staged plan application allocates %.1f times per phase", avg)
+		}
+	})
+}
+
+// BenchmarkExecute measures the per-task user-phase cost: run one
+// 8-fanout task and pop its children back off the queue.
+func BenchmarkExecute(b *testing.B) {
+	cfg := Config{Topo: topo.NewMesh(1, 1), App: newBenchApp(1, 8)}
+	r := newRipsRun(&cfg)
+	w := r.workers[0]
+	root := cfg.App.(*benchApp).root
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.execute(w, task.Task{Origin: 0, Data: root})
+		for {
+			if _, ok := w.rte.PopFront(); !ok {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkExchange measures the batched-migration primitive: a
+// round trip of 1024 tasks between two queues through a persistent
+// exchange buffer (TakeBackInto + PushAll each way).
+func BenchmarkExchange(b *testing.B) {
+	const k = 1024
+	var q0, q1 task.Queue
+	for i := 0; i < k; i++ {
+		q0.PushBack(task.Task{ID: uint64(i)})
+	}
+	buf := make([]task.Task, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := q0.TakeBackInto(buf)
+		q1.PushAll(buf[:got])
+		got = q1.TakeBackInto(buf)
+		q0.PushAll(buf[:got])
+	}
+}
+
+// BenchmarkSystemPhase measures one full stop-the-world system phase on
+// a 16-worker mesh with a heavily skewed load (even workers hold 4096
+// tasks, odd workers none), comparing the serial leader-only plan
+// application against the waved parallel apply. This is the tentpole's
+// headline number; ripsbench parscale -json records it in
+// BENCH_par.json alongside the machine's core count.
+func BenchmarkSystemPhase(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		benchmarkSystemPhase(b, Config{SerialApply: true})
+	})
+	b.Run("parallel", func(b *testing.B) {
+		benchmarkSystemPhase(b, Config{ParallelApplyMin: -1})
+	})
+}
+
+func benchmarkSystemPhase(b *testing.B, cfg Config) {
+	cfg.Topo = topo.NewMesh(4, 4)
+	cfg.App = newBenchApp(1, 2)
+	r := newRipsRun(&cfg)
+	const perWorker = 2048
+	fill := func() {
+		for _, w := range r.workers {
+			w.rte.Clear()
+			if w.id%2 == 0 {
+				for k := 0; k < 2*perWorker; k++ {
+					w.rte.PushBack(task.Task{Origin: w.id})
+				}
+			}
+		}
+	}
+	fill() // pre-grow the queues
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fill()
+		b.StartTimer()
+		var wg sync.WaitGroup
+		for _, w := range r.workers {
+			wg.Add(1)
+			go func(w *ripsWorker) {
+				defer wg.Done()
+				var point int64
+				r.phaseStep(w, &point)
+			}(w)
+		}
+		wg.Wait()
+	}
+}

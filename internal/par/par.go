@@ -69,12 +69,21 @@ func (s Strategy) String() string {
 	return "rips"
 }
 
-// DefaultDetectInterval is the ANY-policy initiation delay used when
-// Config.DetectInterval is zero: a drained worker waits this long for
+// DefaultDetectInterval is the base (and floor) of the ANY-policy
+// initiation delay: a drained worker waits at least this long for
 // another worker to initiate (or for more tasks to be generated)
 // before requesting the transfer itself. The real-time analogue of
-// ripsrt.DefaultInitBackoff.
+// ripsrt.DefaultInitBackoff. When Config.DetectInterval is zero the
+// wait adapts upward from this base as the per-phase migration yield
+// falls (see the adaptive detector in rips.go).
 const DefaultDetectInterval = 100 * time.Microsecond
+
+// DefaultParallelApplyMin is the minimum plan cost (tasks moved by one
+// system phase) at which the leader fans plan application out to every
+// worker instead of applying it alone. Below it, the two extra barrier
+// crossings per wave cost more than the saved copying; above it, the
+// per-edge task copies run on all P cores concurrently.
+const DefaultParallelApplyMin = 256
 
 // Config describes one real-parallel run.
 type Config struct {
@@ -94,12 +103,41 @@ type Config struct {
 	// DetectInterval throttles the ANY detector: a drained worker
 	// waits this long before publishing the transfer request, giving
 	// busy workers time to spawn more tasks (the wall-clock analogue
-	// of ripsrt.Config.InitBackoff). Negative disables the wait; zero
-	// means DefaultDetectInterval.
+	// of ripsrt.Config.InitBackoff). A positive value is a constant
+	// override; negative disables the wait. Zero (the default) makes
+	// the wait adaptive: it starts at DefaultDetectInterval and scales
+	// with an EWMA of tasks moved per system phase, so near-empty
+	// phases back off automatically. Only the timing of phases depends
+	// on this; the computed answer never does.
 	DetectInterval time.Duration
+	// ParallelApplyMin is the minimum plan cost (tasks migrated by one
+	// system phase) at which the leader fans plan application out to
+	// all workers in two-phase waves instead of applying the moves
+	// alone. Zero means DefaultParallelApplyMin; negative fans out
+	// every plan (stress/benchmark use). Ignored under SerialApply.
+	ParallelApplyMin int
+	// SerialApply forces the leader to apply every plan alone — the
+	// pre-parallel-apply behavior, kept as the benchmark baseline and
+	// ablation knob. The computed answer is identical either way.
+	SerialApply bool
+	// TracePhases records the full per-phase task-total trace in
+	// Result.PhaseTotals. Off by default so long runs keep only the
+	// bounded count/sum/max summary and stop growing memory per phase.
+	TracePhases bool
 	// Seed feeds the steal strategy's per-worker victim RNGs. The
 	// answer never depends on it; only steal order does.
 	Seed int64
+}
+
+func (c *Config) parallelApplyMin() int {
+	switch {
+	case c.ParallelApplyMin < 0:
+		return 0
+	case c.ParallelApplyMin == 0:
+		return DefaultParallelApplyMin
+	default:
+		return c.ParallelApplyMin
+	}
 }
 
 func (c *Config) validate() error {
@@ -161,10 +199,18 @@ type Result struct {
 	// Migrated counts task transfers applied by RIPS system phases;
 	// Steals counts successful steals of the Steal strategy.
 	Migrated, Steals int64
-	// Phases is the number of RIPS system phases (0 under Steal).
-	Phases int64
-	// PhaseTotals is the global task total observed by each system
-	// phase in order (nil under Steal).
+	// Phases is the number of RIPS system phases (0 under Steal), and
+	// Waves the number of parallel-apply waves those phases fanned out
+	// (0 when every plan was applied serially by the leader).
+	Phases, Waves int64
+	// PhaseSum and PhaseMax summarize the global task totals observed
+	// by the system phases (sum over phases, and the largest single
+	// snapshot) without retaining a per-phase trace.
+	PhaseSum int64
+	PhaseMax int
+	// PhaseTotals is the full global task-total trace, one entry per
+	// system phase in order. Recorded only under Config.TracePhases;
+	// nil otherwise (and always nil under Steal).
 	PhaseTotals []int
 	// VirtualWork is the summed virtual time reported by Execute — it
 	// must equal the sequential profile's Work for any worker count,
@@ -218,20 +264,20 @@ type counters struct {
 	busy      time.Duration
 }
 
-// sumInto accumulates every worker's counters into the result.
-func sumInto(res *Result, ws []*counters) {
+// assemble is the result-assembly step every strategy shares: it sums
+// the per-worker counters (shared selects the embedded counters of the
+// strategy's worker type) into res and derives the Wall-based
+// per-worker averages.
+func assemble[W any](res *Result, wall time.Duration, ws []*W, shared func(*W) *counters) {
 	for _, w := range ws {
-		res.Generated += w.generated
-		res.Executed += w.executed
-		res.Nonlocal += w.nonlocal
-		res.AppResult += w.appResult
-		res.VirtualWork += w.vwork
-		res.Busy += w.busy
+		c := shared(w)
+		res.Generated += c.generated
+		res.Executed += c.executed
+		res.Nonlocal += c.nonlocal
+		res.AppResult += c.appResult
+		res.VirtualWork += c.vwork
+		res.Busy += c.busy
 	}
-}
-
-// derive fills the Wall-derived per-worker averages.
-func derive(res *Result, wall time.Duration) {
 	res.Wall = wall
 	idle := wall - res.Overhead - res.Busy/time.Duration(res.Workers)
 	if idle < 0 {

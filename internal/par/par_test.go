@@ -42,10 +42,11 @@ func TestRIPSPolicies(t *testing.T) {
 	for _, local := range []ripsrt.LocalPolicy{ripsrt.Lazy, ripsrt.Eager} {
 		for _, global := range []ripsrt.GlobalPolicy{ripsrt.Any, ripsrt.All} {
 			res := mustRun(t, Config{
-				Topo:   topo.NewMesh(2, 2),
-				App:    queens8(),
-				Local:  local,
-				Global: global,
+				Topo:        topo.NewMesh(2, 2),
+				App:         queens8(),
+				Local:       local,
+				Global:      global,
+				TracePhases: true,
 			})
 			label := "RIPS " + global.String() + "-" + local.String()
 			checkQueens8(t, res, label)
@@ -57,6 +58,18 @@ func TestRIPSPolicies(t *testing.T) {
 			}
 			if res.PhaseTotals[len(res.PhaseTotals)-1] != 0 {
 				t.Errorf("%s: final phase total %d, want 0 (termination)", label, res.PhaseTotals[len(res.PhaseTotals)-1])
+			}
+			var sum int64
+			max := 0
+			for _, v := range res.PhaseTotals {
+				sum += int64(v)
+				if v > max {
+					max = v
+				}
+			}
+			if res.PhaseSum != sum || res.PhaseMax != max {
+				t.Errorf("%s: phase summary sum=%d max=%d, trace says sum=%d max=%d",
+					label, res.PhaseSum, res.PhaseMax, sum, max)
 			}
 		}
 	}

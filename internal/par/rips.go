@@ -10,22 +10,48 @@ import (
 	"rips/internal/app"
 	"rips/internal/invariant"
 	"rips/internal/ripsrt"
+	"rips/internal/sched"
 	"rips/internal/task"
 )
 
 // ripsWorker is one worker's private state under the RIPS strategy.
 // Only its owner touches it during user phases; the epoch barrier
-// hands it to the phase leader during system phases.
+// hands it to the phase protocol during system phases.
 type ripsWorker struct {
 	counters
 	id    int
 	rte   task.Queue  // ready to execute
 	stage []task.Task // ready to schedule (Eager local policy)
+
+	// scratch collects the children of the task in hand; it is reused
+	// across execute calls so the steady-state user phase allocates
+	// nothing. emit is the spawn callback bound to scratch once at
+	// construction — rebuilding the closure per task would allocate.
+	scratch []task.Task
+	emit    func(app.Spawn)
+
+	// xbuf is this worker's migration exchange buffer: every system
+	// phase stages the tasks this worker exports into disjoint regions
+	// of xbuf, reusing the array across phases (ROADMAP "batched
+	// migration"). Writers: the owner during the take half (or the
+	// leader under serial apply). Readers: each move's destination
+	// worker during the push half, ordered by the exchange sub-barrier.
+	xbuf []task.Task
 }
 
 func (w *ripsWorker) newID() uint64 {
 	w.seq++
 	return packID(w.id, w.seq)
+}
+
+// applyMove is one plan move staged for application: Count tasks from
+// worker from to worker to, parked in from's exchange buffer at
+// [off, off+count). got is the number actually taken — written by the
+// taker, read by the pusher across the exchange sub-barrier.
+type applyMove struct {
+	from, to, count int
+	off             int
+	got             int
 }
 
 // ripsRun is the shared state of one RIPS-strategy run.
@@ -35,30 +61,87 @@ type ripsRun struct {
 	workers []*ripsWorker
 	bar     *epochBarrier
 
-	// req is the ANY detector: the highest epoch index for which a
+	// req is the ANY detector: the highest user-phase index for which a
 	// transfer has been requested (-1 initially). The first drained
-	// worker of epoch e publishes e with a compare-and-swap — exactly
+	// worker of phase p publishes p with a compare-and-swap — exactly
 	// the phase-indexed init broadcast of the simulator runtime, with
 	// redundant initiators cancelled by the CAS instead of by message
 	// filtering.
 	req atomic.Int64
 
-	// Leader-only state, ordered by the epoch barrier.
-	round       int
-	done        bool
-	err         error
-	phases      int64
-	migrated    int64
+	// beginFn/endFn are the leader callbacks bound once: passing a
+	// fresh method value to await on every phase would allocate on the
+	// hot path.
+	beginFn, endFn func()
+
+	// Phase state below is written only inside barrier callbacks (the
+	// world is stopped) or read by workers between barriers; the
+	// barrier's mutex hand-off orders every access.
+	round      int
+	done       bool
+	err        error
+	phases     int64
+	migrated   int64
+	waves      int64
+	sysTime    time.Duration
+	phaseStart time.Time
+	phaseTotal int // global task total snapshotted by the phase in flight
+	phaseMoved int // tasks the phase in flight migrates (plan cost)
+
+	// Bounded phase-total summary; the full per-phase trace is recorded
+	// only under Config.TracePhases so long runs stop growing memory
+	// per phase.
+	phaseSum    int64
+	phaseMax    int
 	phaseTotals []int
-	sysTime     time.Duration
+
+	// Reusable system-phase buffers (zero steady-state allocations):
+	// loads is the snapshot, avail/pend are wave-partition scratch,
+	// moves/waveEnds hold the staged plan.
+	loads    []int
+	avail    []int
+	pend     []int
+	moves    []applyMove
+	waveEnds []int
+
+	// Adaptive ANY detector state: an EWMA of tasks moved per system
+	// phase scales the detector wait, so near-empty phases back off
+	// automatically. Leader-written inside the barrier, worker-read
+	// during user phases.
+	ewmaMoved float64
+	wait      time.Duration
+}
+
+// newRipsRun builds the run state and its workers without starting
+// them; benchmarks and phase-level tests drive the returned run
+// directly through phaseStep.
+func newRipsRun(cfg *Config) *ripsRun {
+	n := cfg.Topo.Size()
+	r := &ripsRun{
+		cfg:     cfg,
+		n:       n,
+		bar:     newEpochBarrier(n),
+		loads:   make([]int, n),
+		avail:   make([]int, n),
+		pend:    make([]int, n),
+		wait:    DefaultDetectInterval,
+		workers: make([]*ripsWorker, 0, n),
+	}
+	r.req.Store(-1)
+	r.beginFn = r.beginPhase
+	r.endFn = r.finishPhase
+	for i := 0; i < n; i++ {
+		w := &ripsWorker{id: i}
+		w.emit = func(sp app.Spawn) {
+			w.scratch = append(w.scratch, task.Task{ID: w.newID(), Origin: w.id, Size: sp.Size, Data: sp.Data})
+		}
+		r.workers = append(r.workers, w)
+	}
+	return r
 }
 
 func runRIPS(cfg *Config) (Result, error) {
-	r := &ripsRun{cfg: cfg, n: cfg.Topo.Size(), bar: newEpochBarrier(cfg.Topo.Size())}
-	r.req.Store(-1)
-	for i := 0; i < r.n; i++ {
-		r.workers = append(r.workers, &ripsWorker{id: i})
-	}
+	r := newRipsRun(cfg)
 	r.loadRoots(0)
 
 	start := time.Now()
@@ -78,14 +161,12 @@ func runRIPS(cfg *Config) (Result, error) {
 		Overhead:    r.sysTime,
 		Migrated:    r.migrated,
 		Phases:      r.phases,
+		Waves:       r.waves,
+		PhaseSum:    r.phaseSum,
+		PhaseMax:    r.phaseMax,
 		PhaseTotals: r.phaseTotals,
 	}
-	cs := make([]*counters, r.n)
-	for i, w := range r.workers {
-		cs[i] = &w.counters
-	}
-	sumInto(&res, cs)
-	derive(&res, wall)
+	assemble(&res, wall, r.workers, func(w *ripsWorker) *counters { return &w.counters })
 	return res, r.err
 }
 
@@ -119,20 +200,63 @@ func (r *ripsRun) workerMain(id int) {
 	w := r.workers[id]
 	var point int64
 	for {
-		// Schedule-perturbation point (no-op unless built with
-		// -tags ripsperturb): jitter this worker's barrier arrival so
-		// stress runs explore adversarial epoch interleavings.
-		point++
-		perturb(id, point)
-		epoch := r.bar.await(r.systemPhase)
-		if r.done { // leader decision, ordered by the barrier
+		if !r.phaseStep(w, &point) {
 			return
 		}
-		r.userPhase(w, epoch)
+		r.userPhase(w, r.phases-1)
 	}
 }
 
-// userPhase executes tasks until this epoch's transfer condition is
+// phaseStep runs one complete system phase from w's perspective and
+// reports whether the run continues. The phase is a short barrier
+// protocol rather than a single leader callback:
+//
+//  1. every worker collapses its own staged tasks into its RTE queue
+//     (in parallel, before the world stops);
+//  2. the last arrival becomes the leader and runs beginPhase with the
+//     world stopped: snapshot, round detection, planning, and the
+//     partition of the move list into two-phase waves;
+//  3. for each wave, every worker concurrently takes its outgoing
+//     moves into its exchange buffer, crosses the exchange
+//     sub-barrier, then concurrently pushes its incoming moves —
+//     so plan application runs on all P cores instead of one;
+//  4. the final sub-barrier's leader runs finishPhase (invariants,
+//     detector adaptation, timing).
+//
+// Small plans skip step 3 entirely: beginPhase applies them serially
+// and the wave list comes back empty (see Config.ParallelApplyMin).
+func (r *ripsRun) phaseStep(w *ripsWorker, point *int64) bool {
+	// Schedule-perturbation point (no-op unless built with
+	// -tags ripsperturb): jitter this worker's barrier arrival so
+	// stress runs explore adversarial epoch interleavings.
+	*point++
+	perturb(w.id, *point)
+	// Leftover RTE tasks are rescheduled together with the staged ones
+	// (paper Section 2); each worker collapses its own queues.
+	w.rte.PushAll(w.stage)
+	w.stage = w.stage[:0]
+	r.bar.await(r.beginFn)
+	if r.done { // leader decision, ordered by the barrier
+		return false
+	}
+	for wv := 0; wv < len(r.waveEnds); wv++ {
+		r.applyTake(w, wv)
+		*point++
+		perturb(w.id, *point)
+		r.bar.await(nil) // exchange sub-barrier: all takes land before any push
+		r.applyPush(w, wv)
+		*point++
+		perturb(w.id, *point)
+		if wv == len(r.waveEnds)-1 {
+			r.bar.await(r.endFn)
+		} else {
+			r.bar.await(nil) // wave boundary: forwarded tasks are now takeable
+		}
+	}
+	return true
+}
+
+// userPhase executes tasks until this phase's transfer condition is
 // met. Under ANY a worker holding tasks honours a transfer request
 // only after finishing the task in hand — and executes at least one
 // task if it has any, which guarantees global progress (every system
@@ -141,10 +265,10 @@ func (r *ripsRun) workerMain(id int) {
 // interval. Under ALL there is nothing to signal: draining IS the
 // local condition, and the epoch barrier completes exactly when every
 // worker has drained.
-func (r *ripsRun) userPhase(w *ripsWorker, epoch int64) {
+func (r *ripsRun) userPhase(w *ripsWorker, phase int64) {
 	executed := false
 	for {
-		if executed && r.cfg.Global == ripsrt.Any && r.req.Load() >= epoch {
+		if executed && r.cfg.Global == ripsrt.Any && r.req.Load() >= phase {
 			return // someone requested the transfer; one task finished since
 		}
 		tk, ok := w.rte.PopFront()
@@ -157,114 +281,324 @@ func (r *ripsRun) userPhase(w *ripsWorker, epoch int64) {
 	if r.cfg.Global == ripsrt.All {
 		return
 	}
-	r.initiate(w, epoch)
+	r.initiate(w, phase)
 }
 
-// initiate publishes the ANY transfer request for this epoch, waiting
+// initiate publishes the ANY transfer request for this phase, waiting
 // the detector interval first so that a momentary drain during the
 // initial fan-out does not trigger a storm of nearly-empty phases.
-func (r *ripsRun) initiate(w *ripsWorker, epoch int64) {
-	if r.req.Load() >= epoch {
+func (r *ripsRun) initiate(w *ripsWorker, phase int64) {
+	if r.req.Load() >= phase {
 		return
 	}
-	if d := r.cfg.detectInterval(); d > 0 {
-		time.Sleep(d) //ripslint:allow sleep the detector interval delays the ANY request, mirroring the simulator's InitBackoff; it never changes what is computed
+	if d := r.detectWait(); d > 0 {
+		time.Sleep(d) //ripslint:allow sleep the (possibly adaptive) detector interval delays the ANY request, mirroring the simulator's InitBackoff; it never changes what is computed
 	}
 	// Perturbation point: delay the request CAS so redundant
-	// initiators of the same epoch really race each other.
-	perturb(w.id, epoch)
+	// initiators of the same phase really race each other.
+	perturb(w.id, phase)
 	for {
 		cur := r.req.Load()
-		if cur >= epoch {
+		if cur >= phase {
 			return // a concurrent initiator won; redundant init cancelled
 		}
-		if r.req.CompareAndSwap(cur, epoch) {
+		if r.req.CompareAndSwap(cur, phase) {
 			return
 		}
 	}
 }
 
+// detectWait is the ANY detector wait: the constant Config override
+// when set, otherwise the adaptive wait the leader derives from phase
+// yield (leader-written inside the barrier, so the read here is
+// ordered by the barrier release).
+func (r *ripsRun) detectWait() time.Duration {
+	if r.cfg.DetectInterval != 0 {
+		return r.cfg.detectInterval()
+	}
+	return r.wait
+}
+
+// Adaptive-detector constants: the EWMA keeps adaptEwmaOld of its
+// history per phase, and the wait stretches from DefaultDetectInterval
+// (phases moving >= one task per worker) up to adaptMaxFactor times
+// that as the moved-tasks EWMA approaches zero.
+const (
+	adaptEwmaOld   = 0.75
+	adaptMaxFactor = 32
+)
+
+// updateDetector folds the finished phase's migration volume into the
+// EWMA and re-derives the adaptive wait. Phases that move little work
+// are pure overhead, so a falling EWMA backs the next request off —
+// which removes the one tuning knob the backend had (ROADMAP
+// "Adaptive DetectInterval"). Only the wait's duration adapts; what is
+// computed never depends on it, which difftest cross-validates.
+func (r *ripsRun) updateDetector() {
+	r.ewmaMoved = adaptEwmaOld*r.ewmaMoved + (1-adaptEwmaOld)*float64(r.phaseMoved)
+	if r.cfg.DetectInterval != 0 {
+		return // constant override or disabled: nothing to adapt
+	}
+	f := float64(r.n) / (r.ewmaMoved + 1)
+	if f < 1 {
+		f = 1
+	}
+	if f > adaptMaxFactor {
+		f = adaptMaxFactor
+	}
+	r.wait = time.Duration(f * float64(DefaultDetectInterval))
+}
+
 // execute runs one task for real and files its children per the local
-// policy.
+// policy. The children land in the worker's reusable scratch buffer,
+// so the steady-state user phase performs no allocations of its own
+// (the queue and stage arrays retain their capacity across phases).
 func (r *ripsRun) execute(w *ripsWorker, tk task.Task) {
 	if tk.Origin != w.id {
 		w.nonlocal++
 	}
 	w.executed++
-	var children []task.Task
+	w.scratch = w.scratch[:0]
 	start := time.Now()
-	vw, res := app.ExecuteCount(r.cfg.App, tk.Data, func(sp app.Spawn) {
-		children = append(children, task.Task{ID: w.newID(), Origin: w.id, Size: sp.Size, Data: sp.Data})
-	})
+	vw, res := app.ExecuteCount(r.cfg.App, tk.Data, w.emit)
 	w.busy += time.Since(start)
 	w.vwork += vw
 	w.appResult += res
-	if len(children) > 0 {
-		w.generated += int64(len(children))
+	if len(w.scratch) > 0 {
+		w.generated += int64(len(w.scratch))
 		if r.cfg.Local == ripsrt.Eager {
-			w.stage = append(w.stage, children...)
+			w.stage = append(w.stage, w.scratch...)
 		} else {
-			w.rte.PushAll(children)
+			w.rte.PushAll(w.scratch)
 		}
 	}
 }
 
-// systemPhase runs with the world stopped (inside the epoch barrier):
-// it makes every task schedulable, snapshots the loads, runs the pure
-// walking algorithm of the machine topology and applies the plan as
-// slice transfers between worker deques. A zero global total detects
-// the round boundary, exactly like the simulator runtime.
-func (r *ripsRun) systemPhase() {
-	start := time.Now()
-	defer func() { r.sysTime += time.Since(start) }()
+// beginPhase runs with the world stopped (every worker parked in the
+// epoch barrier, stages already collapsed): it snapshots the loads,
+// detects round boundaries, runs the pure walking algorithm of the
+// machine topology and stages the plan for application. Large plans
+// are partitioned into waves for the workers to apply concurrently;
+// small ones are applied by the leader on the spot.
+func (r *ripsRun) beginPhase() {
+	r.phaseStart = time.Now()
+	r.moves = r.moves[:0]
+	r.waveEnds = r.waveEnds[:0]
+	r.phaseMoved = 0
 
-	loads := make([]int, r.n)
 	total := 0
 	for i, w := range r.workers {
-		// Leftover RTE tasks are rescheduled together with the staged
-		// ones (paper Section 2).
-		w.rte.PushAll(w.stage)
-		w.stage = w.stage[:0]
-		loads[i] = w.rte.Len()
-		total += loads[i]
+		r.loads[i] = w.rte.Len()
+		total += r.loads[i]
 	}
+	r.phaseTotal = total
 	r.phases++
-	r.phaseTotals = append(r.phaseTotals, total)
+	r.phaseSum += int64(total)
+	if total > r.phaseMax {
+		r.phaseMax = total
+	}
+	if r.cfg.TracePhases {
+		r.phaseTotals = append(r.phaseTotals, total)
+	}
 
 	if total == 0 {
+		// Zero global total detects the round boundary, exactly like
+		// the simulator runtime.
 		r.round++
 		if r.round >= r.cfg.App.Rounds() {
 			r.done = true
+			r.finishPhase()
 			return
 		}
 		r.loadRoots(r.round)
+		r.finishPhase()
+		return
+	}
+	if balancedCanonical(r.loads, total) {
+		// Theorem 1 already holds at the exact quota positions: there
+		// is nothing to plan or move. Skipping the planner keeps
+		// balanced steady-state phases allocation-free (the planners
+		// build fresh trace vectors on every call).
+		r.finishPhase()
 		return
 	}
 
-	plan, planTotal, err := planLoads(r.cfg.Topo, loads)
+	plan, planTotal, err := planLoads(r.cfg.Topo, r.loads)
 	if err != nil {
 		r.err = err
 		r.done = true
 		return
 	}
-	invariant.Check(planTotal == total, "par: planner saw %d tasks, snapshot had %d", planTotal, total)
-	for _, mv := range plan.Moves {
-		// Taking from the back forwards tasks that just arrived in this
-		// same phase first, keeping resident tasks home (the locality
-		// preference of Theorem 2).
-		ts := r.workers[mv.From].rte.TakeBack(mv.Count)
-		if len(ts) != mv.Count {
-			invariant.Violated("par: worker %d short %d tasks for migration", mv.From, mv.Count-len(ts))
-		}
-		r.workers[mv.To].rte.PushAll(ts)
-		r.migrated += int64(mv.Count)
+	if invariant.Enabled() && planTotal != total {
+		invariant.Violated("par: planner saw %d tasks, snapshot had %d", planTotal, total)
 	}
+	r.phaseMoved = plan.Cost()
+	r.migrated += int64(r.phaseMoved)
+	r.stageMoves(plan.Moves)
 
-	// Executed Theorem 1 and conservation on every real system phase.
-	after := 0
-	for i, w := range r.workers {
-		after += w.rte.Len()
-		invariant.BalancedWithinOne(w.rte.Len(), total, r.n, i, "par: system phase")
+	if r.cfg.SerialApply || r.n == 1 || r.phaseMoved < r.cfg.parallelApplyMin() {
+		// Leader-only apply: per the phase-cost model (DESIGN.md §9) a
+		// small plan cannot amortize the extra sub-barrier crossings,
+		// so the leader applies it alone, move by move in plan order.
+		for i := range r.moves {
+			mv := &r.moves[i]
+			r.takeMove(mv)
+			r.pushMove(mv)
+		}
+		r.moves = r.moves[:0]
+		r.finishPhase()
+		return
 	}
-	invariant.Conserved(total, after, "par: system phase")
+	r.partitionWaves()
+	r.waves += int64(len(r.waveEnds))
+}
+
+// finishPhase closes the system phase: Theorem 1 and conservation are
+// invariant-checked on every real phase, the adaptive detector folds
+// in the phase's yield, and the stop-the-world time is charged. It
+// runs as the leader callback of the last sub-barrier (or inline from
+// beginPhase when no waves were fanned out).
+func (r *ripsRun) finishPhase() {
+	if total := r.phaseTotal; total > 0 {
+		after := 0
+		for i, w := range r.workers {
+			after += w.rte.Len()
+			invariant.BalancedWithinOne(w.rte.Len(), total, r.n, i, "par: system phase")
+		}
+		invariant.Conserved(total, after, "par: system phase")
+	}
+	r.updateDetector()
+	r.sysTime += time.Since(r.phaseStart)
+}
+
+// balancedCanonical reports whether loads already sit at the exact
+// Theorem 1 quota — floor(total/n) everywhere, plus one on the first
+// total mod n nodes — the fixed point every walking algorithm drives
+// toward.
+func balancedCanonical(loads []int, total int) bool {
+	n := len(loads)
+	lo, rem := total/n, total%n
+	for i, x := range loads {
+		q := lo
+		if i < rem {
+			q++
+		}
+		if x != q {
+			return false
+		}
+	}
+	return true
+}
+
+// stageMoves turns the plan into applyMoves with disjoint exchange
+// regions: each move parks its tasks in the source worker's xbuf at a
+// unique offset, and the buffers are grown once and reused across
+// phases. avail doubles as per-worker offset scratch here; it is
+// re-derived from loads before the wave partition.
+func (r *ripsRun) stageMoves(moves []sched.Move) {
+	off := r.avail
+	for i := range off {
+		off[i] = 0
+	}
+	for _, m := range moves {
+		r.moves = append(r.moves, applyMove{from: m.From, to: m.To, count: m.Count, off: off[m.From]})
+		off[m.From] += m.Count
+	}
+	for i, w := range r.workers {
+		if need := off[i]; cap(w.xbuf) < need {
+			w.xbuf = make([]task.Task, need)
+		} else {
+			w.xbuf = w.xbuf[:need]
+		}
+	}
+}
+
+// partitionWaves splits the staged moves into two-phase waves: within
+// a wave, every take is satisfiable from the wave-start loads, so all
+// takes may run concurrently before any push. Waves are contiguous
+// prefixes of the plan; because the plan is sequentially feasible, the
+// first move after a wave boundary is always satisfiable, so every
+// wave makes progress and the wave count is bounded by the plan's
+// forwarding depth (at most the topology diameter).
+func (r *ripsRun) partitionWaves() {
+	avail, pend := r.avail, r.pend
+	copy(avail, r.loads)
+	for i := range pend {
+		pend[i] = 0
+	}
+	for i := range r.moves {
+		mv := &r.moves[i]
+		if avail[mv.from] < mv.count {
+			// mv forwards tasks still in flight: close the wave (its
+			// pushes land at the boundary) and retry in the next one.
+			r.waveEnds = append(r.waveEnds, i)
+			for n := range pend {
+				avail[n] += pend[n]
+				pend[n] = 0
+			}
+			if avail[mv.from] < mv.count {
+				invariant.Violated("par: move %d->%d x%d infeasible at a wave boundary: plan not sequentially feasible",
+					mv.from, mv.to, mv.count)
+			}
+		}
+		avail[mv.from] -= mv.count
+		pend[mv.to] += mv.count
+	}
+	r.waveEnds = append(r.waveEnds, len(r.moves))
+}
+
+// waveRange returns the [lo, hi) index range of wave wv in r.moves.
+func (r *ripsRun) waveRange(wv int) (int, int) {
+	lo := 0
+	if wv > 0 {
+		lo = r.waveEnds[wv-1]
+	}
+	return lo, r.waveEnds[wv]
+}
+
+// applyTake is the take half of one wave from w's perspective: w
+// extracts every move it sources into its own exchange buffer. Only w
+// touches w's queue and buffer here, so all takes run concurrently.
+func (r *ripsRun) applyTake(w *ripsWorker, wv int) {
+	lo, hi := r.waveRange(wv)
+	for i := lo; i < hi; i++ {
+		if mv := &r.moves[i]; mv.from == w.id {
+			r.takeMove(mv)
+		}
+	}
+}
+
+// applyPush is the push half: w appends every move it receives onto
+// its own queue. The exchange sub-barrier ordered every take before
+// any push, so the source regions are stable; only w writes w's queue.
+func (r *ripsRun) applyPush(w *ripsWorker, wv int) {
+	lo, hi := r.waveRange(wv)
+	for i := lo; i < hi; i++ {
+		if mv := &r.moves[i]; mv.to == w.id {
+			r.pushMove(mv)
+		}
+	}
+}
+
+// takeMove extracts one move's tasks into the source's exchange
+// region. Taking from the back forwards tasks that just arrived in
+// this same phase first, keeping resident tasks home (the locality
+// preference of Theorem 2).
+func (r *ripsRun) takeMove(mv *applyMove) {
+	src := r.workers[mv.from]
+	mv.got = src.rte.TakeBackInto(src.xbuf[mv.off : mv.off+mv.count])
+	if mv.got != mv.count {
+		invariant.Violated("par: worker %d short %d tasks for migration", mv.from, mv.count-mv.got)
+	}
+}
+
+// pushMove lands one move's tasks on the destination queue and clears
+// the exchange region so payload references are not retained across
+// the next user phase.
+func (r *ripsRun) pushMove(mv *applyMove) {
+	seg := r.workers[mv.from].xbuf[mv.off : mv.off+mv.got]
+	r.workers[mv.to].rte.PushAll(seg)
+	for i := range seg {
+		seg[i] = task.Task{}
+	}
 }

@@ -66,13 +66,10 @@ func runSteal(cfg *Config) (Result, error) {
 	wall := time.Since(start)
 
 	res := Result{Workers: r.n}
-	cs := make([]*counters, r.n)
-	for i, w := range r.workers {
-		cs[i] = &w.counters
+	for _, w := range r.workers {
 		res.Steals += w.steals
 	}
-	sumInto(&res, cs)
-	derive(&res, wall)
+	assemble(&res, wall, r.workers, func(w *stealWorker) *counters { return &w.counters })
 	return res, nil
 }
 

@@ -92,6 +92,56 @@ func TestTakeBack(t *testing.T) {
 	}
 }
 
+func TestTakeBackInto(t *testing.T) {
+	var q Queue
+	for i := uint64(0); i < 5; i++ {
+		q.PushBack(Task{ID: i})
+	}
+	buf := make([]Task, 2)
+	if got := q.TakeBackInto(buf); got != 2 || buf[0].ID != 3 || buf[1].ID != 4 {
+		t.Fatalf("TakeBackInto([2]) = %d, buf %v", got, buf)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	// Oversized destination takes what is there and no more.
+	big := make([]Task, 99)
+	if got := q.TakeBackInto(big); got != 3 || big[0].ID != 0 || big[2].ID != 2 {
+		t.Fatalf("TakeBackInto([99]) = %d, front %v", got, big[:3])
+	}
+	if got := q.TakeBackInto(buf); got != 0 {
+		t.Fatalf("TakeBackInto on empty = %d", got)
+	}
+	if got := q.TakeBackInto(nil); got != 0 {
+		t.Fatalf("TakeBackInto(nil) = %d", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	var q Queue
+	for i := uint64(0); i < 100; i++ {
+		q.PushBack(Task{ID: i, Data: &i})
+	}
+	q.PopFront() // move head so Clear must reset it too
+	before := cap(q.items)
+	q.Clear()
+	if !q.Empty() || q.head != 0 {
+		t.Fatalf("after Clear: Len=%d head=%d", q.Len(), q.head)
+	}
+	if cap(q.items) != before {
+		t.Fatalf("Clear dropped capacity: %d -> %d", before, cap(q.items))
+	}
+	for i := range q.items[:cap(q.items)] {
+		if q.items[:cap(q.items)][i].Data != nil {
+			t.Fatalf("Clear retained payload reference at slot %d", i)
+		}
+	}
+	q.PushBack(Task{ID: 7})
+	if got, _ := q.PopFront(); got.ID != 7 {
+		t.Fatalf("reuse after Clear popped %d", got.ID)
+	}
+}
+
 func TestDrainAndPushAll(t *testing.T) {
 	var q Queue
 	q.PushAll([]Task{{ID: 1}, {ID: 2}, {ID: 3}})
@@ -140,7 +190,7 @@ func TestQueueModel(t *testing.T) {
 		var model []Task
 		next := uint64(0)
 		for _, op := range ops {
-			switch op % 5 {
+			switch op % 6 {
 			case 0: // PushBack
 				tk := Task{ID: next}
 				next++
@@ -186,6 +236,22 @@ func TestQueueModel(t *testing.T) {
 				}
 				for i := 0; i < k; i++ {
 					if got[i].ID != model[len(model)-k+i].ID {
+						return false
+					}
+				}
+				model = model[:len(model)-k]
+			case 5: // TakeBackInto(k)
+				k := rng.Intn(4)
+				buf := make([]Task, k)
+				got := q.TakeBackInto(buf)
+				if k > len(model) {
+					k = len(model)
+				}
+				if got != k {
+					return false
+				}
+				for i := 0; i < k; i++ {
+					if buf[i].ID != model[len(model)-k+i].ID {
 						return false
 					}
 				}

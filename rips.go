@@ -170,8 +170,11 @@ type Config struct {
 	InitBackoff Time
 	// DetectInterval is the real-time analogue of InitBackoff for the
 	// Parallel backend: how long a drained worker waits before
-	// requesting a transfer. Negative disables the wait; zero means
-	// the backend default of 100us. Parallel backend only.
+	// requesting a transfer. Negative disables the wait; a positive
+	// value is a constant override; zero (the default) adapts the wait
+	// from observed phase yield, starting at the backend base of 100us
+	// and backing off as phases move fewer tasks. Only phase timing
+	// depends on this, never the answer. Parallel backend only.
 	DetectInterval time.Duration
 	// Seed makes runs reproducible; simulated runs are deterministic
 	// per seed (the Parallel backend's answer is seed- and
