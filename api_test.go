@@ -1,0 +1,292 @@
+package rips_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"rips"
+)
+
+// TestEnumRoundTrip is the property test for the satellite bugfix:
+// parse(String(x)) == x for every defined Algorithm and Backend
+// constant, and the String() rendering of out-of-range values is
+// rejected by the parsers instead of aliasing onto a constant (the old
+// fallthrough behavior mapped every unknown Backend to "simulate").
+func TestEnumRoundTrip(t *testing.T) {
+	for _, a := range rips.Algorithms() {
+		got, err := rips.ParseAlgorithm(a.String())
+		if err != nil {
+			t.Errorf("ParseAlgorithm(%q): %v", a.String(), err)
+		}
+		if got != a {
+			t.Errorf("ParseAlgorithm(%q) = %v, want %v", a.String(), got, a)
+		}
+	}
+	for _, b := range rips.Backends() {
+		got, err := rips.ParseBackend(b.String())
+		if err != nil {
+			t.Errorf("ParseBackend(%q): %v", b.String(), err)
+		}
+		if got != b {
+			t.Errorf("ParseBackend(%q) = %v, want %v", b.String(), got, b)
+		}
+	}
+	// Out-of-range values render distinctly and do not parse.
+	for bad := -3; bad <= 10; bad++ {
+		a := rips.Algorithm(bad)
+		if isDefined(a) {
+			continue
+		}
+		s := a.String()
+		if !strings.Contains(s, "algorithm(") {
+			t.Errorf("Algorithm(%d).String() = %q, want algorithm(N) form", bad, s)
+		}
+		if _, err := rips.ParseAlgorithm(s); err == nil {
+			t.Errorf("ParseAlgorithm(%q) accepted an out-of-range value", s)
+		}
+	}
+	for bad := -3; bad <= 10; bad++ {
+		b := rips.Backend(bad)
+		if b == rips.Simulate || b == rips.Parallel {
+			continue
+		}
+		s := b.String()
+		if !strings.Contains(s, "backend(") {
+			t.Errorf("Backend(%d).String() = %q, want backend(N) form", bad, s)
+		}
+		if _, err := rips.ParseBackend(s); err == nil {
+			t.Errorf("ParseBackend(%q) accepted an out-of-range value", s)
+		}
+	}
+}
+
+func isDefined(a rips.Algorithm) bool {
+	for _, d := range rips.Algorithms() {
+		if a == d {
+			return true
+		}
+	}
+	return false
+}
+
+// TestNewConfigOptions covers the functional-options constructor: a
+// valid assembly, per-option eager validation, and the cross-field
+// checks (Steal on Simulate) that only the final Validate can see.
+func TestNewConfigOptions(t *testing.T) {
+	cfg, err := rips.NewConfig(
+		rips.WithWorkers(8),
+		rips.WithBackend(rips.Parallel),
+		rips.WithAlgorithm(rips.RIPS),
+		rips.WithEager(),
+		rips.WithSeed(7),
+		rips.WithDetectInterval(time.Millisecond),
+	)
+	if err != nil {
+		t.Fatalf("NewConfig: %v", err)
+	}
+	if cfg.Procs != 8 || cfg.Backend != rips.Parallel || !cfg.Eager || cfg.Seed != 7 {
+		t.Errorf("NewConfig assembled %+v", cfg)
+	}
+
+	for _, tc := range []struct {
+		name string
+		opts []rips.Option
+		want string
+	}{
+		{"zero workers", []rips.Option{rips.WithWorkers(0)}, "at least one worker"},
+		{"bad topology", []rips.Option{rips.WithTopology("torus")}, "unknown topology"},
+		{"bad algorithm", []rips.Option{rips.WithAlgorithm(rips.Algorithm(99))}, "unknown algorithm"},
+		{"bad backend", []rips.Option{rips.WithBackend(rips.Backend(99))}, "unknown backend"},
+		{"bad mesh", []rips.Option{rips.WithMesh(0, 4)}, "must be positive"},
+		{"bad periodic", []rips.Option{rips.WithPeriodic(-1)}, "must be positive"},
+		{"bad rid factor", []rips.Option{rips.WithRIDUpdateFactor(2)}, "factor must be in"},
+		{"nil hook", []rips.Option{rips.WithOnPhase(nil)}, "must not be nil"},
+		{"nil pool", []rips.Option{rips.WithPool(nil)}, "must not be nil"},
+		{
+			"steal on simulate",
+			[]rips.Option{rips.WithWorkers(4), rips.WithAlgorithm(rips.Steal)},
+			"steal algorithm runs only on the Parallel backend",
+		},
+		{
+			"gradient on parallel",
+			[]rips.Option{rips.WithWorkers(4), rips.WithBackend(rips.Parallel), rips.WithAlgorithm(rips.Gradient)},
+			"runs only on the Simulate backend",
+		},
+		{
+			"periodic on parallel",
+			[]rips.Option{rips.WithWorkers(4), rips.WithBackend(rips.Parallel), rips.WithPeriodic(rips.Millisecond)},
+			"periodic detector is not available",
+		},
+		{
+			"hypercube size",
+			[]rips.Option{rips.WithWorkers(6), rips.WithTopology("hypercube")},
+			"power-of-two",
+		},
+	} {
+		_, err := rips.NewConfig(tc.opts...)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestResultJSONRoundTrip checks Encode/Decode is lossless through an
+// actual JSON marshal, and that the schema field gates decoding.
+func TestResultJSONRoundTrip(t *testing.T) {
+	cfg := rips.Config{
+		Procs:          16,
+		Topology:       "tree",
+		Algorithm:      rips.Steal,
+		Backend:        rips.Parallel,
+		Eager:          true,
+		DetectInterval: 3 * time.Millisecond,
+		Seed:           42,
+	}
+	res := rips.Result{
+		Time:       rips.Millisecond,
+		Overhead:   7,
+		Idle:       9,
+		Tasks:      1234,
+		Nonlocal:   55,
+		Phases:     17,
+		SeqTime:    2 * rips.Millisecond,
+		Efficiency: 0.5,
+		Speedup:    8,
+		Wall:       time.Second,
+		Steals:     99,
+		AppResult:  14200,
+		Canceled:   true,
+	}
+	doc := rips.EncodeResult(cfg, res)
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back rips.ResultJSON
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	gotCfg, gotRes, err := back.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotCfg, cfg) {
+		t.Errorf("config round-trip:\n got %+v\nwant %+v", gotCfg, cfg)
+	}
+	if gotRes != res {
+		t.Errorf("result round-trip:\n got %+v\nwant %+v", gotRes, res)
+	}
+
+	doc.Schema = "rips-result/v0"
+	if _, _, err := doc.Decode(); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("Decode accepted schema %q: %v", doc.Schema, err)
+	}
+
+	// A sparse submission decodes to defaults.
+	var sparse rips.ConfigJSON
+	if err := json.Unmarshal([]byte(`{"procs": 4}`), &sparse); err != nil {
+		t.Fatal(err)
+	}
+	c, err := sparse.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Algorithm != rips.RIPS || c.Backend != rips.Simulate || c.Procs != 4 {
+		t.Errorf("sparse decode = %+v", c)
+	}
+
+	if _, err := (rips.ConfigJSON{Algorithm: "magic"}).Decode(); err == nil {
+		t.Error("Decode accepted algorithm \"magic\"")
+	}
+}
+
+// TestRunContextCancelSimulate cancels a simulated run up front and
+// checks the partial-result contract surfaces context.Canceled.
+func TestRunContextCancelSimulate(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := rips.RunContext(ctx, rips.NQueens(10), rips.Config{Procs: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !res.Canceled {
+		t.Error("Result.Canceled = false")
+	}
+	if res.Efficiency != 0 || res.Speedup != 0 {
+		t.Errorf("canceled run reported Efficiency=%v Speedup=%v, want 0", res.Efficiency, res.Speedup)
+	}
+}
+
+// TestRunContextCancelParallel cancels a Parallel-backend run mid-
+// flight and checks it stops promptly with a partial result.
+func TestRunContextCancelParallel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := rips.RunContext(ctx, rips.NQueens(13), rips.Config{Procs: 4, Backend: rips.Parallel})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if !res.Canceled {
+		t.Error("Result.Canceled = false")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("canceled run took %v", elapsed)
+	}
+}
+
+// TestRunContextCompletes checks an uncanceled context changes nothing
+// and Run remains a working wrapper.
+func TestRunContextCompletes(t *testing.T) {
+	res, err := rips.RunContext(context.Background(), rips.NQueens(8), rips.Config{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Canceled || res.AppResult != 92 {
+		t.Errorf("Canceled=%v AppResult=%d, want false/92", res.Canceled, res.AppResult)
+	}
+	legacy, err := rips.Run(rips.NQueens(8), rips.Config{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy != res {
+		t.Errorf("Run and RunContext disagree:\n got %+v\nwant %+v", legacy, res)
+	}
+}
+
+// TestOnPhaseParallelBackend checks the public OnPhase hook fires on
+// the Parallel backend with monotonically increasing phase indices.
+func TestOnPhaseParallelBackend(t *testing.T) {
+	pool, err := rips.NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	// The hook runs on one leader at a time, ordered by the epoch
+	// barrier, so a plain append is safe even under -race.
+	var phases []int64
+	res, err := rips.RunContext(context.Background(), rips.NQueens(10), rips.Config{
+		Procs:   4,
+		Backend: rips.Parallel,
+		Pool:    pool,
+		OnPhase: func(pi rips.PhaseInfo) {
+			phases = append(phases, pi.Phase)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(phases)) != res.Phases {
+		t.Fatalf("OnPhase fired %d times for %d phases", len(phases), res.Phases)
+	}
+	for i, p := range phases {
+		if p != int64(i+1) {
+			t.Errorf("phase %d reported index %d", i+1, p)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,26 +26,24 @@ var (
 
 func main() {
 	flag.Parse()
-	var algorithm rips.Algorithm
-	switch *alg {
-	case "rips":
-		algorithm = rips.RIPS
-	case "random":
-		algorithm = rips.Random
-	case "gradient":
-		algorithm = rips.Gradient
-	case "rid":
-		algorithm = rips.RID
-	case "static":
-		algorithm = rips.Static
-	default:
-		fmt.Fprintf(os.Stderr, "queens: unknown algorithm %q\n", *alg)
+	algorithm, err := rips.ParseAlgorithm(*alg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "queens:", err)
+		os.Exit(2)
+	}
+	cfg, err := rips.NewConfig(
+		rips.WithWorkers(*procs),
+		rips.WithAlgorithm(algorithm),
+		rips.WithSeed(*seed),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "queens:", err)
 		os.Exit(2)
 	}
 
 	a := rips.NQueens(*n)
 	start := time.Now() //ripslint:allow wallclock measures real solve time of the host run
-	res, err := rips.Run(a, rips.Config{Procs: *procs, Algorithm: algorithm, Seed: *seed})
+	res, err := rips.RunContext(context.Background(), a, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "queens:", err)
 		os.Exit(1)

@@ -39,6 +39,15 @@
 // -config re-runs one configuration verbatim (the form failures are
 // printed in); otherwise -n configurations are sampled from -seed, and
 // -smoke restricts the pool to the cheap seven-app set CI gates on.
+//
+// The run experiment executes one workload through the public API and
+// optionally emits the rips-result/v1 document ripsd streams:
+//
+//	ripsbench run [-app nq|ida|gromos] [-n N] [-procs N] [-topo T]
+//	              [-alg A] [-backend B] [-timeout D] [-json PATH]
+//
+// so a CLI run, a committed BENCH artifact and a served job result all
+// share one machine-readable schema (see runCmd).
 package main
 
 import (
@@ -66,7 +75,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ripsbench [flags] fig4|table1|table2|fig5|table3|ablation|topologies|taxonomy|detail|parscale|difftest|all\n")
+		fmt.Fprintf(os.Stderr, "usage: ripsbench [flags] fig4|table1|table2|fig5|table3|ablation|topologies|taxonomy|detail|parscale|difftest|run|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -75,7 +84,7 @@ func main() {
 		os.Exit(2)
 	}
 	what := flag.Arg(0)
-	if flag.NArg() > 1 && what != "parscale" && what != "difftest" {
+	if flag.NArg() > 1 && what != "parscale" && what != "difftest" && what != "run" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -112,6 +121,8 @@ func main() {
 		run("parscale", func() error { return parscale(flag.Args()[1:]) })
 	case "difftest":
 		run("difftest", func() error { return difftestCmd(flag.Args()[1:]) })
+	case "run":
+		run("run", func() error { return runCmd(flag.Args()[1:]) })
 	case "all":
 		run("fig4", fig4)
 		run("table1+table2+fig5", fig5) // fig5 subsumes tables I and II

@@ -1,0 +1,90 @@
+//ripslint:allow-file wallclock a network daemon lives on real time: listen timeouts, drain deadlines, log timestamps
+
+// Command ripsd serves the incremental scheduler as a service: one
+// long-running process owning one shared worker pool, accepting
+// workload submissions over HTTP and streaming each run's per-phase
+// progress and final rips-result/v1 document back over SSE.
+//
+// Usage:
+//
+//	ripsd [-addr HOST:PORT] [-workers N] [-queue N] [-drain-timeout D]
+//
+// Endpoints:
+//
+//	GET  /healthz                liveness and pool size
+//	GET  /v1/jobs                jobs in submission order
+//	POST /v1/jobs                submit {"app", "size", "config"} (202)
+//	GET  /v1/jobs/{id}           one job
+//	POST /v1/jobs/{id}/cancel    request cancellation
+//	GET  /v1/jobs/{id}/events    SSE: phase events, then result/error
+//
+// On SIGTERM or SIGINT the daemon stops admitting (new submissions get
+// 503), finishes the queued and running jobs within -drain-timeout,
+// then exits; a second signal — or the timeout — cancels the running
+// job through the same context path a client cancel uses.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"rips/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "shared pool size (worker goroutines)")
+	queue := flag.Int("queue", serve.DefaultQueueLimit, "admission queue limit")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "grace period for in-flight jobs on shutdown")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "ripsd: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv, err := serve.NewServer(serve.Options{Workers: *workers, QueueLimit: *queue})
+	if err != nil {
+		log.Fatalf("ripsd: %v", err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// First signal: drain. Second signal (ctx restored): hard stop.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("ripsd: serving on %s with %d workers (queue limit %d)", *addr, srv.Workers(), *queue)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("ripsd: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills us
+	log.Printf("ripsd: draining (up to %v)", *drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Close(drainCtx); err != nil {
+		log.Printf("ripsd: drain incomplete, canceling in-flight work: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("ripsd: http shutdown: %v", err)
+	}
+	log.Printf("ripsd: stopped")
+}

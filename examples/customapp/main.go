@@ -1,5 +1,5 @@
 // This example shows how to schedule your own computation: implement
-// the rips.App interface and hand it to rips.Run. The workload here is
+// the rips.App interface and hand it to rips.RunContext. The workload is
 // adaptive quadrature — numerically integrating a spiky function by
 // recursive interval splitting — a classic divide-and-conquer whose
 // task tree is highly irregular, exactly the "dynamic problem" class
@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -74,7 +75,15 @@ func main() {
 		q.Name(), profile.Tasks, profile.Work)
 
 	for _, alg := range []rips.Algorithm{rips.RIPS, rips.Random, rips.RID} {
-		res, err := rips.RunProfiled(q, profile, rips.Config{Procs: 16, Algorithm: alg, Seed: 3})
+		cfg, err := rips.NewConfig(
+			rips.WithWorkers(16),
+			rips.WithAlgorithm(alg),
+			rips.WithSeed(3),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rips.RunProfiledContext(context.Background(), q, profile, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -37,7 +38,11 @@ func main() {
 	queens := rips.NQueens(11)
 	profile := rips.Measure(queens)
 	for _, alg := range []rips.Algorithm{rips.RIPS, rips.Random} {
-		res, err := rips.RunProfiled(queens, profile, rips.Config{Procs: 16, Algorithm: alg})
+		cfg, err := rips.NewConfig(rips.WithWorkers(16), rips.WithAlgorithm(alg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rips.RunProfiledContext(context.Background(), queens, profile, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

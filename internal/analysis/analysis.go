@@ -34,9 +34,12 @@
 //     backend exists to measure actual elapsed time, so every one of
 //     its files that reads the clock carries an allow-file directive
 //     explaining that scheduling decisions still depend only on task
-//     counts — and for benchmark drivers (cmd/ripsbench). Simulated
-//     code gets no file waivers; an isolated legitimate read uses the
-//     line form.
+//     counts — for benchmark drivers (cmd/ripsbench), and for the
+//     serving frontend (internal/serve, cmd/ripsd), which timestamps
+//     job lifecycles and enforces network deadlines on real time while
+//     leaving every in-run scheduling decision to the backends.
+//     Simulated code gets no file waivers; an isolated legitimate read
+//     uses the line form.
 //   - sleep: file-scope waivers are refused inside the scheduling
 //     core, even where a wallclock file waiver stands: injected delays
 //     shape the real schedule, so each one is justified on its line,

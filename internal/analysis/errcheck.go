@@ -5,18 +5,22 @@ import (
 	"go/types"
 )
 
-// Errcheck flags statement-level calls in internal packages whose
-// error result is silently dropped. Assigning to _ is an explicit,
-// greppable decision and is allowed; a bare call statement hides the
-// drop. The fmt print family is excluded: its error returns concern
-// the underlying writer and the project only prints to stderr/trace
-// writers where a failed write has no recovery. Other intentional
-// drops annotate with //ripslint:allow errdrop <reason>.
+// Errcheck flags statement-level calls in internal packages — and in
+// the long-running ripsd daemon, where a silently dropped error can
+// hide for the life of the process — whose error result is silently
+// dropped. Assigning to _ is an explicit, greppable decision and is
+// allowed; a bare call statement hides the drop. The fmt print family
+// is excluded: its error returns concern the underlying writer and the
+// project only prints to stderr/trace writers where a failed write has
+// no recovery. Other intentional drops annotate with
+// //ripslint:allow errdrop <reason>.
 var Errcheck = &Analyzer{
-	Name:    "errcheck",
-	Doc:     "flag silently dropped error returns in internal packages",
-	Applies: func(rel string) bool { return underDir(rel, "internal") },
-	Run:     runErrcheck,
+	Name: "errcheck",
+	Doc:  "flag silently dropped error returns in internal packages and ripsd",
+	Applies: func(rel string) bool {
+		return underDir(rel, "internal") || rel == "cmd/ripsd"
+	},
+	Run: runErrcheck,
 }
 
 // errcheckExcluded lists callee packages whose dropped errors are

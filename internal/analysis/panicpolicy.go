@@ -5,7 +5,9 @@ import (
 	"go/types"
 )
 
-// PanicPolicy forbids bare panic(...) in library packages. A detected
+// PanicPolicy forbids bare panic(...) in library packages and in the
+// ripsd daemon (a panic there takes down every queued job, so bugs
+// must surface as typed violations or error responses). A detected
 // bug should raise a typed *invariant.Violation via
 // invariant.Violated — distinguishable from incidental panics in
 // recover handlers and greppable as policy — and an expected runtime
@@ -15,9 +17,9 @@ import (
 // //ripslint:allow panic <reason>.
 var PanicPolicy = &Analyzer{
 	Name: "panicpolicy",
-	Doc:  "forbid bare panic(...) in library packages; use invariant.Violated or a typed error",
+	Doc:  "forbid bare panic(...) in library packages and ripsd; use invariant.Violated or a typed error",
 	Applies: func(rel string) bool {
-		return underDir(rel, "internal") && rel != "internal/invariant"
+		return (underDir(rel, "internal") || rel == "cmd/ripsd") && rel != "internal/invariant"
 	},
 	Run: runPanicPolicy,
 }

@@ -14,6 +14,7 @@
 package dynsched
 
 import (
+	"errors"
 	"fmt"
 	"os"
 
@@ -74,6 +75,9 @@ type Config struct {
 	PerTask sim.Time
 	// PerEnqueue is the bookkeeping cost per generated task (1us).
 	PerEnqueue sim.Time
+	// Cancel, when non-nil, aborts the run once the channel is closed;
+	// the partial Result has Canceled set and conservation unchecked.
+	Cancel <-chan struct{}
 }
 
 func (c *Config) latency() sim.LatencyModel {
@@ -89,6 +93,9 @@ type Result struct {
 	Time                                    sim.Time
 	Overhead, Idle                          sim.Time
 	Generated, Executed, Nonlocal, Migrated int64
+	// Canceled reports an abort via Config.Cancel; counters then cover
+	// only the work done before the abort.
+	Canceled bool
 }
 
 // Run executes the workload under the configured strategy.
@@ -107,11 +114,12 @@ func Run(cfg Config) (Result, error) {
 		Latency:   cfg.latency(),
 		Seed:      cfg.Seed,
 		MaxEvents: cfg.MaxEvents,
+		Cancel:    cfg.Cancel,
 	}, func(n *sim.Node) {
 		c := &Ctx{N: n, cfg: &cfg, strat: cfg.Strategy()}
 		c.run()
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, sim.ErrCanceled) {
 		return Result{}, err
 	}
 	res := Result{
@@ -129,6 +137,12 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.Overhead = oh / sim.Time(len(sr.Nodes))
 	res.Idle = idle / sim.Time(len(sr.Nodes))
+	if err != nil {
+		// Canceled mid-run: tasks were abandoned by design, so the
+		// executed==generated conservation check does not apply.
+		res.Canceled = true
+		return res, err
+	}
 	if res.Executed != res.Generated {
 		return res, fmt.Errorf("dynsched: executed %d of %d generated tasks", res.Executed, res.Generated)
 	}

@@ -1,0 +1,39 @@
+package metrics
+
+import (
+	"time"
+
+	"rips/internal/sim"
+)
+
+// PhaseInfo describes one completed RIPS system phase — the unit of
+// progress the incremental scheduler exposes to observers. Both
+// execution backends report it through their Config.OnPhase hooks (and
+// the public rips.Config.OnPhase forwards to whichever backend runs),
+// so a serving frontend can stream scheduling progress without caring
+// which substrate executes the workload.
+//
+// The hook that delivers a PhaseInfo runs on the scheduler's critical
+// path: the phase leader calls it with the world stopped (Parallel
+// backend) or from node 0's simulated program (Simulate backend).
+// Consumers must not block in it; hand the value off and return.
+type PhaseInfo struct {
+	// Phase is the 1-based index of the system phase.
+	Phase int64
+	// Round is the workload round the phase belongs to.
+	Round int
+	// Tasks is the global task total the phase snapshotted — the
+	// expansion/collapse curve of the workload.
+	Tasks int
+	// Moved is the number of tasks the phase's plan migrated. The
+	// Simulate backend reports 0 here: per-phase migration volume is
+	// not globally observable at any single node of the message-passing
+	// protocol (only the run total is, via Result counters).
+	Moved int
+	// VirtualTime is the simulator clock when the phase completed
+	// (Simulate backend; zero on the Parallel backend).
+	VirtualTime sim.Time
+	// Elapsed is the wall-clock time since the run started when the
+	// phase completed (Parallel backend; zero on the Simulate backend).
+	Elapsed time.Duration
+}

@@ -41,9 +41,9 @@ func newBenchApp(depth, fanout int) *benchApp {
 	return &benchApp{root: build(depth)}
 }
 
-func (a *benchApp) Name() string              { return "benchtree" }
-func (a *benchApp) Rounds() int               { return 1 }
-func (a *benchApp) Roots(int) []app.Spawn     { return []app.Spawn{{Data: a.root}} }
+func (a *benchApp) Name() string          { return "benchtree" }
+func (a *benchApp) Rounds() int           { return 1 }
+func (a *benchApp) Roots(int) []app.Spawn { return []app.Spawn{{Data: a.root}} }
 func (a *benchApp) Execute(data any, emit func(app.Spawn)) sim.Time {
 	for _, c := range data.(*benchNode).children {
 		emit(app.Spawn{Data: c})

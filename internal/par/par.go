@@ -40,11 +40,14 @@
 package par
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"rips/internal/app"
 	"rips/internal/invariant"
+	"rips/internal/metrics"
 	"rips/internal/ripsrt"
 	"rips/internal/sim"
 	"rips/internal/topo"
@@ -127,6 +130,21 @@ type Config struct {
 	// Seed feeds the steal strategy's per-worker victim RNGs. The
 	// answer never depends on it; only steal order does.
 	Seed int64
+	// Cancel, when non-nil, aborts the run once the channel is closed.
+	// Workers observe it between task executions and at phase
+	// boundaries — a canceled RIPS run stops at the next system phase
+	// the epoch barrier opens (within about one DetectInterval, since a
+	// drained worker's detector wait is also interrupted), with no
+	// worker left parked. The partial Result has Canceled set and
+	// conservation unchecked; Run returns it alongside ErrCanceled.
+	Cancel <-chan struct{}
+	// OnPhase, when non-nil, is called by the RIPS phase leader at the
+	// end of every system phase with a snapshot of the phase's outcome.
+	// It runs with the world stopped — every other worker is parked in
+	// the epoch barrier — so it must not block; hand the value off and
+	// return (see metrics.PhaseInfo). Ignored by Steal, which has no
+	// phases.
+	OnPhase func(metrics.PhaseInfo)
 }
 
 func (c *Config) parallelApplyMin() int {
@@ -219,30 +237,71 @@ type Result struct {
 	// AppResult is the aggregated app.Counted result (e.g. solutions
 	// found); it must match the sequential profile's Result exactly.
 	AppResult int64
+	// Canceled reports that the run was aborted through Config.Cancel.
+	// Every other field then describes only the work completed before
+	// the abort: Executed may be less than Generated (the difference is
+	// the abandoned tasks) and AppResult is a partial count.
+	Canceled bool
 }
 
 // Run executes the workload on real cores and returns the wall-clock
 // measures. The caller controls true hardware parallelism through
-// GOMAXPROCS; Run itself never changes it.
+// GOMAXPROCS; Run itself never changes it. Each call spawns fresh
+// worker goroutines; a long-lived caller multiplexing many runs should
+// use a Pool instead.
 func Run(cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
+	return runOn(&cfg, goDriver{})
+}
+
+// runOn executes a validated config on the given driver — fresh
+// goroutines or a pool's resident workers; the protocol is identical.
+func runOn(cfg *Config, d driver) (Result, error) {
 	var res Result
 	var err error
 	if cfg.Strategy == Steal {
-		res, err = runSteal(&cfg)
+		res, err = runSteal(cfg, d)
 	} else {
-		res, err = runRIPS(&cfg)
+		res, err = runRIPS(cfg, d)
 	}
 	if err != nil {
 		return res, err
+	}
+	if res.Canceled {
+		// The abort abandoned tasks by design: conservation cannot hold
+		// and is not checked. The partial result still travels with the
+		// error so callers can report progress made.
+		return res, ErrCanceled
 	}
 	invariant.Conserved(int(res.Generated), int(res.Executed), "par: run")
 	if res.Executed != res.Generated {
 		return res, fmt.Errorf("par: executed %d of %d generated tasks", res.Executed, res.Generated)
 	}
 	return res, nil
+}
+
+// ErrCanceled reports that a run was aborted through Config.Cancel.
+// The Result returned alongside it is partial but internally
+// consistent: counters cover exactly the work done before the abort.
+var ErrCanceled = errors.New("par: run canceled")
+
+// watchCancel mirrors a cancellation channel into an atomic flag the
+// workers can poll allocation-free on their hot paths (a channel select
+// per task would be far more expensive than a load). The returned stop
+// function releases the watcher goroutine; callers defer it so a
+// completed run never leaks the watcher.
+func watchCancel(ch <-chan struct{}, flag *atomic.Bool) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ch:
+			flag.Store(true)
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
 }
 
 // workerID packs per-worker task IDs into the node-partitioned space

@@ -1,0 +1,139 @@
+package par
+
+import (
+	"fmt"
+	"sync"
+)
+
+// driver abstracts how a run's worker bodies get onto goroutines: the
+// default goDriver spawns fresh goroutines per run (the original
+// behavior), while a Pool dispatches onto resident workers so a
+// long-lived server pays goroutine startup once, not per submission.
+// dispatch runs main(0..parties-1) concurrently and returns when every
+// body has returned.
+type driver interface {
+	dispatch(parties int, main func(id int))
+}
+
+// goDriver runs each worker body on a fresh goroutine.
+type goDriver struct{}
+
+func (goDriver) dispatch(parties int, main func(id int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < parties; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			main(id)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// poolJob is one run handed to every resident worker. Workers whose id
+// is beyond the run's party count sit the run out but still join done,
+// so the dispatcher's wait is uniform.
+type poolJob struct {
+	parties int
+	main    func(id int)
+	done    *sync.WaitGroup
+}
+
+// Pool is a set of resident worker goroutines that successive runs are
+// multiplexed onto — the serving backend's substrate. A Pool executes
+// one run at a time (Run serializes callers); a run may use any
+// topology whose size fits the pool, with surplus workers idling for
+// its duration.
+//
+// The zero Pool is not usable; construct with NewPool and release with
+// Close.
+type Pool struct {
+	workers int
+	work    []chan poolJob
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex // serializes Run; guards closed
+	closed bool
+}
+
+// NewPool starts workers resident goroutines and returns the pool.
+func NewPool(workers int) (*Pool, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("par: pool needs at least one worker, got %d", workers)
+	}
+	p := &Pool{
+		workers: workers,
+		work:    make([]chan poolJob, workers),
+	}
+	for i := 0; i < workers; i++ {
+		// Buffer one job so the dispatcher never blocks handing out a
+		// run: every worker is between jobs whenever dispatch runs.
+		ch := make(chan poolJob, 1)
+		p.work[i] = ch
+		p.wg.Add(1)
+		go func(id int) {
+			defer p.wg.Done()
+			for job := range ch {
+				if id < job.parties {
+					job.main(id)
+				}
+				job.done.Done()
+			}
+		}(i)
+	}
+	return p, nil
+}
+
+// Workers returns the pool's resident worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// dispatch hands one run to every resident worker and waits for all of
+// them — including the idle surplus — to check back in. Callers hold
+// p.mu (via Run), so at most one job is in flight per worker.
+func (p *Pool) dispatch(parties int, main func(id int)) {
+	var done sync.WaitGroup
+	done.Add(p.workers)
+	job := poolJob{parties: parties, main: main, done: &done}
+	for _, ch := range p.work {
+		ch <- job
+	}
+	done.Wait()
+}
+
+// Run executes one workload on the pool's resident workers, exactly as
+// Run(cfg) would on fresh goroutines — cross-validation tests assert
+// the results are identical. Concurrent calls serialize: the pool's
+// cores run one workload at a time, and a queued caller's Cancel is
+// still honored the moment its run starts. The topology must fit the
+// pool.
+func (p *Pool) Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if n := cfg.Topo.Size(); n > p.workers {
+		return Result{}, fmt.Errorf("par: config needs %d workers but the pool has %d", n, p.workers)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return Result{}, fmt.Errorf("par: pool is closed")
+	}
+	return runOn(&cfg, p)
+}
+
+// Close shuts the resident workers down and waits for them to exit.
+// It is an error to Close a pool with a run in flight only in the
+// sense that Close blocks until that run completes; after Close, Run
+// returns an error.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.work {
+		close(ch)
+	}
+	p.wg.Wait()
+}

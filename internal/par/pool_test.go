@@ -1,0 +1,160 @@
+package par
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rips/internal/topo"
+)
+
+// TestPoolMatchesRun checks a pool run returns the exact answer and
+// task accounting a fresh-goroutine run does, for both strategies and
+// for topologies smaller than the pool (surplus workers idle).
+func TestPoolMatchesRun(t *testing.T) {
+	pool, err := NewPool(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"rips-2x2", Config{Topo: topo.NewMesh(2, 2), App: queens8()}},
+		{"rips-2x4", Config{Topo: topo.NewMesh(2, 4), App: queens8()}},
+		{"steal-2x2", Config{Topo: topo.NewMesh(2, 2), App: queens8(), Strategy: Steal}},
+		{"rips-tree", Config{Topo: topo.NewTree(3), App: queens8()}},
+	} {
+		direct := mustRun(t, tc.cfg)
+		pooled, err := pool.Run(tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: pool.Run: %v", tc.name, err)
+		}
+		if pooled.AppResult != direct.AppResult {
+			t.Errorf("%s: pool AppResult %d, direct %d", tc.name, pooled.AppResult, direct.AppResult)
+		}
+		if pooled.Generated != direct.Generated || pooled.Executed != direct.Executed {
+			t.Errorf("%s: pool generated/executed %d/%d, direct %d/%d",
+				tc.name, pooled.Generated, pooled.Executed, direct.Generated, direct.Executed)
+		}
+		if pooled.VirtualWork != direct.VirtualWork {
+			t.Errorf("%s: pool VirtualWork %v, direct %v", tc.name, pooled.VirtualWork, direct.VirtualWork)
+		}
+		if pooled.Workers != tc.cfg.Topo.Size() {
+			t.Errorf("%s: pool result Workers %d, want topology size %d",
+				tc.name, pooled.Workers, tc.cfg.Topo.Size())
+		}
+	}
+}
+
+// TestPoolSequentialRuns reuses one pool for many back-to-back runs —
+// the serving pattern — and checks every answer.
+func TestPoolSequentialRuns(t *testing.T) {
+	pool, err := NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	for i := 0; i < 5; i++ {
+		res, err := pool.Run(Config{Topo: topo.NewMesh(2, 2), App: queens8()})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		checkQueens8(t, res, "pool run")
+	}
+}
+
+// TestPoolConcurrentCallers fires many goroutines at one pool at once;
+// Run serializes them, and every caller still gets the right answer.
+func TestPoolConcurrentCallers(t *testing.T) {
+	pool, err := NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := pool.Run(Config{Topo: topo.NewMesh(2, 2), App: queens8()})
+			if err != nil {
+				t.Errorf("pool.Run: %v", err)
+				return
+			}
+			if res.AppResult != 92 {
+				t.Errorf("AppResult = %d, want 92", res.AppResult)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPoolTooSmall checks the descriptive error when a topology does
+// not fit the pool.
+func TestPoolTooSmall(t *testing.T) {
+	pool, err := NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	_, err = pool.Run(Config{Topo: topo.NewMesh(2, 2), App: queens8()})
+	if err == nil || !strings.Contains(err.Error(), "needs 4 workers but the pool has 2") {
+		t.Fatalf("err = %v, want worker-count mismatch", err)
+	}
+}
+
+// TestPoolClosed checks Run after Close fails cleanly and double Close
+// is a no-op.
+func TestPoolClosed(t *testing.T) {
+	pool, err := NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	pool.Close()
+	_, err = pool.Run(Config{Topo: topo.NewMesh(1, 2), App: queens8()})
+	if err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("err = %v, want pool-closed error", err)
+	}
+}
+
+// TestPoolCancelFreesWorkers cancels a long run on the pool and checks
+// the pool is immediately usable for the next run — the "canceled job
+// frees pool capacity" property the server relies on.
+func TestPoolCancelFreesWorkers(t *testing.T) {
+	pool, err := NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(10 * time.Millisecond) //ripslint:allow sleep test fires the abort mid-run on purpose
+		close(cancel)
+	}()
+	res, err := pool.Run(Config{Topo: topo.NewMesh(2, 2), App: bigQueens(), Cancel: cancel})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled pool run: err = %v, want ErrCanceled", err)
+	}
+	if !res.Canceled {
+		t.Error("Result.Canceled = false")
+	}
+
+	next, err := pool.Run(Config{Topo: topo.NewMesh(2, 2), App: queens8()})
+	if err != nil {
+		t.Fatalf("run after canceled run: %v", err)
+	}
+	checkQueens8(t, next, "run after cancel")
+}
+
+// TestNewPoolRejectsZeroWorkers covers the constructor's validation.
+func TestNewPoolRejectsZeroWorkers(t *testing.T) {
+	if _, err := NewPool(0); err == nil {
+		t.Fatal("NewPool(0) succeeded")
+	}
+}

@@ -3,12 +3,12 @@
 package par
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"rips/internal/app"
 	"rips/internal/invariant"
+	"rips/internal/metrics"
 	"rips/internal/ripsrt"
 	"rips/internal/sched"
 	"rips/internal/task"
@@ -74,11 +74,20 @@ type ripsRun struct {
 	// hot path.
 	beginFn, endFn func()
 
+	// cancel is the abort flag mirrored from Config.Cancel by a watcher
+	// goroutine (see watchCancel); workers poll it between tasks and
+	// the leader honours it at the next phase boundary, so the barrier
+	// itself never wedges on a canceled run.
+	cancel atomic.Bool
+	// start anchors the Elapsed field of OnPhase snapshots.
+	start time.Time
+
 	// Phase state below is written only inside barrier callbacks (the
 	// world is stopped) or read by workers between barriers; the
 	// barrier's mutex hand-off orders every access.
 	round      int
 	done       bool
+	stopped    bool // done because of cancellation, not completion
 	err        error
 	phases     int64
 	migrated   int64
@@ -126,6 +135,7 @@ func newRipsRun(cfg *Config) *ripsRun {
 		pend:    make([]int, n),
 		wait:    DefaultDetectInterval,
 		workers: make([]*ripsWorker, 0, n),
+		start:   time.Now(),
 	}
 	r.req.Store(-1)
 	r.beginFn = r.beginPhase
@@ -140,20 +150,17 @@ func newRipsRun(cfg *Config) *ripsRun {
 	return r
 }
 
-func runRIPS(cfg *Config) (Result, error) {
+func runRIPS(cfg *Config, d driver) (Result, error) {
 	r := newRipsRun(cfg)
 	r.loadRoots(0)
+	if cfg.Cancel != nil {
+		stop := watchCancel(cfg.Cancel, &r.cancel)
+		defer stop()
+	}
 
 	start := time.Now()
-	var wg sync.WaitGroup
-	for i := 0; i < r.n; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			r.workerMain(id)
-		}(i)
-	}
-	wg.Wait()
+	r.start = start
+	d.dispatch(r.n, r.workerMain)
 	wall := time.Since(start)
 
 	res := Result{
@@ -165,6 +172,7 @@ func runRIPS(cfg *Config) (Result, error) {
 		PhaseSum:    r.phaseSum,
 		PhaseMax:    r.phaseMax,
 		PhaseTotals: r.phaseTotals,
+		Canceled:    r.stopped,
 	}
 	assemble(&res, wall, r.workers, func(w *ripsWorker) *counters { return &w.counters })
 	return res, r.err
@@ -268,6 +276,9 @@ func (r *ripsRun) phaseStep(w *ripsWorker, point *int64) bool {
 func (r *ripsRun) userPhase(w *ripsWorker, phase int64) {
 	executed := false
 	for {
+		if r.cancel.Load() {
+			return // abort: head straight for the phase barrier
+		}
 		if executed && r.cfg.Global == ripsrt.Any && r.req.Load() >= phase {
 			return // someone requested the transfer; one task finished since
 		}
@@ -278,7 +289,7 @@ func (r *ripsRun) userPhase(w *ripsWorker, phase int64) {
 		r.execute(w, tk)
 		executed = true
 	}
-	if r.cfg.Global == ripsrt.All {
+	if r.cfg.Global == ripsrt.All || r.cancel.Load() {
 		return
 	}
 	r.initiate(w, phase)
@@ -292,7 +303,21 @@ func (r *ripsRun) initiate(w *ripsWorker, phase int64) {
 		return
 	}
 	if d := r.detectWait(); d > 0 {
-		time.Sleep(d) //ripslint:allow sleep the (possibly adaptive) detector interval delays the ANY request, mirroring the simulator's InitBackoff; it never changes what is computed
+		// Sleep in slices of at most the base interval, re-checking the
+		// abort flag between slices: a canceled run must not sit out the
+		// full adaptive backoff (up to 32x base) before its drained
+		// workers reach the barrier.
+		for d > 0 && !r.cancel.Load() {
+			s := d
+			if s > DefaultDetectInterval {
+				s = DefaultDetectInterval
+			}
+			time.Sleep(s) //ripslint:allow sleep the (possibly adaptive) detector interval delays the ANY request, mirroring the simulator's InitBackoff; it never changes what is computed
+			d -= s
+		}
+	}
+	if r.cancel.Load() {
+		return // abort: no point requesting a transfer nobody will serve
 	}
 	// Perturbation point: delay the request CAS so redundant
 	// initiators of the same phase really race each other.
@@ -381,6 +406,16 @@ func (r *ripsRun) execute(w *ripsWorker, tk task.Task) {
 // are partitioned into waves for the workers to apply concurrently;
 // small ones are applied by the leader on the spot.
 func (r *ripsRun) beginPhase() {
+	if r.cancel.Load() {
+		// Abort, decided by the leader with the world stopped: every
+		// worker is parked in this barrier, so setting done here is the
+		// "barrier wakeup" — all of them observe it on release and exit
+		// together. Nothing is planned or moved; the queues keep the
+		// abandoned tasks.
+		r.stopped = true
+		r.done = true
+		return
+	}
 	r.phaseStart = time.Now()
 	r.moves = r.moves[:0]
 	r.waveEnds = r.waveEnds[:0]
@@ -469,6 +504,15 @@ func (r *ripsRun) finishPhase() {
 	}
 	r.updateDetector()
 	r.sysTime += time.Since(r.phaseStart)
+	if h := r.cfg.OnPhase; h != nil {
+		h(metrics.PhaseInfo{
+			Phase:   r.phases,
+			Round:   r.round,
+			Tasks:   r.phaseTotal,
+			Moved:   r.phaseMoved,
+			Elapsed: time.Since(r.start),
+		})
+	}
 }
 
 // balancedCanonical reports whether loads already sit at the exact

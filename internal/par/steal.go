@@ -5,7 +5,6 @@ package par
 import (
 	"math/rand"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -38,12 +37,16 @@ type stealRun struct {
 	// zero exactly when the round's whole task tree has run, which is
 	// the strategy's (centralized) termination detector.
 	pending atomic.Int64
+	// cancel is the abort flag mirrored from Config.Cancel; workers
+	// poll it between executions and head for the round barrier.
+	cancel atomic.Bool
 	// Leader-only state, ordered by the round barrier.
-	round int
-	done  bool
+	round   int
+	done    bool
+	stopped bool // done because of cancellation, not completion
 }
 
-func runSteal(cfg *Config) (Result, error) {
+func runSteal(cfg *Config, d driver) (Result, error) {
 	r := &stealRun{cfg: cfg, n: cfg.Topo.Size(), bar: newEpochBarrier(cfg.Topo.Size())}
 	for i := 0; i < r.n; i++ {
 		r.workers = append(r.workers, &stealWorker{
@@ -53,19 +56,16 @@ func runSteal(cfg *Config) (Result, error) {
 		})
 	}
 
-	start := time.Now()
-	var wg sync.WaitGroup
-	for i := 0; i < r.n; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			r.workerMain(id)
-		}(i)
+	if cfg.Cancel != nil {
+		stop := watchCancel(cfg.Cancel, &r.cancel)
+		defer stop()
 	}
-	wg.Wait()
+
+	start := time.Now()
+	d.dispatch(r.n, r.workerMain)
 	wall := time.Since(start)
 
-	res := Result{Workers: r.n}
+	res := Result{Workers: r.n, Canceled: r.stopped}
 	for _, w := range r.workers {
 		res.Steals += w.steals
 	}
@@ -114,6 +114,13 @@ func (r *stealRun) workerMain(id int) {
 // advanceRound runs at the round barrier: every deque must be empty
 // (pending hit zero), and the next round — if any — is staged.
 func (r *stealRun) advanceRound() {
+	if r.cancel.Load() {
+		// Abort at the round barrier: deques may still hold abandoned
+		// tasks, so the emptiness invariant below does not apply.
+		r.stopped = true
+		r.done = true
+		return
+	}
 	for _, w := range r.workers {
 		if n := w.d.size(); n != 0 {
 			invariant.Violated("par: steal worker %d holds %d tasks at round barrier", w.id, n)
@@ -132,6 +139,9 @@ func (r *stealRun) work(w *stealWorker) {
 	idleSweeps := 0
 	var point int64
 	for {
+		if r.cancel.Load() {
+			return // abort: head for the round barrier, deque unemptied
+		}
 		t := w.d.pop()
 		if t == nil {
 			if r.pending.Load() == 0 {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"rips/internal/app"
+	"rips/internal/metrics"
 	"rips/internal/sim"
 	"rips/internal/topo"
 )
@@ -150,6 +151,18 @@ type Config struct {
 	Seed int64
 	// MaxEvents optionally caps simulator events (safety net).
 	MaxEvents uint64
+	// Cancel, when non-nil, aborts the run once the channel is closed.
+	// The simulator polls it between events; a canceled run returns a
+	// partial Result with Canceled set alongside sim.ErrCanceled, and
+	// run-level conservation is not checked (tasks were abandoned
+	// mid-flight by design, not lost by a scheduler bug).
+	Cancel <-chan struct{}
+	// OnPhase, when non-nil, is called by node 0's simulated program
+	// after every system phase with a snapshot of the phase's outcome.
+	// It runs on the simulator's single driver thread while every other
+	// node is parked, so it must not block; hand the value off and
+	// return (see metrics.PhaseInfo).
+	OnPhase func(metrics.PhaseInfo)
 }
 
 func (c *Config) validate() error {

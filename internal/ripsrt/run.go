@@ -1,11 +1,13 @@
 package ripsrt
 
 import (
+	"errors"
 	"fmt"
 
 	"rips/internal/app"
 	"rips/internal/collective"
 	"rips/internal/invariant"
+	"rips/internal/metrics"
 	"rips/internal/sim"
 	"rips/internal/task"
 )
@@ -47,6 +49,10 @@ type Result struct {
 	// (the final entries are the zero-total phases that detect round
 	// boundaries and termination).
 	PhaseTotals []int
+	// Canceled reports that the run was aborted through Config.Cancel.
+	// All other fields then describe only the work completed before the
+	// abort, and Executed may be less than Generated.
+	Canceled bool
 }
 
 // Run executes the workload under RIPS on the configured mesh.
@@ -59,10 +65,11 @@ func Run(cfg Config) (Result, error) {
 		Latency:   cfg.latency(),
 		Seed:      cfg.Seed,
 		MaxEvents: cfg.MaxEvents,
+		Cancel:    cfg.Cancel,
 	}
 	var phaseTotals []int
 	sr, err := sim.Run(simCfg, func(n *sim.Node) { nodeMain(n, &cfg, &phaseTotals) })
-	if err != nil {
+	if err != nil && !errors.Is(err, sim.ErrCanceled) {
 		return Result{}, err
 	}
 	res := Result{
@@ -76,6 +83,21 @@ func Run(cfg Config) (Result, error) {
 		AppResult: sr.Counters[CounterAppResult],
 	}
 	res.PhaseTotals = phaseTotals
+	if err != nil {
+		// Canceled: assemble what the run did accomplish, but skip the
+		// conservation and locality invariants — the abandoned tasks are
+		// a consequence of the abort, not a scheduler bug.
+		res.Canceled = true
+		var oh, idle sim.Time
+		for _, st := range sr.Nodes {
+			oh += st.Overhead
+			res.VirtualWork += st.Busy
+			idle += st.Idle + (sr.End - st.Finish)
+		}
+		n := sim.Time(cfg.machineTopo().Size())
+		res.Overhead, res.Idle = oh/n, idle/n
+		return res, err
+	}
 	n := int64(cfg.machineTopo().Size())
 	var oh, idle sim.Time
 	for _, st := range sr.Nodes {
@@ -140,6 +162,16 @@ func nodeMain(n *sim.Node, cfg *Config, phaseTotals *[]int) {
 			// Only node 0 appends, and node programs run one at a
 			// time, so this is race-free.
 			*phaseTotals = append(*phaseTotals, total)
+			if cfg.OnPhase != nil {
+				// Moved is not globally observable at a single node of
+				// the message-passing protocol; only the run total is.
+				cfg.OnPhase(metrics.PhaseInfo{
+					Phase:       int64(len(*phaseTotals)),
+					Round:       st.round,
+					Tasks:       total,
+					VirtualTime: n.Now(),
+				})
+			}
 		}
 		if total == 0 {
 			st.round++

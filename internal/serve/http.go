@@ -1,0 +1,226 @@
+//ripslint:allow-file wallclock HTTP response timestamps are wall-clock by design; they never influence scheduling
+
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"rips"
+)
+
+// JobJSON is the wire form of a job for GET /v1/jobs and
+// GET /v1/jobs/{id}: the submission, the lifecycle state with
+// timestamps, and — once terminal — the rips-result/v1 document or the
+// error text.
+type JobJSON struct {
+	ID            string           `json:"id"`
+	Spec          JobSpec          `json:"spec"`
+	State         string           `json:"state"`
+	Phases        int              `json:"phases"`
+	DroppedPhases int              `json:"dropped_phases,omitempty"`
+	Result        *rips.ResultJSON `json:"result,omitempty"`
+	Error         string           `json:"error,omitempty"`
+	SubmittedAt   time.Time        `json:"submitted_at"`
+	StartedAt     *time.Time       `json:"started_at,omitempty"`
+	FinishedAt    *time.Time       `json:"finished_at,omitempty"`
+}
+
+// PhaseEvent is the wire form of one system phase on the SSE stream
+// (event: phase). Times are integer nanoseconds, matching
+// rips-result/v1 conventions; virtual_ns is zero on the Parallel
+// backend (no virtual clock) and elapsed_ns zero on Simulate.
+type PhaseEvent struct {
+	Phase     int64 `json:"phase"`
+	Round     int   `json:"round"`
+	Tasks     int   `json:"tasks"`
+	Moved     int   `json:"moved,omitempty"`
+	VirtualNS int64 `json:"virtual_ns,omitempty"`
+	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
+}
+
+func encodeJob(snap Snapshot) JobJSON {
+	out := JobJSON{
+		ID:            snap.ID,
+		Spec:          snap.Spec,
+		State:         snap.State,
+		Phases:        len(snap.Phases) + snap.Dropped,
+		DroppedPhases: snap.Dropped,
+		Result:        snap.Result,
+		Error:         snap.Err,
+		SubmittedAt:   snap.Submitted,
+	}
+	if !snap.Started.IsZero() {
+		out.StartedAt = &snap.Started
+	}
+	if !snap.Finished.IsZero() {
+		out.FinishedAt = &snap.Finished
+	}
+	return out
+}
+
+func encodePhase(pi rips.PhaseInfo) PhaseEvent {
+	return PhaseEvent{
+		Phase:     pi.Phase,
+		Round:     pi.Round,
+		Tasks:     pi.Tasks,
+		Moved:     pi.Moved,
+		VirtualNS: int64(pi.VirtualTime),
+		ElapsedNS: int64(pi.Elapsed),
+	}
+}
+
+// Handler returns the ripsd API:
+//
+//	GET  /healthz                  liveness
+//	GET  /v1/jobs                  list jobs in submission order
+//	POST /v1/jobs                  submit a JobSpec (202, 400, 503)
+//	GET  /v1/jobs/{id}             one job
+//	POST /v1/jobs/{id}/cancel      request cancellation
+//	GET  /v1/jobs/{id}/events      SSE phase/result/error stream
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode errors here mean the client is gone; nothing to do.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "workers": s.Workers()})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]JobJSON, 0, len(jobs))
+	for _, j := range jobs {
+		snap, _ := j.Snapshot()
+		out = append(out, encodeJob(snap))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad submission body: %w", err))
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrDraining) || errors.Is(err, ErrQueueFull) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	snap, _ := job.Snapshot()
+	writeJSON(w, http.StatusAccepted, encodeJob(snap))
+}
+
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no job %q", id))
+	}
+	return job, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	snap, _ := job.Snapshot()
+	writeJSON(w, http.StatusOK, encodeJob(snap))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	job.Cancel()
+	snap, _ := job.Snapshot()
+	writeJSON(w, http.StatusAccepted, encodeJob(snap))
+}
+
+// handleEvents streams a job over SSE: every recorded phase as
+// `event: phase` (history first, then live), ending with one terminal
+// `event: result` (done or canceled-with-partial-result) or
+// `event: error`. The stream closes after the terminal event, or when
+// the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("serve: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	sent := 0
+	for {
+		snap, changed := job.Snapshot()
+		for _, pi := range snap.Phases[sent:] {
+			writeEvent(w, "phase", encodePhase(pi))
+			sent++
+		}
+		if Terminal(snap.State) {
+			switch {
+			case snap.Result != nil:
+				writeEvent(w, "result", snap.Result)
+			default:
+				msg := snap.Err
+				if msg == "" {
+					msg = "job " + snap.State
+				}
+				writeEvent(w, "error", map[string]string{"state": snap.State, "error": msg})
+			}
+			fl.Flush()
+			return
+		}
+		fl.Flush()
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeEvent emits one SSE frame. json.Marshal of our own wire structs
+// cannot fail, and a write error just means the client went away — the
+// stream loop exits via the request context shortly after.
+func writeEvent(w http.ResponseWriter, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(`{"error":"encode failure"}`)
+	}
+	_, _ = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}

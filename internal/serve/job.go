@@ -1,0 +1,153 @@
+//ripslint:allow-file wallclock job lifecycle timestamps are wall-clock by design; they never influence scheduling
+
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"rips"
+)
+
+// Job states, in lifecycle order. queued → running → one of the
+// terminal three.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// maxPhaseHistory caps the per-job phase buffer so a long run cannot
+// grow server memory without bound; once full, older history stays and
+// newer phases are counted in Dropped. SSE clients connected before
+// the cap still receive every phase live.
+const maxPhaseHistory = 4096
+
+// JobSpec is the submission body for POST /v1/jobs: a named workload
+// from the parscale registry (nq, ida, gromos) at a size, plus a
+// rips-result/v1 config object. Zero-value fields take server
+// defaults: the family's default size, the Parallel backend, a
+// machine the size of the whole pool.
+type JobSpec struct {
+	App    string          `json:"app"`
+	Size   int             `json:"size,omitempty"`
+	Config rips.ConfigJSON `json:"config"`
+}
+
+// Job is one submitted run. The exported fields are immutable after
+// Submit; everything mutable lives behind mu and is read via Snapshot.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	cfg    rips.Config
+	app    rips.App
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     string
+	phases    []rips.PhaseInfo
+	dropped   int
+	result    *rips.ResultJSON
+	errMsg    string
+	notify    chan struct{} // closed and replaced on every state/phase change
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Snapshot is a consistent copy of a job's mutable state, safe to
+// read and serialize after the lock is released. Phases aliases the
+// job's append-only history buffer — read-only by contract.
+type Snapshot struct {
+	ID        string
+	Spec      JobSpec
+	State     string
+	Phases    []rips.PhaseInfo
+	Dropped   int
+	Result    *rips.ResultJSON
+	Err       string
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+}
+
+// Snapshot returns the job's current state plus the channel that will
+// close on its next change — the pair an SSE stream needs to replay
+// history and then wait without missing an update in between.
+func (j *Job) Snapshot() (Snapshot, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID:        j.ID,
+		Spec:      j.Spec,
+		State:     j.state,
+		Phases:    j.phases[:len(j.phases):len(j.phases)],
+		Dropped:   j.dropped,
+		Result:    j.result,
+		Err:       j.errMsg,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}, j.notify
+}
+
+// Terminal reports whether a state is final.
+func Terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// Cancel requests cancellation: the job's context is canceled, which
+// the backends observe at the next phase boundary (or the queue
+// observes before the job starts). Idempotent; a no-op once terminal.
+func (j *Job) Cancel() { j.cancel() }
+
+// wake closes the current notify channel and installs a fresh one.
+// Callers hold j.mu.
+func (j *Job) wake() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// appendPhase is the rips.Config.OnPhase hook. It runs on the phase
+// leader with the world stopped, so it only copies one struct into the
+// buffer and flips the notify channel — never blocks.
+func (j *Job) appendPhase(pi rips.PhaseInfo) {
+	j.mu.Lock()
+	if len(j.phases) < maxPhaseHistory {
+		j.phases = append(j.phases, pi)
+	} else {
+		j.dropped++
+	}
+	j.wake()
+	j.mu.Unlock()
+}
+
+// markRunning transitions queued → running.
+func (j *Job) markRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.wake()
+	j.mu.Unlock()
+}
+
+// settle records the terminal state, the result document (when the run
+// produced one — done always, canceled when a partial result exists)
+// and the error text, then releases the job's context resources.
+func (j *Job) settle(state string, doc *rips.ResultJSON, err error) {
+	j.mu.Lock()
+	j.state = state
+	j.result = doc
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	j.finished = time.Now()
+	j.wake()
+	j.mu.Unlock()
+	j.cancel()
+}

@@ -1,0 +1,290 @@
+//ripslint:allow-file wallclock the serving frontend timestamps job lifecycles with real time by design; scheduling decisions inside runs remain deterministic
+
+// Package serve is the scheduler-as-a-service frontend: a long-running
+// server that owns one shared Parallel worker pool, accepts workload
+// submissions, multiplexes them onto the pool one run at a time (the
+// pool's cores are the scarce resource; the admission queue is the
+// paper's "incremental scheduling" arrival stream), and streams each
+// job's per-phase progress and final rips-result/v1 document to
+// clients over SSE.
+//
+// The server is deliberately a thin shell over the public rips API:
+// submissions decode to rips.Config, run through rips.RunProfiledContext
+// with the job's context, progress arrives through rips.Config.OnPhase,
+// and cancellation — client disconnect, explicit cancel, or drain —
+// travels the same context path every library caller uses. Server-level
+// tests assert a served answer is bit-identical to a direct RunContext.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"rips"
+	"rips/internal/exp"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers sizes the shared Parallel worker pool (required, >= 1).
+	// A submission's machine must fit the pool.
+	Workers int
+	// QueueLimit bounds the admission queue: submissions beyond the
+	// limit are rejected immediately (HTTP 503) instead of queueing
+	// without bound. Zero means DefaultQueueLimit.
+	QueueLimit int
+	// MaxBodyBytes bounds a submission's JSON body. Zero means
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultQueueLimit   = 64
+	DefaultMaxBodyBytes = 1 << 20
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrDraining rejects submissions while the server drains.
+	ErrDraining = errors.New("serve: server is draining")
+	// ErrQueueFull rejects submissions when the admission queue is at
+	// its limit.
+	ErrQueueFull = errors.New("serve: admission queue is full")
+)
+
+// Server owns the pool, the job table and the admission queue. Create
+// with NewServer, expose with Handler, stop with Drain/Close.
+type Server struct {
+	opts Options
+	pool *rips.Pool
+
+	// baseCtx parents every job context, so Close cancels all jobs.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// queue is the bounded admission queue; the executor goroutine
+	// drains it one job at a time onto the pool. execDone closes when
+	// the executor exits (after the queue closes on drain).
+	queue    chan *Job
+	execDone chan struct{}
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for deterministic listing
+	nextID   int
+	draining bool
+
+	// profiles caches sequential app profiles by app/size key: Measure
+	// runs the whole workload on one goroutine, far too expensive to
+	// repeat for every submission of the same workload.
+	profMu   sync.Mutex
+	profiles map[string]rips.Profile
+}
+
+// NewServer starts the worker pool and the executor.
+func NewServer(opts Options) (*Server, error) {
+	if opts.QueueLimit == 0 {
+		opts.QueueLimit = DefaultQueueLimit
+	}
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	pool, err := rips.NewPool(opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		pool:       pool,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, opts.QueueLimit),
+		execDone:   make(chan struct{}),
+		jobs:       make(map[string]*Job),
+		profiles:   make(map[string]rips.Profile),
+	}
+	go s.executor()
+	return s, nil
+}
+
+// Workers returns the shared pool's size.
+func (s *Server) Workers() int { return s.pool.Workers() }
+
+// Submit validates a submission, admits it to the queue and returns
+// the queued job. Validation failures are plain errors (HTTP 400);
+// ErrDraining and ErrQueueFull are admission failures (HTTP 503).
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	cfg, a, err := s.resolve(&spec)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.nextID++
+	id := "job-" + strconv.Itoa(s.nextID)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job := &Job{
+		ID:        id,
+		Spec:      spec,
+		cfg:       cfg,
+		app:       a,
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		notify:    make(chan struct{}),
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- job:
+	default:
+		cancel()
+		return nil, ErrQueueFull
+	}
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	return job, nil
+}
+
+// resolve decodes and validates a submission against the server's
+// defaults: the workload must exist, the backend defaults to Parallel
+// on the shared pool, and a zero machine size defaults to the whole
+// pool. The returned Config carries no hooks yet — runJob wires those.
+func (s *Server) resolve(spec *JobSpec) (rips.Config, rips.App, error) {
+	a, err := exp.ParScaleApp(spec.App, spec.Size)
+	if err != nil {
+		return rips.Config{}, nil, fmt.Errorf("serve: %w", err)
+	}
+	cfg, err := spec.Config.Decode()
+	if err != nil {
+		return rips.Config{}, nil, fmt.Errorf("serve: %w", err)
+	}
+	if spec.Config.Backend == "" {
+		// The server's raison d'être is the shared pool; simulation is
+		// opt-in ("backend": "simulate").
+		cfg.Backend = rips.Parallel
+	}
+	if cfg.Procs == 0 && cfg.Rows == 0 && cfg.Cols == 0 {
+		cfg.Procs = s.pool.Workers()
+	}
+	if cfg.Backend == rips.Parallel {
+		cfg.Pool = s.pool
+	}
+	if err := cfg.Validate(); err != nil {
+		return rips.Config{}, nil, err
+	}
+	return cfg, a, nil
+}
+
+// Job returns a job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// executor is the single goroutine multiplexing the queue onto the
+// pool. One job runs at a time: the pool's cores are one machine, and
+// a run occupies all of it (rips.Pool serializes anyway; doing it here
+// keeps queue order and makes the running job observable).
+func (s *Server) executor() {
+	defer close(s.execDone)
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// profile returns the cached sequential profile for a workload,
+// measuring it on first use.
+func (s *Server) profile(spec JobSpec, a rips.App) rips.Profile {
+	key := spec.App + "/" + strconv.Itoa(spec.Size)
+	s.profMu.Lock()
+	p, ok := s.profiles[key]
+	s.profMu.Unlock()
+	if ok {
+		return p
+	}
+	// Measured outside the lock: profiles of large workloads take real
+	// time, and concurrent misses for the same key are just redundant,
+	// not wrong (Measure is deterministic).
+	p = rips.Measure(a)
+	s.profMu.Lock()
+	s.profiles[key] = p
+	s.profMu.Unlock()
+	return p
+}
+
+// runJob executes one admitted job on the pool and settles its state.
+func (s *Server) runJob(job *Job) {
+	if job.ctx.Err() != nil {
+		// Canceled while still queued: never ran.
+		job.settle(StateCanceled, nil, job.ctx.Err())
+		return
+	}
+	job.markRunning()
+	cfg := job.cfg
+	cfg.OnPhase = job.appendPhase
+	p := s.profile(job.Spec, job.app)
+	res, err := rips.RunProfiledContext(job.ctx, job.app, p, cfg)
+	doc := rips.EncodeResult(job.cfg, res)
+	switch {
+	case res.Canceled:
+		job.settle(StateCanceled, &doc, err)
+	case err != nil:
+		job.settle(StateFailed, nil, err)
+	default:
+		job.settle(StateDone, &doc, nil)
+	}
+}
+
+// Drain stops admission (new submissions get ErrDraining), lets the
+// queued and running jobs finish, and returns when the executor is
+// idle or the context expires — the SIGTERM path. Safe to call more
+// than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		// Submit holds the same mutex, so no send can race this close.
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.execDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close drains with the given context, then cancels whatever is still
+// running and releases the pool. The forceful companion to Drain: a
+// expired drain context turns into cancellation of the running job.
+func (s *Server) Close(ctx context.Context) error {
+	err := s.Drain(ctx)
+	s.baseCancel()
+	<-s.execDone
+	s.pool.Close()
+	return err
+}

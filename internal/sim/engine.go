@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime/debug"
@@ -23,6 +24,13 @@ type Config struct {
 	// MaxEvents aborts the run after this many events (0 = a large
 	// default guard of 2^40), catching livelocked node programs.
 	MaxEvents uint64
+	// Cancel, when non-nil, aborts the run once the channel is closed
+	// (or sent to). The engine polls it between events, so a canceled
+	// run stops at the next event boundary with ErrCanceled and a
+	// partial Result. This is how context cancellation reaches the
+	// virtual-time world: the simulation itself has no host clock, but
+	// the host may stop caring about its answer.
+	Cancel <-chan struct{}
 	// Trace, when non-nil, receives one line per simulator event —
 	// timer wakes and message deliveries with their timestamps — for
 	// debugging node programs. Tracing large runs is voluminous.
@@ -158,6 +166,16 @@ func (e *Engine) RunPrograms(progs []Program) (Result, error) {
 		}
 	}
 	for done < n {
+		if e.cfg.Cancel != nil && e.events&(cancelCheckInterval-1) == 0 {
+			select {
+			case <-e.cfg.Cancel:
+				e.err = ErrCanceled
+			default:
+			}
+			if e.err != nil {
+				break
+			}
+		}
 		if e.heap.len() == 0 {
 			e.err = e.deadlockError()
 			break
@@ -282,6 +300,17 @@ func (e *Engine) deadlockError() error {
 	sort.Ints(blocked)
 	return fmt.Errorf("sim: deadlock at t=%v: nodes %v blocked in Recv with no events pending", e.now, blocked)
 }
+
+// ErrCanceled reports that a run was aborted through Config.Cancel.
+// The Result returned alongside it is partial: counters and clocks
+// reflect only the work done before the abort, and task conservation
+// does not hold.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// cancelCheckInterval is how many events may elapse between polls of
+// Config.Cancel; a power of two so the check is a mask. 256 events is
+// microseconds of host time, far below any cancellation deadline.
+const cancelCheckInterval = 256
 
 // abortedError is the panic value used to unwind node goroutines when
 // the engine aborts a run; it is recovered in the node wrapper.

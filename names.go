@@ -1,0 +1,67 @@
+package rips
+
+import "fmt"
+
+// Algorithms returns every defined Algorithm constant, in order. The
+// list backs ParseAlgorithm and the round-trip property tests.
+func Algorithms() []Algorithm {
+	return []Algorithm{RIPS, Random, Gradient, RID, Static, Steal}
+}
+
+// Backends returns every defined Backend constant, in order.
+func Backends() []Backend {
+	return []Backend{Simulate, Parallel}
+}
+
+func (a Algorithm) String() string {
+	switch a {
+	case RIPS:
+		return "rips"
+	case Random:
+		return "random"
+	case Gradient:
+		return "gradient"
+	case RID:
+		return "rid"
+	case Static:
+		return "static"
+	case Steal:
+		return "steal"
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+func (b Backend) String() string {
+	switch b {
+	case Simulate:
+		return "simulate"
+	case Parallel:
+		return "parallel"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// ParseAlgorithm is the inverse of Algorithm.String: it maps "rips",
+// "random", "gradient", "rid", "static" or "steal" back to the
+// constant, so ParseAlgorithm(a.String()) == a for every defined a.
+// Anything else — including the String() rendering of an out-of-range
+// value — is an error.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if s == a.String() {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("rips: unknown algorithm %q", s)
+}
+
+// ParseBackend is the inverse of Backend.String: "simulate" or
+// "parallel". Anything else is an error.
+func ParseBackend(s string) (Backend, error) {
+	for _, b := range Backends() {
+		if s == b.String() {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("rips: unknown backend %q", s)
+}

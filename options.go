@@ -1,0 +1,196 @@
+package rips
+
+import (
+	"fmt"
+	"time"
+)
+
+// Option is one functional configuration step for NewConfig. Options
+// validate their own argument eagerly — a bad value errors at
+// construction with a message naming the option, instead of surfacing
+// later as a panic or an opaque run failure.
+type Option func(*Config) error
+
+// NewConfig assembles a Config from options and validates the result
+// as a whole (machine shape, algorithm/backend compatibility, pool
+// capacity), so a returned Config is known runnable up to workload
+// semantics.
+//
+//	cfg, err := rips.NewConfig(
+//		rips.WithWorkers(8),
+//		rips.WithBackend(rips.Parallel),
+//		rips.WithAlgorithm(rips.RIPS),
+//	)
+func NewConfig(opts ...Option) (Config, error) {
+	var cfg Config
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return Config{}, err
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// WithWorkers sets the machine size (Config.Procs): simulated nodes on
+// the Simulate backend, real worker goroutines on Parallel.
+func WithWorkers(n int) Option {
+	return func(c *Config) error {
+		if n < 1 {
+			return fmt.Errorf("rips: WithWorkers(%d): need at least one worker", n)
+		}
+		c.Procs = n
+		return nil
+	}
+}
+
+// WithMesh sets an explicit mesh shape instead of the squarish default.
+func WithMesh(rows, cols int) Option {
+	return func(c *Config) error {
+		if rows < 1 || cols < 1 {
+			return fmt.Errorf("rips: WithMesh(%d, %d): both sides must be positive", rows, cols)
+		}
+		c.Rows, c.Cols = rows, cols
+		return nil
+	}
+}
+
+// WithTopology selects the interconnect: "mesh", "tree" or
+// "hypercube" (or "" for the mesh default).
+func WithTopology(name string) Option {
+	return func(c *Config) error {
+		switch name {
+		case "", "mesh", "tree", "hypercube":
+			c.Topology = name
+			return nil
+		}
+		return fmt.Errorf("rips: WithTopology(%q): unknown topology (want mesh, tree or hypercube)", name)
+	}
+}
+
+// WithAlgorithm selects the scheduler.
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *Config) error {
+		switch a {
+		case RIPS, Random, Gradient, RID, Static, Steal:
+			c.Algorithm = a
+			return nil
+		}
+		return fmt.Errorf("rips: WithAlgorithm(%v): unknown algorithm", a)
+	}
+}
+
+// WithBackend selects the execution substrate. Cross-checks against
+// the algorithm (e.g. Steal requires Parallel) run in NewConfig's
+// final Validate, since options apply in any order.
+func WithBackend(b Backend) Option {
+	return func(c *Config) error {
+		switch b {
+		case Simulate, Parallel:
+			c.Backend = b
+			return nil
+		}
+		return fmt.Errorf("rips: WithBackend(%v): unknown backend", b)
+	}
+}
+
+// WithEager switches RIPS to the two-queue eager local policy.
+func WithEager() Option {
+	return func(c *Config) error {
+		c.Eager = true
+		return nil
+	}
+}
+
+// WithAll switches RIPS to the ALL global transfer policy.
+func WithAll() Option {
+	return func(c *Config) error {
+		c.All = true
+		return nil
+	}
+}
+
+// WithPeriodic switches RIPS transfer detection to the naive periodic
+// reduction at the given virtual-time interval (Simulate backend only;
+// NewConfig's Validate rejects it on Parallel).
+func WithPeriodic(interval Time) Option {
+	return func(c *Config) error {
+		if interval <= 0 {
+			return fmt.Errorf("rips: WithPeriodic(%v): interval must be positive", interval)
+		}
+		c.Periodic = interval
+		return nil
+	}
+}
+
+// WithExactHypercube upgrades hypercube system phases from incremental
+// Dimension Exchange to the exact Cube Walking Algorithm.
+func WithExactHypercube() Option {
+	return func(c *Config) error {
+		c.ExactHypercube = true
+		return nil
+	}
+}
+
+// WithRIDUpdateFactor overrides RID's load-update factor u.
+func WithRIDUpdateFactor(u float64) Option {
+	return func(c *Config) error {
+		if u <= 0 || u > 1 {
+			return fmt.Errorf("rips: WithRIDUpdateFactor(%v): factor must be in (0, 1]", u)
+		}
+		c.RIDUpdateFactor = u
+		return nil
+	}
+}
+
+// WithInitBackoff sets the simulated ANY detector's initiation delay
+// (negative disables the wait; see Config.InitBackoff).
+func WithInitBackoff(d Time) Option {
+	return func(c *Config) error {
+		c.InitBackoff = d
+		return nil
+	}
+}
+
+// WithDetectInterval sets the Parallel backend's detector wait
+// (negative disables, zero adapts; see Config.DetectInterval).
+func WithDetectInterval(d time.Duration) Option {
+	return func(c *Config) error {
+		c.DetectInterval = d
+		return nil
+	}
+}
+
+// WithSeed sets the reproducibility seed.
+func WithSeed(seed int64) Option {
+	return func(c *Config) error {
+		c.Seed = seed
+		return nil
+	}
+}
+
+// WithOnPhase installs the per-system-phase progress hook (see
+// Config.OnPhase for the non-blocking contract).
+func WithOnPhase(fn func(PhaseInfo)) Option {
+	return func(c *Config) error {
+		if fn == nil {
+			return fmt.Errorf("rips: WithOnPhase(nil): hook must not be nil (omit the option instead)")
+		}
+		c.OnPhase = fn
+		return nil
+	}
+}
+
+// WithPool runs Parallel-backend work on a shared resident pool; the
+// machine must fit it (checked by NewConfig's Validate).
+func WithPool(p *Pool) Option {
+	return func(c *Config) error {
+		if p == nil {
+			return fmt.Errorf("rips: WithPool(nil): pool must not be nil (omit the option instead)")
+		}
+		c.Pool = p
+		return nil
+	}
+}

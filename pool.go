@@ -1,0 +1,35 @@
+package rips
+
+import "rips/internal/par"
+
+// Pool is a set of resident worker goroutines that successive
+// Parallel-backend runs multiplex onto via Config.Pool — the serving
+// configuration, where one machine's cores are shared by many
+// submissions instead of each run spawning its own workers. A Pool
+// executes one run at a time; concurrent runs serialize in submission
+// order, and a queued run's context is still honored the moment it
+// starts.
+//
+// The Simulate backend ignores Config.Pool: simulated nodes are
+// goroutines of the virtual-time engine, not pool workers.
+type Pool struct {
+	p *par.Pool
+}
+
+// NewPool starts a pool of the given size. Every Parallel run on the
+// pool must fit it: Config.Validate rejects machines larger than the
+// pool.
+func NewPool(workers int) (*Pool, error) {
+	p, err := par.NewPool(workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{p: p}, nil
+}
+
+// Workers returns the pool's resident worker count.
+func (p *Pool) Workers() int { return p.p.Workers() }
+
+// Close shuts the resident workers down, blocking until any run in
+// flight completes. Runs submitted after Close fail.
+func (p *Pool) Close() { p.p.Close() }

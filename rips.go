@@ -8,21 +8,30 @@
 // baselines (randomized allocation, gradient model, receiver-initiated
 // diffusion) the paper compares against.
 //
-// The typical entry point is Run: define a workload as an App (a
-// deterministic task-parallel computation, possibly in several
+// The typical entry point is RunContext: define a workload as an App
+// (a deterministic task-parallel computation, possibly in several
 // globally-synchronized rounds), pick a machine size and a scheduling
 // Algorithm, and read off the paper's metrics — execution time,
 // overhead, idle time, locality, efficiency — from the Result.
 //
 //	queens := rips.NQueens(13)
-//	res, err := rips.Run(queens, rips.Config{Procs: 32})
+//	res, err := rips.RunContext(ctx, queens, rips.Config{Procs: 32})
 //	fmt.Printf("T=%v eff=%.0f%%\n", res.Time, 100*res.Efficiency)
+//
+// Configs can be assembled with functional options (NewConfig,
+// WithAlgorithm, WithBackend, ...), which validate eagerly; runs can be
+// canceled through the context (the partial Result has Canceled set)
+// and observed phase by phase through Config.OnPhase. Long-lived
+// callers multiplexing many Parallel-backend runs share one worker
+// Pool via Config.Pool — the substrate of the ripsd serving frontend
+// (internal/serve).
 //
 // The full experiment harness that regenerates every table and figure
 // of the paper lives in cmd/ripsbench.
 package rips
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -92,24 +101,6 @@ const (
 	Steal
 )
 
-func (a Algorithm) String() string {
-	switch a {
-	case RIPS:
-		return "rips"
-	case Random:
-		return "random"
-	case Gradient:
-		return "gradient"
-	case RID:
-		return "rid"
-	case Static:
-		return "static"
-	case Steal:
-		return "steal"
-	}
-	return fmt.Sprintf("algorithm(%d)", int(a))
-}
-
 // Backend selects what actually executes the run.
 type Backend int
 
@@ -124,14 +115,11 @@ const (
 	Parallel
 )
 
-func (b Backend) String() string {
-	if b == Parallel {
-		return "parallel"
-	}
-	return "simulate"
-}
+// PhaseInfo is the per-system-phase progress snapshot delivered to
+// Config.OnPhase; see metrics.PhaseInfo for the field contract.
+type PhaseInfo = metrics.PhaseInfo
 
-// Config describes one simulated run.
+// Config describes one run.
 type Config struct {
 	// Procs is the machine size; the mesh is shaped MxM or MxM/2 like
 	// the paper's. Set Rows/Cols instead for an explicit shape.
@@ -180,6 +168,20 @@ type Config struct {
 	// per seed (the Parallel backend's answer is seed- and
 	// timing-independent, but steal orders are not).
 	Seed int64
+	// OnPhase, when non-nil, receives a snapshot after every RIPS
+	// system phase — the progress feed a server streams to clients.
+	// The hook runs on the scheduler's critical path (the phase leader
+	// with the world stopped on the Parallel backend; node 0's
+	// simulated program on Simulate), so it must not block: hand the
+	// value off and return. Ignored by the baseline algorithms and
+	// Steal, which have no phases.
+	OnPhase func(PhaseInfo)
+	// Pool, when non-nil, runs Parallel-backend work on a shared
+	// resident worker pool instead of spawning fresh goroutines — the
+	// serving configuration, where many submissions multiplex onto one
+	// set of cores. The machine must fit the pool (see Validate).
+	// Ignored by the Simulate backend, which has no real workers.
+	Pool *Pool
 }
 
 // Result carries the paper's measures for one run.
@@ -211,6 +213,13 @@ type Result struct {
 	// AppResult is the aggregated application result (e.g. solutions
 	// found) for result-counting workloads.
 	AppResult int64
+	// Canceled reports that the run was stopped early through its
+	// context. Every other field then covers only the work completed
+	// before the cancellation: Tasks counts generated tasks of which
+	// some were never executed, AppResult is a partial count, and the
+	// derived Efficiency/Speedup are zero (they are meaningless for a
+	// truncated run).
+	Canceled bool
 }
 
 // machine resolves the configured interconnect.
@@ -246,16 +255,76 @@ func (c Config) machine() (topo.Topology, error) {
 	}
 }
 
-// Run executes the workload on the simulated machine and returns the
-// paper's metrics. The sequential profile is measured on the fly; use
-// RunProfiled to reuse a Profile across runs.
+// Validate checks the whole configuration eagerly — machine shape,
+// algorithm/backend compatibility, pool capacity — and returns a
+// descriptive error for the first problem found. RunContext validates
+// implicitly; call Validate directly to reject a bad configuration
+// (e.g. an incoming job submission) before committing resources to it.
+func (c Config) Validate() error {
+	machine, err := c.machine()
+	if err != nil {
+		return err
+	}
+	if c.Backend != Simulate && c.Backend != Parallel {
+		return fmt.Errorf("rips: unknown backend %v", c.Backend)
+	}
+	switch c.Algorithm {
+	case RIPS, Random, Gradient, RID, Static, Steal:
+	default:
+		return fmt.Errorf("rips: unknown algorithm %v", c.Algorithm)
+	}
+	if c.Backend == Parallel {
+		if c.Algorithm != RIPS && c.Algorithm != Steal {
+			return fmt.Errorf("rips: algorithm %v runs only on the Simulate backend", c.Algorithm)
+		}
+		if c.Periodic > 0 {
+			return fmt.Errorf("rips: the periodic detector is not available on the Parallel backend")
+		}
+		if c.Pool != nil {
+			if n := machine.Size(); n > c.Pool.Workers() {
+				return fmt.Errorf("rips: config needs %d workers but the pool has %d", n, c.Pool.Workers())
+			}
+		}
+	} else if c.Algorithm == Steal {
+		return fmt.Errorf("rips: the steal algorithm runs only on the Parallel backend")
+	}
+	return nil
+}
+
+// Run executes the workload and returns the paper's metrics. The
+// sequential profile is measured on the fly; use RunProfiled to reuse
+// a Profile across runs.
+//
+// Deprecated: use RunContext, which adds cancellation. Run is
+// equivalent to RunContext with a background context.
 func Run(a App, cfg Config) (Result, error) {
-	p := app.Measure(a)
-	return RunProfiled(a, p, cfg)
+	return RunContext(context.Background(), a, cfg)
 }
 
 // RunProfiled is Run with a pre-computed sequential profile.
+//
+// Deprecated: use RunProfiledContext, which adds cancellation.
 func RunProfiled(a App, p Profile, cfg Config) (Result, error) {
+	return RunProfiledContext(context.Background(), a, p, cfg)
+}
+
+// RunContext executes the workload and returns the paper's metrics.
+// Canceling the context stops the run at its next phase boundary —
+// within about one detector interval on the Parallel backend — and
+// returns the context's error together with a partial Result whose
+// Canceled flag is set. The sequential profile is measured on the fly;
+// use RunProfiledContext to reuse a Profile across runs.
+func RunContext(ctx context.Context, a App, cfg Config) (Result, error) {
+	p := app.Measure(a)
+	return RunProfiledContext(ctx, a, p, cfg)
+}
+
+// RunProfiledContext is RunContext with a pre-computed sequential
+// profile.
+func RunProfiledContext(ctx context.Context, a App, p Profile, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	mesh, err := cfg.machine()
 	if err != nil {
 		return Result{}, err
@@ -263,13 +332,12 @@ func RunProfiled(a App, p Profile, cfg Config) (Result, error) {
 	var out Result
 	out.SeqTime = p.Work
 	if cfg.Backend == Parallel {
-		return runParallel(a, p, cfg, mesh)
+		return runParallel(ctx, a, p, cfg, mesh)
 	}
 	switch cfg.Algorithm {
-	case Steal:
-		return Result{}, fmt.Errorf("rips: the steal algorithm runs only on the Parallel backend")
 	case RIPS:
-		rc := ripsrt.Config{Topo: mesh, App: a, Seed: cfg.Seed, InitBackoff: cfg.InitBackoff}
+		rc := ripsrt.Config{Topo: mesh, App: a, Seed: cfg.Seed, InitBackoff: cfg.InitBackoff,
+			Cancel: ctx.Done(), OnPhase: cfg.OnPhase}
 		if cfg.Eager {
 			rc.Local = ripsrt.Eager
 		}
@@ -282,7 +350,7 @@ func RunProfiled(a App, p Profile, cfg Config) (Result, error) {
 		}
 		rc.ExactCube = cfg.ExactHypercube
 		res, err := ripsrt.Run(rc)
-		if err != nil {
+		if err != nil && !res.Canceled {
 			return Result{}, err
 		}
 		out.Time = res.Time
@@ -292,8 +360,12 @@ func RunProfiled(a App, p Profile, cfg Config) (Result, error) {
 		out.Nonlocal = res.Nonlocal
 		out.Phases = res.Phases
 		out.AppResult = res.AppResult
+		if res.Canceled {
+			out.Canceled = true
+			return out, ctxErr(ctx, err)
+		}
 	case Random, Gradient, RID, Static:
-		dc := dynsched.Config{Topo: mesh, App: a, Seed: cfg.Seed}
+		dc := dynsched.Config{Topo: mesh, App: a, Seed: cfg.Seed, Cancel: ctx.Done()}
 		switch cfg.Algorithm {
 		case Random:
 			dc.Strategy = dynsched.NewRandom()
@@ -309,7 +381,7 @@ func RunProfiled(a App, p Profile, cfg Config) (Result, error) {
 			dc.Strategy = dynsched.NewRID(params)
 		}
 		res, err := dynsched.Run(dc)
-		if err != nil {
+		if err != nil && !res.Canceled {
 			return Result{}, err
 		}
 		out.Time = res.Time
@@ -325,16 +397,26 @@ func RunProfiled(a App, p Profile, cfg Config) (Result, error) {
 	return out, nil
 }
 
-// runParallel dispatches a run to the real shared-memory backend.
-func runParallel(a App, p Profile, cfg Config, machine topo.Topology) (Result, error) {
-	if cfg.Periodic > 0 {
-		return Result{}, fmt.Errorf("rips: the periodic detector is not available on the Parallel backend")
+// ctxErr prefers the context's own error (context.Canceled or
+// DeadlineExceeded — what callers select on) over the backend's
+// internal cancellation sentinel.
+func ctxErr(ctx context.Context, fallback error) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
+	return fallback
+}
+
+// runParallel dispatches a run to the real shared-memory backend —
+// fresh goroutines, or the configured Pool's resident workers.
+func runParallel(ctx context.Context, a App, p Profile, cfg Config, machine topo.Topology) (Result, error) {
 	pc := par.Config{
 		Topo:           machine,
 		App:            a,
 		DetectInterval: cfg.DetectInterval,
 		Seed:           cfg.Seed,
+		Cancel:         ctx.Done(),
+		OnPhase:        cfg.OnPhase,
 	}
 	switch cfg.Algorithm {
 	case RIPS:
@@ -349,24 +431,35 @@ func runParallel(a App, p Profile, cfg Config, machine topo.Topology) (Result, e
 	default:
 		return Result{}, fmt.Errorf("rips: algorithm %v runs only on the Simulate backend", cfg.Algorithm)
 	}
-	res, err := par.Run(pc)
-	if err != nil {
+	var res par.Result
+	var err error
+	if cfg.Pool != nil {
+		res, err = cfg.Pool.p.Run(pc)
+	} else {
+		res, err = par.Run(pc)
+	}
+	if err != nil && !res.Canceled {
 		return Result{}, err
 	}
+	out := Result{
+		Overhead:  Time(res.Overhead),
+		Idle:      Time(res.Idle),
+		Tasks:     res.Generated,
+		Nonlocal:  res.Nonlocal,
+		Phases:    res.Phases,
+		SeqTime:   p.Work,
+		Wall:      res.Wall,
+		Steals:    res.Steals,
+		AppResult: res.AppResult,
+	}
+	if res.Canceled {
+		out.Canceled = true
+		return out, ctxErr(ctx, err)
+	}
 	eff := metrics.WallEfficiency(res.Busy, res.Workers, res.Wall)
-	return Result{
-		Overhead:   Time(res.Overhead),
-		Idle:       Time(res.Idle),
-		Tasks:      res.Generated,
-		Nonlocal:   res.Nonlocal,
-		Phases:     res.Phases,
-		SeqTime:    p.Work,
-		Efficiency: eff,
-		Speedup:    eff * float64(res.Workers),
-		Wall:       res.Wall,
-		Steals:     res.Steals,
-		AppResult:  res.AppResult,
-	}, nil
+	out.Efficiency = eff
+	out.Speedup = eff * float64(res.Workers)
+	return out, nil
 }
 
 // NQueens returns the paper's exhaustive N-Queens search workload
