@@ -1,5 +1,3 @@
-//ripslint:allow-file wallclock a network daemon lives on real time: listen timeouts, drain deadlines, log timestamps
-
 // Command ripsd serves the incremental scheduler as a service: one
 // long-running process owning one shared worker pool, accepting
 // workload submissions over HTTP and streaming each run's per-phase

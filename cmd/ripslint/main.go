@@ -1,20 +1,36 @@
 // Command ripslint runs the project's static-analysis suite over the
 // module. It is stdlib-only (go/ast, go/parser, go/types) and checks
 // properties the compiler cannot: simulated-time determinism, dropped
-// errors, the bare-panic policy, and the scheduler packages'
-// conservation-test protocol. See internal/analysis for the analyzers
-// and the //ripslint:allow directive syntax.
+// errors, the bare-panic policy, the scheduler packages'
+// conservation-test protocol, and — when the whole module is in view —
+// the call-graph-backed proofs: hot-path allocation/blocking freedom,
+// atomic/plain access mixing, context threading and dead-waiver
+// detection. See internal/analysis for the analyzers and the
+// //ripslint:allow directive syntax.
 //
 // Usage:
 //
 //	go run ./cmd/ripslint ./...
+//	go run ./cmd/ripslint -json ./... > ripslint.json
+//	go run ./cmd/ripslint -tags ripsperturb ./...
 //	go run ./cmd/ripslint ./internal/sim ./internal/ripsrt
 //
+// The whole-program analyzers need the complete module as their
+// candidate set (call-graph resolution over a fragment would be
+// unsound), so they run only when the resolved package list covers
+// every package of the module — in practice, when invoked as
+// `ripslint ./...` from the module root. A partial invocation runs the
+// per-package analyzers only and says so on stderr.
+//
 // Findings print one per line as file:line:col: [analyzer/check] msg;
-// the exit status is 1 if anything was found, 0 on a clean tree.
+// with -json, a stable machine-readable report (schema rips-lint/v1)
+// is written to stdout instead, including waived findings. The exit
+// status is 1 if any unwaived finding (or load/type error) was
+// produced, 0 on a clean tree, 2 on driver errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,18 +42,42 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ripslint [packages]\n\npackages are ./... or package directories; default ./...\n")
+		fmt.Fprintf(os.Stderr, "usage: ripslint [flags] [packages]\n\npackages are ./... or package directories; default ./...\n")
 		flag.PrintDefaults()
 	}
 	verbose := flag.Bool("v", false, "list analyzed packages")
+	jsonOut := flag.Bool("json", false, "write a rips-lint/v1 JSON report to stdout")
+	tags := flag.String("tags", "", "comma-separated build tags for file selection (e.g. ripsperturb)")
 	flag.Parse()
-	if err := run(flag.Args(), *verbose); err != nil {
+	if err := run(flag.Args(), *verbose, *jsonOut, *tags); err != nil {
 		fmt.Fprintln(os.Stderr, "ripslint:", err)
 		os.Exit(2)
 	}
 }
 
-func run(patterns []string, verbose bool) error {
+// jsonReport is the stable -json output schema. Consumers key on the
+// Schema field; additive changes only.
+type jsonReport struct {
+	Schema   string        `json:"schema"` // "rips-lint/v1"
+	Module   string        `json:"module"`
+	Findings []jsonFinding `json:"findings"`
+	// Errors are load/type errors that made the run incomplete.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// jsonFinding is one finding; File is module-relative with forward
+// slashes so reports are comparable across checkouts.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Check    string `json:"check"`
+	Msg      string `json:"msg"`
+	Waived   bool   `json:"waived"`
+}
+
+func run(patterns []string, verbose, jsonOut bool, tags string) error {
 	cwd, err := os.Getwd()
 	if err != nil {
 		return err
@@ -93,13 +133,31 @@ func run(patterns []string, verbose bool) error {
 	}
 
 	loader := analysis.NewLoader(root, modPath)
-	analyzers := analysis.All()
-	exit := 0
+	if tags != "" {
+		loader.BuildTags = strings.Split(tags, ",")
+	}
+
+	// The whole-program analyzers are sound only over the full module:
+	// run them when the resolved directory set covers every package.
+	allDirs, err := analysis.PackageDirs(root, "")
+	if err != nil {
+		return err
+	}
+	wholeModule := true
+	for _, d := range allDirs {
+		if !seen[d] {
+			wholeModule = false
+			break
+		}
+	}
+
+	var loadErrors []string
+	var pkgs []*analysis.Package
 	for _, rel := range dirs {
 		pkg, err := loader.Load(rel)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ripslint: %v\n", err)
-			exit = 1
+			loadErrors = append(loadErrors, err.Error())
 			continue
 		}
 		if verbose {
@@ -107,14 +165,52 @@ func run(patterns []string, verbose bool) error {
 		}
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "ripslint: %s: type error: %v\n", pkg.Path, terr)
-			exit = 1
+			loadErrors = append(loadErrors, terr.Error())
 		}
-		for _, f := range analysis.Run(pkg, analyzers) {
-			fmt.Println(f)
-			exit = 1
+		pkgs = append(pkgs, pkg)
+	}
+
+	var findings []analysis.Finding
+	if wholeModule {
+		findings = analysis.RunModule(pkgs, analysis.All(), analysis.AllModule())
+	} else {
+		fmt.Fprintln(os.Stderr, "ripslint: partial package list: running per-package analyzers only (whole-program checks need ./... from the module root)")
+		for _, pkg := range pkgs {
+			findings = append(findings, analysis.Run(pkg, analysis.All())...)
 		}
 	}
-	if exit != 0 {
+	unwaived := analysis.Unwaived(findings)
+
+	if jsonOut {
+		report := jsonReport{Schema: "rips-lint/v1", Module: modPath, Errors: loadErrors}
+		report.Findings = []jsonFinding{} // never null
+		for _, f := range findings {
+			rel, err := filepath.Rel(root, f.Pos.Filename)
+			if err != nil {
+				rel = f.Pos.Filename
+			}
+			report.Findings = append(report.Findings, jsonFinding{
+				File:     filepath.ToSlash(rel),
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Check:    f.Check,
+				Msg:      f.Msg,
+				Waived:   f.Waived,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range unwaived {
+			fmt.Println(f)
+		}
+	}
+
+	if len(unwaived) > 0 || len(loadErrors) > 0 {
 		os.Exit(1)
 	}
 	return nil

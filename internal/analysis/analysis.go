@@ -1,11 +1,15 @@
 // Package analysis implements ripslint, the project's static-analysis
-// suite. Four analyzers machine-check properties the Go compiler
-// cannot see but RIPS correctness depends on:
+// suite. The analyzers machine-check properties the Go compiler
+// cannot see but RIPS correctness depends on.
+//
+// Per-package analyzers (one parsed, type-checked package at a time):
 //
 //   - determinism: the simulation must be a pure function of its seed,
 //     so wall-clock reads, global math/rand state and map-iteration
 //     order are forbidden where scheduling decisions are made.
-//   - errcheck: silently dropped error returns in internal packages.
+//   - errcheck: silently dropped error returns in internal packages —
+//     bare call statements, deferred/go calls, and error variables
+//     that are assigned but never read.
 //   - panicpolicy: library code must not reach for bare panic(...);
 //     bugs go through invariant.Violated (typed, greppable, testable)
 //     and conditions go through error returns.
@@ -13,14 +17,37 @@
 //     a conservation/balance test referencing the exported balance
 //     entry points of internal/sched.
 //
+// Whole-program analyzers (the full module at once, on a
+// types-resolved call graph — see callgraph.go and module.go):
+//
+//   - hotpath: every function reachable from a //ripslint:hotpath root
+//     annotation must be free of heap allocation, blocking operations
+//     and map iteration (criteria selectable per root). This turns the
+//     sampled TestSteadyStateZeroAlloc contract into a proof over
+//     every path.
+//   - atomicmix: a struct field accessed through sync/atomic anywhere
+//     in the module must never be read or written plainly.
+//   - ctxflow: context.Background()/TODO() are forbidden outside main
+//     packages and tests, and a function that receives a Context must
+//     call the Context-taking variant of a callee when one exists.
+//   - deadwaiver: a //ripslint:allow[-file] directive that suppressed
+//     nothing during the run is itself a finding, so the waiver set
+//     can only shrink.
+//
 // Findings can be locally waived with a directive comment:
 //
 //	//ripslint:allow <check> <reason...>
 //
 // placed on the offending line or the line directly above it (for the
 // package-scoped phasetest check, anywhere in the package). The check
-// names are wallclock, sleep, rand, maporder, errdrop, panic and
-// phasetest.
+// names are wallclock, sleep, rand, maporder, errdrop, panic,
+// phasetest, hotpath, atomicmix, ctxflow and deadwaiver. For hotpath,
+// a line waiver on a call site additionally prunes the reachability
+// traversal: the callee (and everything below it) is excused from the
+// hot-path contract, which is how sanctioned blocking points (the
+// epoch barrier) and off-contract callees (application payloads,
+// planners) are cut out of the proof — every such cut is visible in
+// the source at the exact call site it excuses.
 //
 // A file whose whole purpose conflicts with a check can waive it once
 // at the top instead of on every line:
@@ -53,8 +80,12 @@
 //     Outside the core the check does not fire at all, so the file
 //     form is only meaningful — and honored — for code later pulled
 //     into scope.
-//   - rand, errdrop, panic: no blanket exemptions are currently
-//     sanctioned; use the line form.
+//   - hotpath: file-scope waivers are refused everywhere. The check
+//     proves a reachability property; excusing a whole file would cut
+//     unbounded, invisible holes in the proof. Use the line form on
+//     the exact call site or operation being excused.
+//   - rand, errdrop, panic, atomicmix, ctxflow: no blanket exemptions
+//     are currently sanctioned; use the line form.
 //
 // The suite is stdlib-only: go/ast + go/parser + go/types, no external
 // dependencies.
@@ -78,10 +109,27 @@ type Finding struct {
 	Pos token.Position
 	// Msg describes the problem.
 	Msg string
+	// Waived marks a finding suppressed by a //ripslint:allow[-file]
+	// directive. Waived findings are retained (the -json report shows
+	// them and the deadwaiver analyzer depends on the suppression
+	// bookkeeping) but must not fail a run; see Unwaived.
+	Waived bool
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s/%s] %s", f.Pos, f.Analyzer, f.Check, f.Msg)
+}
+
+// Unwaived returns the findings not suppressed by a directive — the
+// ones that should gate a build.
+func Unwaived(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Waived {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // An Analyzer checks one property of a loaded package.
@@ -96,7 +144,8 @@ type Analyzer struct {
 	Run func(p *Pass)
 }
 
-// All returns the full ripslint analyzer suite.
+// All returns the per-package half of the ripslint suite. The
+// whole-program half is AllModule.
 func All() []*Analyzer {
 	return []*Analyzer{Determinism, Errcheck, PanicPolicy, PhaseProtocol}
 }
@@ -108,23 +157,21 @@ type Pass struct {
 	findings *[]Finding
 }
 
-// Reportf records a finding for check at pos unless a directive
-// suppresses it.
+// Reportf records a finding for check at pos. A directive suppressing
+// it marks the finding waived rather than dropping it.
 func (p *Pass) Reportf(pos token.Pos, check, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
-	if p.Pkg.suppressed(check, position) {
-		return
-	}
 	*p.findings = append(*p.findings, Finding{
 		Analyzer: p.analyzer.Name,
 		Check:    check,
 		Pos:      position,
 		Msg:      fmt.Sprintf(format, args...),
+		Waived:   p.Pkg.suppressed(check, position),
 	})
 }
 
-// Run applies every applicable analyzer to pkg and returns the
-// findings sorted by position.
+// Run applies every applicable per-package analyzer to pkg and returns
+// the findings (waived ones included) sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) []Finding {
 	var out []Finding
 	for _, a := range analyzers {
@@ -133,6 +180,12 @@ func Run(pkg *Package, analyzers []*Analyzer) []Finding {
 		}
 		a.Run(&Pass{Pkg: pkg, analyzer: a, findings: &out})
 	}
+	sortFindings(out)
+	return out
+}
+
+// sortFindings orders findings by file, line, then check name.
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -141,9 +194,11 @@ func Run(pkg *Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
 	})
-	return out
 }
 
 // underDir reports whether rel is the directory dir or below it.

@@ -59,9 +59,148 @@ func TestAnalyzersGolden(t *testing.T) {
 			for _, terr := range pkg.TypeErrors {
 				t.Errorf("type error in testdata: %v", terr)
 			}
-			checkGolden(t, dir, Run(pkg, c.analyzers))
+			checkGolden(t, dir, Unwaived(Run(pkg, c.analyzers)))
 		})
 	}
+}
+
+// TestModuleAnalyzersGolden is the whole-program counterpart of
+// TestAnalyzersGolden: each testdata package is loaded as a one-package
+// module and run through RunModule with the analyzer under test.
+func TestModuleAnalyzersGolden(t *testing.T) {
+	cases := []struct {
+		dir       string // under testdata/src
+		path      string // synthetic import path
+		analyzers []*Analyzer
+		module    []*ModuleAnalyzer
+	}{
+		{"hotpath_bad", "rips/internal/hotfake", nil, []*ModuleAnalyzer{Hotpath}},
+		{"hotpath_waived", "rips/internal/hotwaived", nil, []*ModuleAnalyzer{Hotpath}},
+		{"hotpath_filescope", "rips/internal/hotfile", nil, []*ModuleAnalyzer{Hotpath}},
+		{"atomicmix_bad", "rips/internal/atomfake", nil, []*ModuleAnalyzer{AtomicMix}},
+		{"ctxflow_bad", "rips/internal/ctxfake", nil, []*ModuleAnalyzer{CtxFlow}},
+		{"deadwaiver_bad", "rips/internal/deadfake", []*Analyzer{Determinism}, []*ModuleAnalyzer{DeadWaiver}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", c.dir)
+			pkg, err := sharedLoader.LoadDir(dir, c.path)
+			if err != nil {
+				t.Fatalf("load %s: %v", dir, err)
+			}
+			for _, terr := range pkg.TypeErrors {
+				t.Errorf("type error in testdata: %v", terr)
+			}
+			checkGolden(t, dir, Unwaived(RunModule([]*Package{pkg}, c.analyzers, c.module)))
+		})
+	}
+}
+
+// TestHotpathRootEdgeCases checks the diagnostics for malformed root
+// annotations: unknown criteria tokens and annotations that precede no
+// function.
+func TestHotpathRootEdgeCases(t *testing.T) {
+	pkg, err := sharedLoader.LoadDir(filepath.Join("testdata", "src", "hotpath_roots"), "rips/internal/hotroots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Unwaived(RunModule([]*Package{pkg}, nil, []*ModuleAnalyzer{Hotpath}))
+	var unknown, dangling bool
+	for _, f := range findings {
+		if strings.Contains(f.Msg, `unknown hotpath criterion "frobnicate"`) {
+			unknown = true
+		}
+		if strings.Contains(f.Msg, "does not precede a function") {
+			dangling = true
+		}
+	}
+	if !unknown {
+		t.Error("no finding for the unknown criterion token")
+	}
+	if !dangling {
+		t.Error("no finding for the annotation preceding no function")
+	}
+	if len(findings) != 2 {
+		t.Errorf("got %d findings, want exactly 2: %v", len(findings), findings)
+	}
+}
+
+// TestCallGraphSynthetic pins the call-graph builder's resolution on a
+// synthetic package: interface dispatch fans out to every implementing
+// module type, method values resolve through the address-taken set,
+// and function-variable calls reach their candidates.
+func TestCallGraphSynthetic(t *testing.T) {
+	pkg, err := sharedLoader.LoadDir(filepath.Join("testdata", "src", "callgraph_synth"), "rips/internal/cgfake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+	g := BuildCallGraph([]*Package{pkg})
+
+	byName := map[string]*CGNode{}
+	for _, n := range g.Nodes {
+		byName[n.Name] = n
+	}
+	edges := func(caller string) map[string]bool {
+		t.Helper()
+		n := byName[caller]
+		if n == nil {
+			t.Fatalf("no node %s (have %v)", caller, nodeNames(g))
+		}
+		out := map[string]bool{}
+		for _, e := range n.Calls {
+			out[e.Callee.Name] = e.Dynamic
+		}
+		return out
+	}
+
+	// Interface dispatch: CHA fans out to both implementations.
+	speak := edges("cgfake.CallSpeak")
+	for _, want := range []string{"cgfake.Dog.Speak", "cgfake.Cat.Speak"} {
+		if dyn, ok := speak[want]; !ok || !dyn {
+			t.Errorf("CallSpeak -> %s: present=%v dynamic=%v, want a dynamic edge", want, ok, dyn)
+		}
+	}
+
+	// Method value: f := d.Speak; f() resolves to the address-taken
+	// Dog.Speak; Cat.Speak was never referenced and must not appear.
+	mv := edges("cgfake.UseMethodValue")
+	if dyn, ok := mv["cgfake.Dog.Speak"]; !ok || !dyn {
+		t.Errorf("UseMethodValue -> Dog.Speak: present=%v dynamic=%v, want a dynamic edge", ok, dyn)
+	}
+	if _, ok := mv["cgfake.Cat.Speak"]; ok {
+		t.Error("UseMethodValue resolved to Cat.Speak, which was never address-taken")
+	}
+	if dyn, ok := mv["cgfake.CallSpeak"]; !ok || dyn {
+		t.Errorf("UseMethodValue -> CallSpeak: present=%v dynamic=%v, want a static edge", ok, dyn)
+	}
+
+	// Function variable: fp = helper; fp() reaches helper.
+	if dyn, ok := edges("cgfake.CallFp")["cgfake.helper"]; !ok || !dyn {
+		t.Errorf("CallFp -> helper: present=%v dynamic=%v, want a dynamic edge", ok, dyn)
+	}
+
+	// Address-taken marking.
+	if n := byName["cgfake.Dog.Speak"]; n == nil || !n.AddrTaken {
+		t.Error("Dog.Speak should be address-taken (method value)")
+	}
+	if n := byName["cgfake.helper"]; n == nil || !n.AddrTaken {
+		t.Error("helper should be address-taken (package-level initializer)")
+	}
+	if n := byName["cgfake.CallFp"]; n == nil || n.AddrTaken {
+		t.Error("CallFp should not be address-taken")
+	}
+}
+
+func nodeNames(g *CallGraph) []string {
+	var out []string
+	for _, n := range g.Nodes {
+		out = append(out, n.Name)
+	}
+	return out
 }
 
 // want is one expectation parsed from a // want "substr" comment.
@@ -134,7 +273,7 @@ func TestRealPackagesClean(t *testing.T) {
 		if len(pkg.TypeErrors) > 0 {
 			t.Fatalf("%s: type errors: %v", rel, pkg.TypeErrors)
 		}
-		for _, f := range Run(pkg, All()) {
+		for _, f := range Unwaived(Run(pkg, All())) {
 			t.Errorf("%s: unexpected finding: %s", rel, f)
 		}
 	}
@@ -168,14 +307,14 @@ func TestFileScopeDirectiveScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var fileScope []directive
+	var fileScope []*directive
 	for _, d := range pkg.directives {
 		if d.fileScope {
 			fileScope = append(fileScope, d)
 		}
 	}
 	if len(fileScope) != 1 {
-		t.Fatalf("parsed %d file-scope directives, want 1 (the reasonless one dropped): %+v", len(fileScope), fileScope)
+		t.Fatalf("parsed %d file-scope directives, want 1 (the reasonless one dropped)", len(fileScope))
 	}
 	if d := fileScope[0]; d.check != "maporder" || d.reason == "" {
 		t.Errorf("file-scope directive = %+v, want check maporder with a reason", d)

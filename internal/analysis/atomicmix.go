@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix proves that atomic and plain access to the same memory are
+// never mixed: a variable or struct field whose address is passed to a
+// sync/atomic function ANYWHERE in the module must be accessed through
+// sync/atomic EVERYWHERE. Mixing the two is a data race the race
+// detector only catches if a test happens to interleave the accesses —
+// and on weakly ordered machines a plain read of an atomically written
+// word can observe torn or stale values.
+//
+// The property is inherently whole-program: the atomic access that
+// sanctifies a field may live in a different package from the plain
+// read that races with it, so no per-file check can see the conflict.
+//
+// The typed wrappers (atomic.Int64, atomic.Value, ...) are immune by
+// construction and the better fix for any finding; this analyzer only
+// polices the legacy address-passing style.
+var AtomicMix = &ModuleAnalyzer{
+	Name: "atomicmix",
+	Doc:  "variables accessed through sync/atomic must never be read or written plainly",
+	Run:  runAtomicMix,
+}
+
+// atomicUse records where a variable was first used atomically, for
+// the diagnostic.
+type atomicUse struct {
+	pkg *Package
+	pos token.Position
+}
+
+func runAtomicMix(mp *ModulePass) {
+	// Pass 1: collect every variable whose address feeds a sync/atomic
+	// call, and the exact identifiers appearing in those sanctioned
+	// argument positions.
+	atomicVars := map[*types.Var]atomicUse{}
+	sanctioned := map[*ast.Ident]bool{}
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok || !isAtomicFuncCall(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					var id *ast.Ident
+					switch x := ast.Unparen(un.X).(type) {
+					case *ast.Ident:
+						id = x
+					case *ast.SelectorExpr:
+						id = x.Sel
+					default:
+						continue
+					}
+					v, ok := pkg.Info.Uses[id].(*types.Var)
+					if !ok {
+						continue
+					}
+					sanctioned[id] = true
+					if _, seen := atomicVars[v]; !seen {
+						atomicVars[v] = atomicUse{pkg: pkg, pos: pkg.Fset.Position(id.Pos())}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Pass 2: every other use of those variables is a plain access.
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(node ast.Node) bool {
+				id, ok := node.(*ast.Ident)
+				if !ok || sanctioned[id] {
+					return true
+				}
+				v, ok := pkg.Info.Uses[id].(*types.Var)
+				if !ok {
+					return true
+				}
+				use, isAtomic := atomicVars[v]
+				if !isAtomic {
+					return true
+				}
+				mp.Reportf(pkg, id.Pos(), "atomicmix",
+					"%s is accessed with sync/atomic (e.g. at %s); this plain access races with the atomic ones — use sync/atomic here too, or an atomic.* typed wrapper",
+					id.Name, shortPos(use.pos))
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicFuncCall reports a call to a package-level sync/atomic
+// function (LoadInt64, AddUint32, CompareAndSwapPointer, ...). Methods
+// of the typed wrappers are not address-passing and never match.
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// shortPos renders a position compactly for inclusion in a message.
+func shortPos(pos token.Position) string {
+	return pos.String()
+}

@@ -1,0 +1,447 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds a whole-module call graph from the loader's parsed,
+// type-checked packages. It is the substrate of the whole-program
+// analyzers (hotpath in particular): nodes are function declarations
+// and function literals, edges are call sites resolved through
+// go/types. Dynamic calls are resolved by class-hierarchy analysis
+// (CHA), deliberately over-approximating:
+//
+//   - a call through an interface method gets an edge to every module
+//     type that implements the interface (soundness over precision —
+//     a hot-path proof must cover every possible callee);
+//   - a call through a function value gets an edge to every
+//     address-taken module function or function literal with an
+//     identical signature.
+//
+// Calls into other modules (the standard library) produce no edges;
+// the hotpath analyzer classifies those at the call site instead.
+
+// A CGNode is one function in the module call graph: either a declared
+// function/method (Fn set) or a function literal (Lit set).
+type CGNode struct {
+	// Pkg is the package the function's body lives in.
+	Pkg *Package
+	// Fn is the declared function or method object; nil for literals.
+	Fn *types.Func
+	// Lit is the function literal; nil for declared functions.
+	Lit *ast.FuncLit
+	// Body is the function body (nil for bodyless declarations).
+	Body *ast.BlockStmt
+	// Name is a stable diagnostic name: "pkg.Func",
+	// "pkg.(*Type).Method", or "pkg.Encloser.func@line" for literals.
+	Name string
+	// AddrTaken reports the function's address escapes somewhere in the
+	// module (assigned, passed, stored) — it is a candidate target of
+	// dynamic function-value calls.
+	AddrTaken bool
+	// Calls are the resolved outgoing call edges, in source order.
+	Calls []CGEdge
+}
+
+// A CGEdge is one resolved call edge.
+type CGEdge struct {
+	// Site is the call expression in the caller's body.
+	Site *ast.CallExpr
+	// Callee is the resolved module-internal target.
+	Callee *CGNode
+	// Dynamic marks edges resolved by CHA (interface dispatch or
+	// function-value call) rather than direct reference.
+	Dynamic bool
+}
+
+// CallGraph is the module-wide call graph.
+type CallGraph struct {
+	// Nodes lists every function in deterministic (package, position)
+	// order.
+	Nodes []*CGNode
+
+	byFn  map[*types.Func]*CGNode
+	byLit map[*ast.FuncLit]*CGNode
+}
+
+// NodeFor returns the graph node of a declared function, or nil.
+func (g *CallGraph) NodeFor(fn *types.Func) *CGNode { return g.byFn[fn] }
+
+// NodeForLit returns the graph node of a function literal, or nil.
+func (g *CallGraph) NodeForLit(lit *ast.FuncLit) *CGNode { return g.byLit[lit] }
+
+// BuildCallGraph constructs the call graph over the given packages
+// (normally every package of the module: CHA is only sound over the
+// full set of candidate callees).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	b := &cgBuilder{
+		g:          &CallGraph{byFn: map[*types.Func]*CGNode{}, byLit: map[*ast.FuncLit]*CGNode{}},
+		modulePkgs: map[*types.Package]bool{},
+		ifaceMemo:  map[*types.Func][]*CGNode{},
+	}
+	for _, p := range pkgs {
+		if p.Types != nil {
+			b.modulePkgs[p.Types] = true
+		}
+	}
+	for _, p := range pkgs {
+		b.collectNodes(p)
+	}
+	for _, p := range pkgs {
+		b.markAddrTaken(p)
+	}
+	b.indexTypes(pkgs)
+	b.indexSignatures()
+	for _, n := range b.g.Nodes {
+		b.resolveCalls(n)
+	}
+	return b.g
+}
+
+type cgBuilder struct {
+	g          *CallGraph
+	modulePkgs map[*types.Package]bool
+
+	// concreteTypes are the module's named (non-interface) types and
+	// their pointer forms — the CHA candidate set for interface calls.
+	concreteTypes []types.Type
+	// sigIndex maps a receiver-stripped signature key to the
+	// address-taken nodes bearing it — the CHA candidate set for
+	// function-value calls.
+	sigIndex map[string][]*CGNode
+	// ifaceMemo caches interface-method resolutions.
+	ifaceMemo map[*types.Func][]*CGNode
+}
+
+// collectNodes creates a node per function declaration and per
+// function literal in p's non-test files.
+func (b *cgBuilder) collectNodes(p *Package) {
+	if p.Info == nil {
+		return
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			n := &CGNode{Pkg: p, Fn: obj, Body: fd.Body, Name: funcName(obj)}
+			b.g.byFn[obj] = n
+			b.g.Nodes = append(b.g.Nodes, n)
+			b.collectLits(p, fd.Body, n.Name)
+		}
+		// Literals in package-level variable initializers.
+		for _, d := range f.Decls {
+			if gd, ok := d.(*ast.GenDecl); ok {
+				b.collectLits(p, gd, p.Types.Name())
+			}
+		}
+	}
+}
+
+// collectLits creates nodes for every function literal under root.
+func (b *cgBuilder) collectLits(p *Package, root ast.Node, encloser string) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if _, dup := b.g.byLit[lit]; dup {
+			return true
+		}
+		pos := p.Fset.Position(lit.Pos())
+		node := &CGNode{
+			Pkg:  p,
+			Lit:  lit,
+			Body: lit.Body,
+			Name: fmt.Sprintf("%s.func@%d", encloser, pos.Line),
+		}
+		b.g.byLit[lit] = node
+		b.g.Nodes = append(b.g.Nodes, node)
+		return true
+	})
+}
+
+// markAddrTaken marks functions whose value escapes: referenced
+// anywhere other than as the operand of a direct call.
+func (b *cgBuilder) markAddrTaken(p *Package) {
+	if p.Info == nil {
+		return
+	}
+	for _, f := range p.Files {
+		// First pass: the expressions in direct-call position.
+		inCall := map[ast.Expr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				fun := ast.Unparen(call.Fun)
+				inCall[fun] = true
+				if sel, ok := fun.(*ast.SelectorExpr); ok {
+					inCall[sel.Sel] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if inCall[n] {
+					return true
+				}
+				if obj, ok := p.Info.Uses[n].(*types.Func); ok {
+					if node := b.g.byFn[obj]; node != nil {
+						node.AddrTaken = true
+					}
+				}
+			case *ast.FuncLit:
+				if !inCall[n] {
+					if node := b.g.byLit[n]; node != nil {
+						node.AddrTaken = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// indexTypes collects the module's named types for interface CHA.
+func (b *cgBuilder) indexTypes(pkgs []*Package) {
+	for _, p := range pkgs {
+		if p.Types == nil {
+			continue
+		}
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			t := tn.Type()
+			if types.IsInterface(t) {
+				continue
+			}
+			b.concreteTypes = append(b.concreteTypes, t, types.NewPointer(t))
+		}
+	}
+}
+
+// indexSignatures buckets address-taken functions by signature key for
+// function-value CHA.
+func (b *cgBuilder) indexSignatures() {
+	b.sigIndex = map[string][]*CGNode{}
+	for _, n := range b.g.Nodes {
+		if !n.AddrTaken || n.Body == nil {
+			continue
+		}
+		sig := nodeSignature(n)
+		if sig == nil {
+			continue
+		}
+		b.sigIndex[sigKey(sig)] = append(b.sigIndex[sigKey(sig)], n)
+	}
+}
+
+// nodeSignature returns a node's call signature.
+func nodeSignature(n *CGNode) *types.Signature {
+	if n.Fn != nil {
+		sig, _ := n.Fn.Type().(*types.Signature)
+		return sig
+	}
+	if n.Lit != nil {
+		if tv, ok := n.Pkg.Info.Types[n.Lit]; ok {
+			sig, _ := tv.Type.(*types.Signature)
+			return sig
+		}
+	}
+	return nil
+}
+
+// sigKey renders a signature with the receiver stripped, so a method
+// value (receiver pre-bound) and a plain function of the same shape
+// compare equal.
+func sigKey(sig *types.Signature) string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if sig.Variadic() && i == sig.Params().Len()-1 {
+			sb.WriteString("...")
+		}
+		sb.WriteString(types.TypeString(sig.Params().At(i).Type(), nil))
+	}
+	sb.WriteString(")(")
+	for i := 0; i < sig.Results().Len(); i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(types.TypeString(sig.Results().At(i).Type(), nil))
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// funcName renders a declared function's diagnostic name.
+func funcName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := types.TypeString(sig.Recv().Type(), func(p *types.Package) string { return "" })
+		recv = strings.ReplaceAll(recv, ".", "")
+		if strings.HasPrefix(recv, "*") {
+			return fmt.Sprintf("%s.(*%s).%s", pkg, recv[1:], fn.Name())
+		}
+		return fmt.Sprintf("%s.%s.%s", pkg, recv, fn.Name())
+	}
+	if pkg == "" {
+		return fn.Name()
+	}
+	return pkg + "." + fn.Name()
+}
+
+// resolveCalls populates a node's outgoing edges.
+func (b *cgBuilder) resolveCalls(n *CGNode) {
+	if n.Body == nil {
+		return
+	}
+	info := n.Pkg.Info
+	walkFuncBody(n.Body, func(node ast.Node) {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		// Conversions are not calls.
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return
+		}
+		fun := ast.Unparen(call.Fun)
+		switch fun := fun.(type) {
+		case *ast.Ident:
+			switch obj := info.Uses[fun].(type) {
+			case *types.Builtin:
+				return
+			case *types.Func:
+				b.addStatic(n, call, obj)
+				return
+			case *types.Var, *types.Nil:
+				b.addDynamic(n, call, fun)
+				return
+			}
+		case *ast.SelectorExpr:
+			if obj, ok := info.Uses[fun.Sel].(*types.Func); ok {
+				if sel := info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal {
+					if types.IsInterface(sel.Recv()) {
+						b.addInterface(n, call, obj)
+						return
+					}
+				}
+				b.addStatic(n, call, obj)
+				return
+			}
+			b.addDynamic(n, call, fun)
+			return
+		case *ast.FuncLit:
+			if callee := b.g.byLit[fun]; callee != nil {
+				n.Calls = append(n.Calls, CGEdge{Site: call, Callee: callee})
+			}
+			return
+		}
+		b.addDynamic(n, call, fun)
+	})
+}
+
+// addStatic adds the edge of a direct call when the callee is a module
+// function with a body.
+func (b *cgBuilder) addStatic(n *CGNode, call *ast.CallExpr, obj *types.Func) {
+	if callee := b.g.byFn[obj]; callee != nil {
+		n.Calls = append(n.Calls, CGEdge{Site: call, Callee: callee})
+	}
+}
+
+// addInterface adds CHA edges for a call through an interface method:
+// one edge per module type implementing the interface.
+func (b *cgBuilder) addInterface(n *CGNode, call *ast.CallExpr, m *types.Func) {
+	targets, memoed := b.ifaceMemo[m]
+	if !memoed {
+		sig, _ := m.Type().(*types.Signature)
+		if sig == nil || sig.Recv() == nil {
+			b.ifaceMemo[m] = nil
+			return
+		}
+		iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+		if iface == nil {
+			b.ifaceMemo[m] = nil
+			return
+		}
+		seen := map[*CGNode]bool{}
+		for _, t := range b.concreteTypes {
+			if !types.Implements(t, iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(t, true, m.Pkg(), m.Name())
+			fn, _ := obj.(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if callee := b.g.byFn[fn]; callee != nil && !seen[callee] {
+				seen[callee] = true
+				targets = append(targets, callee)
+			}
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i].Name < targets[j].Name })
+		b.ifaceMemo[m] = targets
+	}
+	for _, callee := range targets {
+		n.Calls = append(n.Calls, CGEdge{Site: call, Callee: callee, Dynamic: true})
+	}
+}
+
+// addDynamic adds CHA edges for a call through a function value: one
+// edge per address-taken module function with an identical signature.
+func (b *cgBuilder) addDynamic(n *CGNode, call *ast.CallExpr, fun ast.Expr) {
+	tv, ok := n.Pkg.Info.Types[fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for _, callee := range b.sigIndex[sigKey(sig)] {
+		if callee == n && callee.Lit != nil {
+			continue // a literal calling itself through its own value
+		}
+		n.Calls = append(n.Calls, CGEdge{Site: call, Callee: callee, Dynamic: true})
+	}
+}
+
+// walkFuncBody visits every node of a function body WITHOUT descending
+// into nested function literals — those are separate graph nodes.
+func walkFuncBody(body *ast.BlockStmt, visit func(ast.Node)) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow proves the module's cancellation story has no gaps: once a
+// context enters a call chain it must flow through it, and fresh root
+// contexts may only be minted at the program's entry points.
+//
+// Two rules:
+//
+//  1. context.Background() and context.TODO() are forbidden outside
+//     package main. A library function that mints its own root context
+//     silently detaches everything below it from the caller's
+//     cancellation and deadline — exactly the failure mode the ripsd
+//     streaming API exists to avoid. (Tests are exempt: they are
+//     entry points of their own.)
+//
+//  2. A function that receives a context.Context must not call a
+//     module function f when a sibling fContext taking a context
+//     exists: calling the context-blind variant drops the caller's
+//     context on the floor where a threading variant was provided.
+var CtxFlow = &ModuleAnalyzer{
+	Name: "ctxflow",
+	Doc:  "contexts must thread through call chains; no root contexts outside main",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(mp *ModulePass) {
+	// contextVariants maps a module function to its context-taking
+	// sibling (Foo -> FooContext) when one exists in the same package
+	// with a context.Context first parameter.
+	contextVariants := map[*types.Func]*types.Func{}
+	byPkg := map[*types.Package]map[string]*types.Func{}
+	for _, n := range mp.Graph.Nodes {
+		if n.Fn == nil || n.Fn.Pkg() == nil {
+			continue
+		}
+		m := byPkg[n.Fn.Pkg()]
+		if m == nil {
+			m = map[string]*types.Func{}
+			byPkg[n.Fn.Pkg()] = m
+		}
+		m[n.Fn.Name()] = n.Fn
+	}
+	for _, fns := range byPkg {
+		for name, fn := range fns {
+			variant, ok := fns[name+"Context"]
+			if !ok || !firstParamIsContext(variant) || firstParamIsContext(fn) {
+				continue
+			}
+			contextVariants[fn] = variant
+		}
+	}
+
+	for _, pkg := range mp.Pkgs {
+		isMain := pkg.Types != nil && pkg.Types.Name() == "main"
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				hasCtx := fn != nil && receivesContext(fn)
+				walkFuncBody(fd.Body, func(node ast.Node) {
+					call, ok := node.(*ast.CallExpr)
+					if !ok {
+						return
+					}
+					callee := staticCallee(pkg.Info, call)
+					if callee == nil {
+						return
+					}
+					if !isMain && isRootContextFunc(callee) {
+						mp.Reportf(pkg, call.Pos(), "ctxflow",
+							"context.%s() mints a root context outside package main; accept a context.Context from the caller instead",
+							callee.Name())
+						return
+					}
+					if hasCtx {
+						if variant, ok := contextVariants[callee]; ok {
+							mp.Reportf(pkg, call.Pos(), "ctxflow",
+								"%s receives a context but calls %s, dropping it; call %s with the caller's context",
+								fn.Name(), callee.Name(), variant.Name())
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// staticCallee resolves a call to the named function it invokes, or
+// nil for builtins, conversions and dynamic calls.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isRootContextFunc matches context.Background and context.TODO.
+func isRootContextFunc(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		(fn.Name() == "Background" || fn.Name() == "TODO")
+}
+
+// receivesContext reports whether any parameter of fn is a
+// context.Context.
+func receivesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// firstParamIsContext reports whether fn's first parameter is a
+// context.Context.
+func firstParamIsContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+}
+
+// isContextType matches the context.Context interface type.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil &&
+		(obj.Pkg().Path() == "context" || strings.HasSuffix(obj.Pkg().Path(), "/context"))
+}

@@ -1,0 +1,52 @@
+package analysis
+
+// DeadWaiver flags every //ripslint:allow[-file] directive that
+// suppressed nothing during the run. A waiver is a standing exception
+// to a machine-checked property; once the code it excused is fixed or
+// deleted, the directive left behind is a hole waiting for a new
+// violation to move in silently. Flagging dead directives makes the
+// waiver set monotonically honest: it can grow only when a finding
+// forces it and must shrink the moment the finding goes away.
+//
+// "Used" means the directive suppressed at least one finding or (for
+// hotpath) pruned at least one call edge from the reachability
+// traversal. That bookkeeping is filled in by every other analyzer as
+// a side effect of waiver resolution, so DeadWaiver MUST be the last
+// module analyzer to run — AllModule guarantees the order.
+//
+// A deliberately dormant directive (kept for code behind a build tag,
+// say) can itself be waived: //ripslint:allow deadwaiver <reason> on
+// the same line — though running the lint with the tag enabled
+// (-tags) is the better fix.
+var DeadWaiver = &ModuleAnalyzer{
+	Name: "deadwaiver",
+	Doc:  "//ripslint:allow directives that suppress nothing are findings",
+	Run: func(mp *ModulePass) {
+		report := func(pkg *Package, d *directive) {
+			form := "allow"
+			if d.fileScope {
+				form = "allow-file"
+			}
+			mp.Reportf(pkg, d.pos, "deadwaiver",
+				"//ripslint:%s %s suppresses nothing; delete it", form, d.check)
+		}
+		// Two sub-passes: reporting a dead directive can mark a
+		// deadwaiver-allow on its line used (via waiver resolution), so
+		// the deadwaiver-allows themselves are only judged once every
+		// other directive has been.
+		for _, pkg := range mp.Pkgs {
+			for _, d := range pkg.directives {
+				if !d.used && d.check != "deadwaiver" {
+					report(pkg, d)
+				}
+			}
+		}
+		for _, pkg := range mp.Pkgs {
+			for _, d := range pkg.directives {
+				if !d.used && d.check == "deadwaiver" {
+					report(pkg, d)
+				}
+			}
+		}
+	},
+}

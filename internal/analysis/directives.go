@@ -10,11 +10,17 @@ import (
 type directive struct {
 	file   string
 	line   int
-	check  string // "wallclock", "rand", "maporder", "errdrop", "panic", "phasetest"
+	pos    token.Pos
+	check  string // "wallclock", "rand", "maporder", "errdrop", "panic", "phasetest", "hotpath", ...
 	reason string
 	// fileScope marks an allow-file directive, which waives the check
 	// for its whole file rather than one line.
 	fileScope bool
+	// used records that the directive suppressed at least one finding
+	// (or pruned at least one hot-path edge) during this run. The
+	// deadwaiver analyzer flags directives that end a run unused, so the
+	// waiver set can only shrink.
+	used bool
 }
 
 // directivePrefix is the comment marker. The full syntax is
@@ -36,9 +42,31 @@ const directivePrefix = "ripslint:allow"
 // as the check name.
 const fileScopeSuffix = "-file"
 
-// scanDirectives extracts every ripslint directive from the files.
-func scanDirectives(fset *token.FileSet, files []*ast.File) []directive {
-	var out []directive
+// hotpathPrefix marks a hot-path root annotation:
+//
+//	//ripslint:hotpath [criteria...]
+//
+// placed on its own line directly above a function declaration (or
+// above the statement whose right-hand side is a function literal).
+// The named function roots the whole-program hotpath analysis: every
+// function reachable from it through the call graph must satisfy the
+// listed criteria — any subset of "alloc", "block" and "map"; naming
+// none means all three.
+const hotpathPrefix = "ripslint:hotpath"
+
+// hotpathRoot is one parsed //ripslint:hotpath root annotation, not
+// yet matched to a function.
+type hotpathRoot struct {
+	file     string
+	line     int
+	pos      token.Pos
+	criteria []string // subset of hotpathCriteria; empty means all
+}
+
+// scanDirectives extracts every ripslint waiver directive from the
+// files.
+func scanDirectives(fset *token.FileSet, files []*ast.File) []*directive {
+	var out []*directive
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -62,9 +90,10 @@ func scanDirectives(fset *token.FileSet, files []*ast.File) []directive {
 					continue // file-scope waivers must carry a reason
 				}
 				pos := fset.Position(c.Pos())
-				out = append(out, directive{
+				out = append(out, &directive{
 					file:      pos.Filename,
 					line:      pos.Line,
+					pos:       c.Pos(),
 					check:     fields[0],
 					reason:    reason,
 					fileScope: fileScope,
@@ -75,34 +104,86 @@ func scanDirectives(fset *token.FileSet, files []*ast.File) []directive {
 	return out
 }
 
+// scanHotpathRoots extracts every //ripslint:hotpath root annotation.
+// Only non-test files are scanned: the hotpath analyzer never sees
+// test bodies, so a root there could not be resolved.
+func scanHotpathRoots(fset *token.FileSet, files []*ast.File) []hotpathRoot {
+	var out []hotpathRoot
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, hotpathPrefix)
+				if !ok || strings.HasPrefix(rest, ":") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, hotpathRoot{
+					file:     pos.Filename,
+					line:     pos.Line,
+					pos:      c.Pos(),
+					criteria: strings.Fields(rest),
+				})
+			}
+		}
+	}
+	return out
+}
+
 // suppressed reports whether a finding of the given check at pos is
-// waived by a directive. Package-scoped checks (phasetest) are waived
-// by a directive anywhere in the package; file-scope directives waive
-// their whole file — except maporder and sleep inside the scheduling
-// core (mapOrderScope): there every order-dependent loop and every
-// injected delay must justify itself with a line-scoped waiver, so a
-// blanket wallclock waiver (sanctioned for the real-parallel backend's
-// elapsed-time measurements) can never smuggle in schedule-shaping
-// sleeps — the mistake of copying the perturbation hook out of its
-// ripsperturb build tag is caught here.
+// waived by a directive, marking the first matching directive as used.
+// Package-scoped checks (phasetest) are waived by a directive anywhere
+// in the package; file-scope directives waive their whole file —
+// except for the hotpath check, whose file form is refused everywhere
+// (a reachability proof waived per file is no proof at all), and
+// except maporder and sleep inside the scheduling core (mapOrderScope):
+// there every order-dependent loop and every injected delay must
+// justify itself with a line-scoped waiver, so a blanket wallclock
+// waiver (sanctioned for the real-parallel backend's elapsed-time
+// measurements) can never smuggle in schedule-shaping sleeps — the
+// mistake of copying the perturbation hook out of its ripsperturb
+// build tag is caught here.
 func (p *Package) suppressed(check string, pos token.Position) bool {
 	for _, d := range p.directives {
 		if d.check != check {
 			continue
 		}
 		if check == "phasetest" {
+			d.used = true
 			return true
 		}
 		if d.file != pos.Filename {
 			continue
 		}
 		if d.fileScope {
+			if check == "hotpath" {
+				continue
+			}
 			if (check == "maporder" || check == "sleep") && inMapOrderScope(p.Rel) {
 				continue
 			}
+			d.used = true
 			return true
 		}
 		if d.line == pos.Line || d.line+1 == pos.Line {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// lineWaived reports whether a line-scope directive for check covers
+// pos, marking it used. The hotpath analyzer uses it to prune call
+// edges: a waived call site both silences findings on its line and
+// stops the reachability traversal from entering the callee.
+func (p *Package) lineWaived(check string, pos token.Position) bool {
+	for _, d := range p.directives {
+		if d.check != check || d.fileScope || d.file != pos.Filename {
+			continue
+		}
+		if d.line == pos.Line || d.line+1 == pos.Line {
+			d.used = true
 			return true
 		}
 	}

@@ -2,15 +2,26 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
-// Errcheck flags statement-level calls in internal packages — and in
-// the long-running ripsd daemon, where a silently dropped error can
-// hide for the life of the process — whose error result is silently
-// dropped. Assigning to _ is an explicit, greppable decision and is
-// allowed; a bare call statement hides the drop. The fmt print family
-// is excluded: its error returns concern the underlying writer and the
+// Errcheck flags error returns in internal packages — and in the
+// long-running ripsd daemon, where a silently dropped error can hide
+// for the life of the process — that are silently dropped. Three
+// blind spots are covered:
+//
+//   - bare call statements whose error result vanishes;
+//   - defer and go statements whose deferred/spawned call returns an
+//     error nobody can ever see (`defer f.Close()` is the classic:
+//     the write-back failure disappears with the frame);
+//   - error variables that are assigned and then never read again —
+//     a later `x, err = f()` whose err is shadowed-by-habit and falls
+//     off the end of the function.
+//
+// Assigning to _ is an explicit, greppable decision and is allowed; a
+// bare call statement hides the drop. The fmt print family is
+// excluded: its error returns concern the underlying writer and the
 // project only prints to stderr/trace writers where a failed write has
 // no recovery. Other intentional drops annotate with
 // //ripslint:allow errdrop <reason>.
@@ -32,26 +43,186 @@ var errcheckExcluded = map[string]map[string]bool{
 	},
 }
 
+// errcheckExcludedRecv lists receiver types whose methods' error
+// returns are interface formality, documented never non-nil:
+// strings.Builder and bytes.Buffer grow in memory and panic on
+// overflow rather than report it.
+var errcheckExcludedRecv = map[string]bool{
+	"*strings.Builder": true,
+	"*bytes.Buffer":    true,
+}
+
 func runErrcheck(p *Pass) {
 	info := p.Pkg.Info
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			stmt, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !returnsError(info, call) || excludedCallee(info, call) {
+					return true
+				}
+				p.Reportf(call.Pos(), "errdrop",
+					"call drops its error result; handle it, assign to _, or annotate //ripslint:allow errdrop")
+			case *ast.DeferStmt:
+				if returnsError(info, n.Call) && !excludedCallee(info, n.Call) {
+					p.Reportf(n.Call.Pos(), "errdrop",
+						"deferred call drops its error result; wrap it in a closure that handles the error, or annotate //ripslint:allow errdrop")
+				}
+			case *ast.GoStmt:
+				if returnsError(info, n.Call) && !excludedCallee(info, n.Call) {
+					p.Reportf(n.Call.Pos(), "errdrop",
+						"go statement drops the spawned call's error result; wrap it in a closure that handles the error, or annotate //ripslint:allow errdrop")
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkDeadErrVars(p, n.Body)
+				}
 			}
-			call, ok := stmt.X.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if !returnsError(info, call) || excludedCallee(info, call) {
-				return true
-			}
-			p.Reportf(call.Pos(), "errdrop",
-				"call drops its error result; handle it, assign to _, or annotate //ripslint:allow errdrop")
 			return true
 		})
 	}
+}
+
+// checkDeadErrVars flags error-typed variables declared in body whose
+// final assignment is never read: the error was captured and then fell
+// off the end of the function. The analysis is positional (last write
+// vs. last read) and bails out conservatively whenever position order
+// stops implying execution order:
+//
+//   - a read or write inside a function literal can run at any time;
+//   - a loop can execute a textually earlier read after a later write;
+//   - an address-taken variable can be read through the pointer.
+//
+// The pure never-read case (`x, err := f()` with err unused) is a
+// compile error, so what this catches is the reassignment gap the
+// compiler is blind to: `=` writes into an already-used error variable
+// with no subsequent read.
+func checkDeadErrVars(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	errType := types.Universe.Lookup("error").Type()
+
+	type varUse struct {
+		writes, reads []token.Pos
+		skip          bool // address-taken or touched inside a FuncLit
+	}
+	uses := map[*types.Var]*varUse{}
+	local := map[*types.Var]bool{}
+	use := func(v *types.Var) *varUse {
+		u := uses[v]
+		if u == nil {
+			u = &varUse{}
+			uses[v] = u
+		}
+		return u
+	}
+	errVar := func(id *ast.Ident, obj types.Object) (*types.Var, bool) {
+		v, ok := obj.(*types.Var)
+		if !ok || id.Name == "_" || !types.Identical(v.Type(), errType) {
+			return nil, false
+		}
+		return v, true
+	}
+
+	var loops []ast.Node
+	writeIdents := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if v, ok := errVar(id, firstObj(info, id)); ok {
+						use(v).skip = true
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					writeIdents[id] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) > 0 {
+				for _, id := range n.Names {
+					writeIdents[id] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if v, ok := errVar(id, firstObj(info, id)); ok {
+						use(v).skip = true
+					}
+				}
+			}
+		case *ast.Ident:
+			if def, ok := info.Defs[n]; ok && def != nil {
+				if v, ok := errVar(n, def); ok {
+					local[v] = true
+					if writeIdents[n] {
+						use(v).writes = append(use(v).writes, n.Pos())
+					}
+				}
+				return true
+			}
+			if v, ok := errVar(n, info.Uses[n]); ok {
+				if writeIdents[n] {
+					use(v).writes = append(use(v).writes, n.Pos())
+				} else {
+					use(v).reads = append(use(v).reads, n.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	inSameLoop := func(a, b token.Pos) bool {
+		for _, l := range loops {
+			if l.Pos() <= a && a < l.End() && l.Pos() <= b && b < l.End() {
+				return true
+			}
+		}
+		return false
+	}
+	for v, u := range uses {
+		if !local[v] || u.skip || len(u.writes) == 0 {
+			continue
+		}
+		last := u.writes[0]
+		for _, w := range u.writes[1:] {
+			if w > last {
+				last = w
+			}
+		}
+		live := false
+		for _, r := range u.reads {
+			if r > last || inSameLoop(r, last) {
+				live = true
+				break
+			}
+		}
+		if !live {
+			p.Reportf(last, "errdrop",
+				"error assigned to %s here is never read; handle it or assign to _", v.Name())
+		}
+	}
+}
+
+// firstObj returns the object an identifier refers to, defined or
+// used.
+func firstObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
 }
 
 // returnsError reports whether any result of the call has type error.
@@ -75,16 +246,20 @@ func returnsError(info *types.Info, call *ast.CallExpr) bool {
 }
 
 // excludedCallee reports whether the call target is on the
-// conventional-drop exclusion list.
+// conventional-drop exclusion lists.
 func excludedCallee(info *types.Info, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
-	pkgPath, ok := importedPackage(info, sel)
-	if !ok {
-		return false
+	if pkgPath, ok := importedPackage(info, sel); ok {
+		ex, ok := errcheckExcluded[pkgPath]
+		return ok && ex[sel.Sel.Name]
 	}
-	ex, ok := errcheckExcluded[pkgPath]
-	return ok && ex[sel.Sel.Name]
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return errcheckExcludedRecv[types.TypeString(sig.Recv().Type(), nil)]
+		}
+	}
+	return false
 }

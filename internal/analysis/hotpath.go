@@ -1,0 +1,621 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Hotpath statically proves the steady-state contract that
+// TestSteadyStateZeroAlloc samples dynamically: every function
+// reachable from a //ripslint:hotpath root annotation must be free of
+//
+//   - heap allocation (make, new, append growth, composite literals,
+//     closures, interface boxing, string building, fmt, go
+//     statements) — criterion "alloc";
+//   - blocking operations (channel send/receive/select, mutex and
+//     cond waits, sleeps, syscalls and I/O packages) — criterion
+//     "block";
+//   - map iteration (randomized order; reachability extends the
+//     per-package maporder check beyond the scheduling-core
+//     directories) — criterion "map".
+//
+// A root names its criteria (//ripslint:hotpath alloc block map); an
+// empty list means all three. Reachability is the module call graph's:
+// interface dispatch and function values fan out to every candidate
+// (see callgraph.go), so the proof covers every path the runtime could
+// take, not just the one a test happened to sample.
+//
+// Waivers are line-scoped only (allow-file is refused) and carry a
+// second meaning on call sites: a waived call is also PRUNED from the
+// traversal, excusing the callee subtree from the contract. That is
+// how the sanctioned exceptions are expressed at the exact source line
+// that introduces them: the epoch barrier's parking spot, the planner
+// invocation only unbalanced phases reach, application payload
+// execution, the OnPhase hook hand-off. Calls to invariant.Violated
+// and builtin panic are pruned intrinsically — they diverge, so their
+// argument boxing and fmt formatting are failure-path costs, not
+// steady-state costs.
+var Hotpath = &ModuleAnalyzer{
+	Name: "hotpath",
+	Doc:  "prove functions reachable from //ripslint:hotpath roots allocation-free, non-blocking and map-iteration-free",
+	Run: func(mp *ModulePass) {
+		h := newHotpathState(mp.Graph)
+		h.run(mp, mp.Pkgs)
+	},
+}
+
+// Criteria bits.
+const (
+	critAlloc uint8 = 1 << iota
+	critBlock
+	critMap
+
+	critAll = critAlloc | critBlock | critMap
+)
+
+// hotpathCriteria maps root-annotation tokens to criteria bits.
+var hotpathCriteria = map[string]uint8{"alloc": critAlloc, "block": critBlock, "map": critMap}
+
+// hotpathSafePkgs are external packages whose every function is
+// allocation-free and non-blocking.
+var hotpathSafePkgs = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync/atomic": true,
+}
+
+// hotpathSafeFuncs are individually vetted external functions: they
+// neither allocate nor park the calling goroutine. Wall-clock policy
+// for time.Now/Since is the wallclock check's business, not hotpath's.
+var hotpathSafeFuncs = map[string]bool{
+	"time.Now":                true,
+	"time.Since":              true,
+	"time.Until":              true,
+	"(time.Time).Sub":         true,
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RUnlock": true,
+	"(*sync.Cond).Broadcast":  true,
+	"(*sync.Cond).Signal":     true,
+	"runtime.Gosched":         true, // a yield is a scheduling point, not a wait
+}
+
+// hotpathBlockFuncs are external functions that park the calling
+// goroutine. Methods of I/O packages need no listing here: a method
+// object's package is its defining package, so hotpathBlockingPkgs
+// already classifies (*os.File).Read and friends.
+var hotpathBlockFuncs = map[string]bool{
+	"time.Sleep":             true,
+	"(*sync.Mutex).Lock":     true,
+	"(*sync.RWMutex).Lock":   true,
+	"(*sync.RWMutex).RLock":  true,
+	"(*sync.Cond).Wait":      true,
+	"(*sync.WaitGroup).Wait": true,
+	"(*sync.Once).Do":        true,
+	"runtime.GC":             true,
+}
+
+// hotpathBlockingPkgs are external packages whose calls perform (or
+// may perform) I/O or syscalls; any call into them blocks the hot
+// path. Covers both package functions and methods (a method's Pkg() is
+// its defining package).
+var hotpathBlockingPkgs = map[string]bool{
+	"os": true, "io": true, "net": true, "net/http": true,
+	"bufio": true, "syscall": true, "os/exec": true, "os/signal": true,
+	"log": true, "io/fs": true,
+}
+
+// hotpathState is one hotpath traversal over the module graph.
+type hotpathState struct {
+	g *CallGraph
+	// visited maps each reached node to the criteria it has been
+	// analyzed under.
+	visited map[*CGNode]uint8
+	// via maps each reached node to its (capped) discovery chain from a
+	// root, for diagnostics.
+	via map[*CGNode][]string
+	// prunes caches per-node pruned call subtrees.
+	prunes map[*CGNode]*hotPrune
+}
+
+// hotPrune records the pruned call subtrees of one function body.
+type hotPrune struct {
+	// roots are pruned call expressions (waived or diverging).
+	roots map[*ast.CallExpr]bool
+	// all additionally contains every call nested inside a pruned
+	// subtree; edges whose site is in here are not traversed.
+	all map[*ast.CallExpr]bool
+}
+
+func newHotpathState(g *CallGraph) *hotpathState {
+	return &hotpathState{
+		g:       g,
+		visited: map[*CGNode]uint8{},
+		via:     map[*CGNode][]string{},
+		prunes:  map[*CGNode]*hotPrune{},
+	}
+}
+
+// hotQueued is one BFS work item.
+type hotQueued struct {
+	node *CGNode
+	crit uint8
+}
+
+// run resolves the root annotations of pkgs and walks the reachable
+// set, analyzing each newly covered (function, criterion) pair. mp may
+// be nil (HotFunctions): the traversal then only computes coverage.
+func (h *hotpathState) run(mp *ModulePass, pkgs []*Package) {
+	queue := h.collectRoots(mp, pkgs)
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		fresh := item.crit &^ h.visited[item.node]
+		if fresh == 0 {
+			continue
+		}
+		h.visited[item.node] |= item.crit
+		if item.node.Body == nil {
+			continue
+		}
+		if mp != nil {
+			h.analyze(mp, item.node, fresh)
+		}
+		pr := h.prune(item.node)
+		for _, e := range item.node.Calls {
+			if pr.all[e.Site] || e.Callee.Body == nil {
+				continue
+			}
+			if h.visited[e.Callee]&item.crit == item.crit {
+				continue
+			}
+			if _, seen := h.via[e.Callee]; !seen {
+				h.via[e.Callee] = extendVia(h.via[item.node], e.Callee.Name)
+			}
+			queue = append(queue, hotQueued{node: e.Callee, crit: item.crit})
+		}
+	}
+}
+
+// collectRoots resolves every //ripslint:hotpath annotation to a graph
+// node, reporting (when mp is non-nil) annotations that match nothing
+// or name unknown criteria.
+func (h *hotpathState) collectRoots(mp *ModulePass, pkgs []*Package) []hotQueued {
+	var queue []hotQueued
+	for _, pkg := range pkgs {
+		for _, root := range pkg.hotpathRoots {
+			crit := uint8(0)
+			for _, tok := range root.criteria {
+				bit, ok := hotpathCriteria[tok]
+				if !ok {
+					if mp != nil {
+						mp.Reportf(pkg, root.pos, "hotpath",
+							"unknown hotpath criterion %q (valid: alloc, block, map)", tok)
+					}
+					continue
+				}
+				crit |= bit
+			}
+			if crit == 0 {
+				crit = critAll
+			}
+			node := h.findRoot(pkg, root)
+			if node == nil {
+				if mp != nil {
+					mp.Reportf(pkg, root.pos, "hotpath",
+						"//ripslint:hotpath does not precede a function declaration or function literal")
+				}
+				continue
+			}
+			if _, seen := h.via[node]; !seen {
+				h.via[node] = []string{node.Name}
+			}
+			queue = append(queue, hotQueued{node: node, crit: crit})
+		}
+	}
+	return queue
+}
+
+// findRoot matches a root annotation to the function declared (or the
+// literal appearing) on the annotation's line or the line below it.
+func (h *hotpathState) findRoot(pkg *Package, root hotpathRoot) *CGNode {
+	onLine := func(pos token.Pos) bool {
+		p := pkg.Fset.Position(pos)
+		return p.Filename == root.file && (p.Line == root.line || p.Line == root.line+1)
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !onLine(fd.Pos()) {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				if n := h.g.NodeFor(obj); n != nil {
+					return n
+				}
+			}
+		}
+	}
+	for _, n := range h.g.Nodes {
+		if n.Lit != nil && n.Pkg == pkg && onLine(n.Lit.Pos()) {
+			return n
+		}
+	}
+	return nil
+}
+
+// extendVia appends a step to a discovery chain, compressing the
+// middle once it grows past four hops.
+func extendVia(parent []string, name string) []string {
+	chain := append(append([]string{}, parent...), name)
+	if len(chain) > 4 {
+		chain = append([]string{chain[0], "…"}, chain[len(chain)-2:]...)
+	}
+	return chain
+}
+
+// viaSuffix renders the diagnostic suffix naming the root (and path)
+// that put a function on the hot set.
+func (h *hotpathState) viaSuffix(n *CGNode) string {
+	chain := h.via[n]
+	if len(chain) <= 1 {
+		return " on the hot path rooted at " + n.Name
+	}
+	return " on the hot path from " + chain[0] + " (via " + strings.Join(chain[1:], " → ") + ")"
+}
+
+// prune computes (once per node) the pruned call subtrees: calls with
+// a hotpath line waiver and calls that diverge (invariant.Violated,
+// builtin panic).
+func (h *hotpathState) prune(n *CGNode) *hotPrune {
+	if pr, ok := h.prunes[n]; ok {
+		return pr
+	}
+	pr := &hotPrune{roots: map[*ast.CallExpr]bool{}, all: map[*ast.CallExpr]bool{}}
+	h.prunes[n] = pr
+	info := n.Pkg.Info
+	walkFuncBody(n.Body, func(node ast.Node) {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if divergingCall(info, call) || n.Pkg.lineWaived("hotpath", n.Pkg.Fset.Position(call.Pos())) {
+			pr.roots[call] = true
+		}
+	})
+	for root := range pr.roots {
+		ast.Inspect(root, func(node ast.Node) bool {
+			if c, ok := node.(*ast.CallExpr); ok {
+				pr.all[c] = true
+			}
+			return true
+		})
+	}
+	return pr
+}
+
+// divergingCall reports whether a call never returns: builtin panic or
+// invariant.Violated (called qualified or, within its own package,
+// bare). Their argument costs are failure-path costs.
+func divergingCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Builtin:
+			return obj.Name() == "panic"
+		case *types.Func:
+			return isViolated(obj)
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		return ok && isViolated(fn)
+	}
+	return false
+}
+
+func isViolated(fn *types.Func) bool {
+	return fn.Name() == "Violated" && fn.Pkg() != nil &&
+		strings.HasSuffix(fn.Pkg().Path(), "internal/invariant")
+}
+
+// analyze inspects one hot function's body under the given criteria.
+func (h *hotpathState) analyze(mp *ModulePass, n *CGNode, bits uint8) {
+	pr := h.prune(n)
+	info := n.Pkg.Info
+	suffix := h.viaSuffix(n)
+	report := func(pos token.Pos, format string, args ...any) {
+		mp.Reportf(n.Pkg, pos, "hotpath", format+"%s", append(args, suffix)...)
+	}
+	// selectComm collects the comm-clause channel operations of select
+	// statements, so a select is reported once rather than per clause.
+	selectComm := map[ast.Node]bool{}
+
+	ast.Inspect(n.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			if bits&critAlloc != 0 {
+				report(node.Pos(), "function literal allocates a closure")
+			}
+			return false // the literal's body is its own graph node
+		case *ast.CallExpr:
+			if pr.roots[node] {
+				return false // waived or diverging: whole subtree excused
+			}
+			h.checkCall(report, info, node, bits)
+		case *ast.GoStmt:
+			if bits&(critAlloc|critBlock) != 0 {
+				report(node.Pos(), "go statement spawns a goroutine (allocates, schedules)")
+			}
+		case *ast.CompositeLit:
+			if bits&critAlloc != 0 {
+				if tv, ok := info.Types[node]; ok && tv.Type != nil {
+					switch tv.Type.Underlying().(type) {
+					case *types.Slice:
+						report(node.Pos(), "slice literal allocates")
+					case *types.Map:
+						report(node.Pos(), "map literal allocates")
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			switch node.Op {
+			case token.AND:
+				if _, comp := ast.Unparen(node.X).(*ast.CompositeLit); comp && bits&critAlloc != 0 {
+					report(node.Pos(), "address of composite literal escapes to the heap")
+				}
+			case token.ARROW:
+				if bits&critBlock != 0 && !selectComm[node] {
+					report(node.Pos(), "channel receive can block")
+				}
+			}
+		case *ast.SendStmt:
+			if bits&critBlock != 0 && !selectComm[node] {
+				report(node.Pos(), "channel send can block")
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range node.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm == nil {
+					hasDefault = true
+					continue
+				}
+				selectComm[cc.Comm] = true
+				if as, ok := cc.Comm.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+					selectComm[ast.Unparen(as.Rhs[0])] = true
+				}
+				if es, ok := cc.Comm.(*ast.ExprStmt); ok {
+					selectComm[ast.Unparen(es.X)] = true
+				}
+			}
+			if !hasDefault && bits&critBlock != 0 {
+				report(node.Pos(), "select without default can block")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[node.X]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					// A maporder line waiver carries over: the per-package
+					// check and this reachability check assert the same
+					// property, and one justified loop needs one waiver.
+					if bits&critMap != 0 && !n.Pkg.lineWaived("maporder", n.Pkg.Fset.Position(node.Pos())) {
+						report(node.Pos(), "map iteration order is randomized")
+					}
+				case *types.Chan:
+					if bits&critBlock != 0 {
+						report(node.Pos(), "ranging over a channel blocks")
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD && bits&critAlloc != 0 {
+				if tv, ok := info.Types[node]; ok && tv.Type != nil && tv.Value == nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(node.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall classifies one unpruned call site: builtins that allocate,
+// allocating conversions, interface boxing of arguments, and calls
+// leaving the module.
+func (h *hotpathState) checkCall(report func(token.Pos, string, ...any), info *types.Info, call *ast.CallExpr, bits uint8) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: string building and interface boxing.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if bits&critAlloc == 0 || len(call.Args) == 0 {
+			return
+		}
+		dst := tv.Type
+		src := info.Types[call.Args[0]].Type
+		switch {
+		case isStringByteConversion(dst, src):
+			report(call.Pos(), "conversion between string and byte/rune slice copies and allocates")
+		case src != nil && types.IsInterface(dst.Underlying()) && !types.IsInterface(src) && boxes(src):
+			report(call.Pos(), "conversion of %s to interface boxes (allocates)", types.TypeString(src, nil))
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if bits&critAlloc != 0 {
+				switch b.Name() {
+				case "make":
+					report(call.Pos(), "make allocates")
+				case "new":
+					report(call.Pos(), "new allocates")
+				case "append":
+					report(call.Pos(), "append may grow its backing array (allocates)")
+				case "print", "println":
+					report(call.Pos(), "builtin %s writes to stderr", b.Name())
+				}
+			}
+			return
+		}
+	}
+
+	// Boxing of arguments against the callee signature (any call kind).
+	if bits&critAlloc != 0 {
+		if tv, ok := info.Types[call.Fun]; ok && tv.Type != nil {
+			if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+				h.checkBoxing(report, info, call, sig)
+			}
+		}
+	}
+
+	// Resolution: static callees leaving the module are classified;
+	// interface dispatch and function values are conservatively
+	// reported (module candidates are traversed by the graph, but
+	// callees from outside the module cannot be proven).
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			h.classifyStatic(report, call, fn, bits)
+			return
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			if sel := info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal && types.IsInterface(sel.Recv()) {
+				if bits&(critAlloc|critBlock) != 0 {
+					report(call.Pos(), "interface method call %s dispatches dynamically; module implementations are traversed, but implementations from outside the module cannot be proven allocation- and blocking-free", fn.Name())
+				}
+				return
+			}
+			h.classifyStatic(report, call, fn, bits)
+			return
+		}
+	}
+	if bits&(critAlloc|critBlock) != 0 {
+		report(call.Pos(), "call through a function value: module candidates are traversed, but function values from outside the module cannot be proven allocation- and blocking-free")
+	}
+}
+
+// classifyStatic classifies a direct call to a named function: module
+// functions are handled by graph traversal; external ones come from
+// the vetted tables or are conservatively reported.
+func (h *hotpathState) classifyStatic(report func(token.Pos, string, ...any), call *ast.CallExpr, fn *types.Func, bits uint8) {
+	if h.g.NodeFor(fn) != nil {
+		return // module function: the traversal analyzes its body
+	}
+	full := fn.FullName()
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	switch {
+	case hotpathSafeFuncs[full] || hotpathSafePkgs[pkgPath]:
+	case hotpathBlockFuncs[full]:
+		if bits&critBlock != 0 {
+			report(call.Pos(), "%s blocks the calling goroutine", full)
+		}
+	case pkgPath == "fmt":
+		if bits&(critAlloc|critBlock) != 0 {
+			report(call.Pos(), "%s formats (allocates) and may write", full)
+		}
+	case hotpathBlockingPkgs[pkgPath]:
+		if bits&(critAlloc|critBlock) != 0 {
+			report(call.Pos(), "%s may perform I/O or a syscall", full)
+		}
+	default:
+		if bits&(critAlloc|critBlock) != 0 {
+			report(call.Pos(), "%s is not classified as allocation- and blocking-free; vet it or waive this call", full)
+		}
+	}
+}
+
+// checkBoxing flags concrete, non-pointer-shaped arguments passed in
+// interface-typed parameter slots: the conversion heap-allocates.
+func (h *hotpathState) checkBoxing(report func(token.Pos, string, ...any), info *types.Info, call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if call.Ellipsis.IsValid() {
+				continue // a slice passed through, no per-element boxing
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok || tv.Type == nil || tv.IsNil() {
+			continue
+		}
+		at := types.Default(tv.Type)
+		if types.IsInterface(at) || !boxes(at) {
+			continue
+		}
+		report(arg.Pos(), "passing %s as %s boxes (allocates)",
+			types.TypeString(at, nil), types.TypeString(pt, nil))
+	}
+}
+
+// boxes reports whether converting a value of type t to an interface
+// heap-allocates: everything except pointer-shaped values (pointers,
+// channels, maps, functions, unsafe pointers) does.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer
+	}
+	return true
+}
+
+// isStringByteConversion reports a conversion between string and
+// []byte/[]rune in either direction.
+func isStringByteConversion(dst, src types.Type) bool {
+	if src == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isByteSlice(src)) || (isByteSlice(dst) && isStr(src))
+}
+
+// HotFunctions returns the diagnostic names of every function the
+// hotpath analyzer reaches from the root annotations in pkgs, sorted.
+// Tests pin the proof's coverage with it: a function exercised by
+// TestSteadyStateZeroAlloc but absent here is a hole in the proof.
+func HotFunctions(pkgs []*Package, g *CallGraph) []string {
+	h := newHotpathState(g)
+	h.run(nil, pkgs)
+	out := make([]string, 0, len(h.visited))
+	for n := range h.visited {
+		out = append(out, n.Name)
+	}
+	sort.Strings(out)
+	return out
+}

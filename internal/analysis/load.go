@@ -33,7 +33,8 @@ type Package struct {
 	// gracefully but the driver surfaces them.
 	TypeErrors []error
 
-	directives []directive
+	directives   []*directive
+	hotpathRoots []hotpathRoot
 }
 
 // Loader parses and type-checks packages of one module. It is
@@ -45,6 +46,11 @@ type Loader struct {
 	ModuleRoot string
 	ModulePath string
 	Fset       *token.FileSet
+	// BuildTags are extra build constraints for file selection (the
+	// driver's -tags flag), so e.g. the ripsperturb perturbation hooks
+	// can be linted even though the default file set excludes them.
+	// Set before the first Load; loading memoizes per import path.
+	BuildTags []string
 
 	std   types.ImporterFrom
 	pkgs  map[string]*Package
@@ -114,7 +120,9 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	l.stack[path] = true
 	defer delete(l.stack, path)
 
-	bp, err := build.Default.ImportDir(dir, 0)
+	bctx := build.Default
+	bctx.BuildTags = append(append([]string{}, bctx.BuildTags...), l.BuildTags...)
+	bp, err := bctx.ImportDir(dir, 0)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
 	}
@@ -140,11 +148,13 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 		return nil, err
 	}
 	pkg.directives = scanDirectives(l.Fset, append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...))
+	pkg.hotpathRoots = scanHotpathRoots(l.Fset, pkg.Files)
 
 	pkg.Info = &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Defs:  map[*ast.Ident]types.Object{},
-		Uses:  map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
 	conf := types.Config{
 		Importer:    l,

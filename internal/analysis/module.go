@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// A ModuleAnalyzer checks one whole-program property: it sees every
+// loaded package of the module at once, plus the call graph built over
+// them. Per-package analyzers (Analyzer) stay the right tool for
+// purely local properties; the module layer exists for the properties
+// that only hold — or only fail — across package boundaries:
+// reachability (hotpath), cross-package field access (atomicmix),
+// context threading (ctxflow) and directive liveness (deadwaiver).
+type ModuleAnalyzer struct {
+	Name string
+	Doc  string
+	// Run inspects the module and reports findings through the pass.
+	Run func(mp *ModulePass)
+}
+
+// AllModule returns the whole-program half of the ripslint suite, in
+// required order: DeadWaiver MUST run last — it flags directives left
+// unused by every other analyzer, so any analyzer running after it
+// could mark a directive used too late.
+func AllModule() []*ModuleAnalyzer {
+	return []*ModuleAnalyzer{Hotpath, AtomicMix, CtxFlow, DeadWaiver}
+}
+
+// ModulePass carries the loaded module through one ModuleAnalyzer.
+type ModulePass struct {
+	// Pkgs are the module's packages in deterministic order.
+	Pkgs []*Package
+	// Graph is the whole-module call graph.
+	Graph *CallGraph
+
+	analyzer *ModuleAnalyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding for check at pos, resolving waivers
+// against the directives of the package owning the position.
+func (mp *ModulePass) Reportf(pkg *Package, pos token.Pos, check, format string, args ...any) {
+	position := pkg.Fset.Position(pos)
+	*mp.findings = append(*mp.findings, Finding{
+		Analyzer: mp.analyzer.Name,
+		Check:    check,
+		Pos:      position,
+		Msg:      fmt.Sprintf(format, args...),
+		Waived:   pkg.suppressed(check, position),
+	})
+}
+
+// RunModule runs the full suite over the module: every applicable
+// per-package analyzer on every package, then the whole-program
+// analyzers over the call graph. Findings (waived ones included) come
+// back sorted by position. pkgs should be every package of the module:
+// the call graph's CHA resolution and the hotpath proof are only sound
+// over the complete candidate set.
+func RunModule(pkgs []*Package, analyzers []*Analyzer, moduleAnalyzers []*ModuleAnalyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Rel) {
+				continue
+			}
+			a.Run(&Pass{Pkg: pkg, analyzer: a, findings: &out})
+		}
+	}
+	if len(moduleAnalyzers) > 0 {
+		graph := BuildCallGraph(pkgs)
+		for _, ma := range moduleAnalyzers {
+			ma.Run(&ModulePass{Pkgs: pkgs, Graph: graph, analyzer: ma, findings: &out})
+		}
+	}
+	sortFindings(out)
+	return out
+}

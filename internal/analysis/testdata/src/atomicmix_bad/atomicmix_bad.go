@@ -1,0 +1,40 @@
+// Package atomfake is ripslint test data for the atomicmix analyzer.
+package atomfake
+
+import "sync/atomic"
+
+type counterState struct {
+	// hits is accessed with sync/atomic in bump — every other access
+	// must be atomic too.
+	hits int64
+	// cold is never accessed atomically; plain access is fine.
+	cold int64
+}
+
+var flag int32
+
+func bump(s *counterState) {
+	atomic.AddInt64(&s.hits, 1)         // sanctioned: the atomic access itself
+	atomic.StoreInt32(&flag, 1)         // sanctioned
+	s.cold++                            // never atomic: fine
+	if atomic.LoadInt64(&s.hits) > 10 { // sanctioned
+		s.cold = 0
+	}
+}
+
+func report(s *counterState) int64 {
+	total := s.hits // want "races with the atomic ones"
+	if flag == 1 {  // want "races with the atomic ones"
+		total++
+	}
+	s.hits = 0 // want "races with the atomic ones"
+	return total
+}
+
+func okRead(s *counterState) int64 {
+	return atomic.LoadInt64(&s.hits) // sanctioned
+}
+
+func waived(s *counterState) int64 {
+	return s.hits //ripslint:allow atomicmix read-only snapshot taken while the workers are quiesced
+}

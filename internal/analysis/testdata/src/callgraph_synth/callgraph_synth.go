@@ -1,0 +1,40 @@
+// Package cgfake is synthetic test data for the call-graph builder:
+// interface dispatch, method values and function values stored in
+// package variables.
+package cgfake
+
+// Animal is implemented by Dog and Cat; a call through it must fan out
+// to both under CHA.
+type Animal interface{ Speak() string }
+
+type Dog struct{}
+
+func (Dog) Speak() string { return "woof" }
+
+type Cat struct{}
+
+func (Cat) Speak() string { return "meow" }
+
+// CallSpeak dispatches through the interface.
+func CallSpeak(a Animal) string { return a.Speak() }
+
+// UseMethodValue binds a method value and calls it later: the call is
+// dynamic and must resolve to the address-taken Dog.Speak.
+func UseMethodValue() string {
+	d := Dog{}
+	f := d.Speak
+	return f() + CallSpeak(Cat{})
+}
+
+func helper() int { return 1 }
+
+// fp takes helper's address in a package-level initializer.
+var fp = helper
+
+// CallFp calls through the package-level function variable.
+func CallFp() int { return fp() }
+
+// direct is a plain static call for contrast.
+func direct() string { return CallSpeak(Dog{}) }
+
+var _ = direct

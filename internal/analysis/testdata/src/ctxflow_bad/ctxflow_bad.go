@@ -1,0 +1,38 @@
+// Package ctxfake is ripslint test data for the ctxflow analyzer.
+package ctxfake
+
+import "context"
+
+// Run has a context-taking sibling; calling it from a ctx-receiving
+// function drops the caller's context.
+func Run() error { return nil }
+
+// RunContext is the context-taking variant of Run.
+func RunContext(ctx context.Context) error { return ctx.Err() }
+
+// Solo has no context variant: calling it anywhere is fine.
+func Solo() {}
+
+func mint() context.Context {
+	return context.Background() // want "mints a root context outside package main"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "mints a root context outside package main"
+}
+
+func serve(ctx context.Context) error {
+	Solo()
+	if err := Run(); err != nil { // want "receives a context but calls Run"
+		return err
+	}
+	return RunContext(ctx) // threading the context: fine
+}
+
+// plain receives no context, so calling the context-blind variant is
+// its only option — no finding.
+func plain() error { return Run() }
+
+func waived(ctx context.Context) error {
+	return Run() //ripslint:allow ctxflow the callee is fire-and-forget by contract; cancellation is handled at the phase boundary
+}

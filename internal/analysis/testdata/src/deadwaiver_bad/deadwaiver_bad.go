@@ -1,0 +1,22 @@
+//ripslint:allow-file panic stale blanket waiver; nothing here panics // want "suppresses nothing"
+
+// Package deadfake is ripslint test data for the deadwaiver analyzer,
+// loaded under a synthetic scheduling-core path so the determinism
+// analyzer runs and exercises one waiver for real.
+package deadfake
+
+import "time"
+
+// now carries a waiver that suppresses a real wallclock finding: used,
+// so deadwaiver stays quiet about it.
+func now() time.Time {
+	return time.Now() //ripslint:allow wallclock fixture exercises a used waiver
+}
+
+func pure(x int) int {
+	//ripslint:allow rand nothing random here anymore // want "suppresses nothing"
+	return x * 2
+}
+
+var _ = now
+var _ = pure

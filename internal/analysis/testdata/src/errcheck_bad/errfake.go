@@ -34,3 +34,49 @@ func Drop() {
 
 	fail() //ripslint:allow errdrop best-effort cleanup
 }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func Deferred() {
+	var c closer
+	defer c.Close() // want "deferred call drops its error"
+	go fail()       // want "go statement drops the spawned call's error"
+
+	// Handling inside a closure is the sanctioned shape: allowed.
+	defer func() { _ = c.Close() }()
+}
+
+// DeadVar reassigns err without ever reading the second assignment --
+// the compiler cannot see it (the variable IS used), errcheck can.
+func DeadVar() (int, error) {
+	v, err := parse("1")
+	if err != nil {
+		return 0, err
+	}
+	v2, err := parse("2") // want "never read"
+	return v + v2, nil
+}
+
+// LiveLoop writes err late in the loop body and reads it at the top of
+// the next iteration: textual order lies about execution order, so the
+// loop guard keeps errcheck quiet.
+func LiveLoop(tries int) error {
+	var err error
+	for i := 0; i < tries; i++ {
+		if err != nil {
+			return err
+		}
+		_, err = parse("x")
+	}
+	return nil
+}
+
+// LiveClosure hands the error variable to a closure; when it runs is
+// unknowable statically, so the variable is exempt.
+func LiveClosure() func() error {
+	var err error
+	_, err = parse("y")
+	return func() error { return err }
+}

@@ -1,0 +1,44 @@
+// Package hotfake is ripslint test data for the hotpath analyzer,
+// loaded under the synthetic import path rips/internal/hotfake.
+package hotfake
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu    sync.Mutex
+	buf   []int
+	table map[string]int
+	ch    chan int
+}
+
+//ripslint:hotpath
+func (s *state) step(x int) {
+	s.buf = append(s.buf, x) // want "append may grow"
+	p := new(int)            // want "new allocates"
+	_ = p
+	m := make(map[string]int) // want "make allocates"
+	_ = m
+	s.mu.Lock()                  // want "blocks the calling goroutine"
+	s.mu.Unlock()                // safe: vetted non-blocking
+	time.Sleep(time.Millisecond) // want "blocks the calling goroutine"
+	fmt.Printf("x=%d\n", x)      // want "formats" // want "boxes"
+	<-s.ch                       // want "channel receive can block"
+	s.ch <- x                    // want "channel send can block"
+	for k := range s.table {     // want "map iteration order is randomized"
+		_ = k
+	}
+	go s.helper(x) // want "go statement spawns a goroutine"
+	s.helper(x)    // module call: analyzed via traversal, no finding here
+	f := func() {} // want "function literal allocates a closure"
+	f()            // want "call through a function value"
+}
+
+// helper is reached from step, so its body is checked too; the
+// diagnostic names the discovery chain.
+func (s *state) helper(x int) {
+	s.buf = append(s.buf, x) // want "append may grow" // want "via"
+}

@@ -1,0 +1,13 @@
+//ripslint:allow-file hotpath trying to excuse the whole file, which the policy refuses
+
+// Package hotfile is ripslint test data: file-scope hotpath waivers
+// are refused everywhere, so the finding below survives the allow-file
+// directive at the top of this file.
+package hotfile
+
+type buf struct{ items []int }
+
+//ripslint:hotpath
+func (b *buf) push(x int) {
+	b.items = append(b.items, x) // want "append may grow"
+}

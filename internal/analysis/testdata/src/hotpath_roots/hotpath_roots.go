@@ -1,0 +1,12 @@
+// Package hotroots is ripslint test data for hotpath root-annotation
+// edge cases: unknown criteria and annotations matching no function.
+package hotroots
+
+//ripslint:hotpath frobnicate
+func Root() {}
+
+//ripslint:hotpath
+var notAFunc = 3
+
+var _ = notAFunc
+var _ = Root

@@ -1,0 +1,37 @@
+// Package hotwaived is ripslint test data for the hotpath analyzer's
+// waiver semantics: a line waiver on a call site silences the line AND
+// prunes the callee subtree from the traversal, and a root's criteria
+// list narrows what is checked.
+package hotwaived
+
+type pool struct {
+	buf   []int
+	table map[int]int
+}
+
+//ripslint:hotpath
+func (p *pool) run(x int) {
+	p.grow(x) //ripslint:allow hotpath the grow path is amortized; capacity is retained across runs
+	p.fast(x)
+}
+
+// grow is only reached through the waived call site above, so its
+// allocation is excused from the proof — no finding in here.
+func (p *pool) grow(x int) {
+	p.buf = append(p.buf, x)
+}
+
+func (p *pool) fast(x int) {
+	p.buf[0] = x
+}
+
+// mapOnly is checked under the map criterion alone: the allocation is
+// fine, the map iteration is not.
+//
+//ripslint:hotpath map
+func (p *pool) mapOnly() {
+	p.buf = append(p.buf, 1) // alloc criterion not requested: no finding
+	for k := range p.table { // want "map iteration order is randomized"
+		_ = k
+	}
+}

@@ -62,9 +62,9 @@ type Counted interface {
 // implements Counted and reporting a zero contribution otherwise.
 func ExecuteCount(a App, data any, emit func(Spawn)) (sim.Time, int64) {
 	if c, ok := a.(Counted); ok {
-		return c.ExecuteCount(data, emit)
+		return c.ExecuteCount(data, emit) //ripslint:allow hotpath application payload execution is outside the scheduler's steady-state contract
 	}
-	return a.Execute(data, emit), 0
+	return a.Execute(data, emit), 0 //ripslint:allow hotpath application payload execution is outside the scheduler's steady-state contract
 }
 
 // BlockDistributed marks apps whose root tasks start block-distributed

@@ -62,6 +62,7 @@ func Enabled() bool {
 		return false
 	}
 	on := true
+	//ripslint:allow hotpath the environment is read once on first call and cached in enabled; steady-state calls take the atomic fast path above
 	switch os.Getenv("RIPS_INVARIANTS") {
 	case "0", "off", "false":
 		on = false

@@ -1,5 +1,3 @@
-//ripslint:allow-file wallclock cancellation-latency tests time real aborts by design
-
 package par
 
 import (
@@ -24,7 +22,7 @@ func runCanceled(t *testing.T, cfg Config, delay time.Duration) Result {
 	cancel := make(chan struct{})
 	cfg.Cancel = cancel
 	go func() {
-		time.Sleep(delay) //ripslint:allow sleep test fires the abort mid-run on purpose
+		time.Sleep(delay)
 		close(cancel)
 	}()
 	start := time.Now()

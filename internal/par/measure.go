@@ -1,5 +1,3 @@
-//ripslint:allow-file wallclock phase-cost measurement reports real elapsed time by design
-
 package par
 
 import (

@@ -1,7 +1,5 @@
 //go:build ripsperturb
 
-//ripslint:allow-file wallclock the perturbation hook sleeps on purpose to shake goroutine interleavings; it is compiled only under -tags ripsperturb and never influences what is computed, only when
-
 package par
 
 import (
@@ -51,6 +49,7 @@ func perturb(worker int, point int64) {
 	case 0, 1:
 		runtime.Gosched()
 	case 2:
-		time.Sleep(time.Duration(x>>2%uint64(perturbMaxSleep)) + 1)
+		//ripslint:allow hotpath perturbation builds opt out of the zero-alloc/non-blocking steady-state contract by definition
+		time.Sleep(time.Duration(x>>2%uint64(perturbMaxSleep)) + 1) //ripslint:allow sleep the injected jitter is the whole point of the hook; it shifts timing only, never what is computed
 	}
 }

@@ -134,7 +134,7 @@ func TestPoolCancelFreesWorkers(t *testing.T) {
 
 	cancel := make(chan struct{})
 	go func() {
-		time.Sleep(10 * time.Millisecond) //ripslint:allow sleep test fires the abort mid-run on purpose
+		time.Sleep(10 * time.Millisecond)
 		close(cancel)
 	}()
 	res, err := pool.Run(Config{Topo: topo.NewMesh(2, 2), App: bigQueens(), Cancel: cancel})

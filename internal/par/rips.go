@@ -142,8 +142,13 @@ func newRipsRun(cfg *Config) *ripsRun {
 	r.endFn = r.finishPhase
 	for i := 0; i < n; i++ {
 		w := &ripsWorker{id: i}
+		// The emit closure runs inside every task execution; the traversal
+		// cannot follow the application's dynamic call back to it, so it
+		// is rooted explicitly.
+		//ripslint:hotpath
 		w.emit = func(sp app.Spawn) {
-			w.scratch = append(w.scratch, task.Task{ID: w.newID(), Origin: w.id, Size: sp.Size, Data: sp.Data})
+			id := w.newID()
+			w.scratch = append(w.scratch, task.Task{ID: id, Origin: w.id, Size: sp.Size, Data: sp.Data}) //ripslint:allow hotpath scratch retains its capacity across tasks; steady-state growth is zero and TestSteadyStateZeroAlloc pins it
 		}
 		r.workers = append(r.workers, w)
 	}
@@ -204,6 +209,8 @@ func (r *ripsRun) loadRoots(round int) {
 
 // workerMain is one worker's phase loop: a system phase at every
 // barrier epoch, then a user phase until the transfer condition fires.
+//
+//ripslint:hotpath
 func (r *ripsRun) workerMain(id int) {
 	w := r.workers[id]
 	var point int64
@@ -312,6 +319,7 @@ func (r *ripsRun) initiate(w *ripsWorker, phase int64) {
 			if s > DefaultDetectInterval {
 				s = DefaultDetectInterval
 			}
+			//ripslint:allow hotpath a drained worker sleeping out the detector interval is the sanctioned idle wait of the ANY protocol
 			time.Sleep(s) //ripslint:allow sleep the (possibly adaptive) detector interval delays the ANY request, mirroring the simulator's InitBackoff; it never changes what is computed
 			d -= s
 		}
@@ -392,7 +400,7 @@ func (r *ripsRun) execute(w *ripsWorker, tk task.Task) {
 	if len(w.scratch) > 0 {
 		w.generated += int64(len(w.scratch))
 		if r.cfg.Local == ripsrt.Eager {
-			w.stage = append(w.stage, w.scratch...)
+			w.stage = append(w.stage, w.scratch...) //ripslint:allow hotpath the stage array retains its capacity across phases; steady-state growth is zero (TestSteadyStateZeroAlloc pins it)
 		} else {
 			w.rte.PushAll(w.scratch)
 		}
@@ -405,6 +413,12 @@ func (r *ripsRun) execute(w *ripsWorker, tk task.Task) {
 // machine topology and stages the plan for application. Large plans
 // are partitioned into waves for the workers to apply concurrently;
 // small ones are applied by the leader on the spot.
+//
+// It is a hot-path root of its own: the barrier invokes it through a
+// pre-bound function value (r.beginFn), which the traversal cannot
+// follow past the waived leader() call site in barrier.go.
+//
+//ripslint:hotpath
 func (r *ripsRun) beginPhase() {
 	if r.cancel.Load() {
 		// Abort, decided by the leader with the world stopped: every
@@ -433,19 +447,20 @@ func (r *ripsRun) beginPhase() {
 		r.phaseMax = total
 	}
 	if r.cfg.TracePhases {
-		r.phaseTotals = append(r.phaseTotals, total)
+		r.phaseTotals = append(r.phaseTotals, total) //ripslint:allow hotpath opt-in tracing grows the trace by design; steady-state runs keep TracePhases off
 	}
 
 	if total == 0 {
 		// Zero global total detects the round boundary, exactly like
 		// the simulator runtime.
 		r.round++
+		//ripslint:allow hotpath round boundary (zero global total): one dispatch per round, outside the steady state
 		if r.round >= r.cfg.App.Rounds() {
 			r.done = true
 			r.finishPhase()
 			return
 		}
-		r.loadRoots(r.round)
+		r.loadRoots(r.round) //ripslint:allow hotpath round boundary restaging allocates once per round, outside the steady state
 		r.finishPhase()
 		return
 	}
@@ -458,6 +473,7 @@ func (r *ripsRun) beginPhase() {
 		return
 	}
 
+	//ripslint:allow hotpath the planners build fresh trace vectors by design; balanced steady-state phases never reach them (balancedCanonical short-circuits above)
 	plan, planTotal, err := planLoads(r.cfg.Topo, r.loads)
 	if err != nil {
 		r.err = err
@@ -493,6 +509,8 @@ func (r *ripsRun) beginPhase() {
 // in the phase's yield, and the stop-the-world time is charged. It
 // runs as the leader callback of the last sub-barrier (or inline from
 // beginPhase when no waves were fanned out).
+//
+//ripslint:hotpath
 func (r *ripsRun) finishPhase() {
 	if total := r.phaseTotal; total > 0 {
 		after := 0
@@ -505,6 +523,7 @@ func (r *ripsRun) finishPhase() {
 	r.updateDetector()
 	r.sysTime += time.Since(r.phaseStart)
 	if h := r.cfg.OnPhase; h != nil {
+		//ripslint:allow hotpath OnPhase observer contract: the hook runs inside the stopped world and is documented to be allocation-conscious
 		h(metrics.PhaseInfo{
 			Phase:   r.phases,
 			Round:   r.round,
@@ -545,12 +564,12 @@ func (r *ripsRun) stageMoves(moves []sched.Move) {
 		off[i] = 0
 	}
 	for _, m := range moves {
-		r.moves = append(r.moves, applyMove{from: m.From, to: m.To, count: m.Count, off: off[m.From]})
+		r.moves = append(r.moves, applyMove{from: m.From, to: m.To, count: m.Count, off: off[m.From]}) //ripslint:allow hotpath r.moves retains its capacity across phases; growth amortizes to zero
 		off[m.From] += m.Count
 	}
 	for i, w := range r.workers {
 		if need := off[i]; cap(w.xbuf) < need {
-			w.xbuf = make([]task.Task, need)
+			w.xbuf = make([]task.Task, need) //ripslint:allow hotpath exchange buffers grow to the high-water mark once, then are reused every phase
 		} else {
 			w.xbuf = w.xbuf[:need]
 		}
@@ -575,7 +594,7 @@ func (r *ripsRun) partitionWaves() {
 		if avail[mv.from] < mv.count {
 			// mv forwards tasks still in flight: close the wave (its
 			// pushes land at the boundary) and retry in the next one.
-			r.waveEnds = append(r.waveEnds, i)
+			r.waveEnds = append(r.waveEnds, i) //ripslint:allow hotpath r.waveEnds retains its capacity across phases; growth amortizes to zero
 			for n := range pend {
 				avail[n] += pend[n]
 				pend[n] = 0
@@ -588,7 +607,7 @@ func (r *ripsRun) partitionWaves() {
 		avail[mv.from] -= mv.count
 		pend[mv.to] += mv.count
 	}
-	r.waveEnds = append(r.waveEnds, len(r.moves))
+	r.waveEnds = append(r.waveEnds, len(r.moves)) //ripslint:allow hotpath r.waveEnds retains its capacity across phases; growth amortizes to zero
 }
 
 // waveRange returns the [lo, hi) index range of wave wv in r.moves.

@@ -145,6 +145,12 @@ type nodeState struct {
 	nextCheck sim.Time
 }
 
+// nodeMain roots the hotpath map-iteration proof for the simulated
+// backend: everything a node program reaches must iterate no map (the
+// simulator allocates and blocks by design, so only the determinism
+// criterion applies here).
+//
+//ripslint:hotpath map
 func nodeMain(n *sim.Node, cfg *Config, phaseTotals *[]int) {
 	st := &nodeState{
 		n:     n,

@@ -1,5 +1,3 @@
-//ripslint:allow-file wallclock HTTP response timestamps are wall-clock by design; they never influence scheduling
-
 package serve
 
 import (

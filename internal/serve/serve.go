@@ -98,7 +98,7 @@ func NewServer(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //ripslint:allow ctxflow the server IS a lifecycle root: this context parents every job and is canceled by Close
 	s := &Server{
 		opts:       opts,
 		pool:       pool,

@@ -1,5 +1,3 @@
-//ripslint:allow-file wallclock tests time out real servers with real clocks
-
 package serve
 
 import (

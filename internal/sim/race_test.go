@@ -25,14 +25,14 @@ func ringTraffic(rounds int) Program {
 			n.SendTag(right, r, n.ID(), 64)
 			m := n.RecvTag(r)
 			if m.Data.(int) != (n.ID()+n.N()-1)%n.N() {
-				panic("wrong neighbor") //ripslint:allow panic test assertion off the test goroutine
+				panic("wrong neighbor")
 			}
 			n.Compute(Time(n.Rand().Intn(50)+1) * Microsecond)
 			n.Count("rounds", 1)
 			if r%8 == 3 {
 				// Exercise the timeout path; nothing with this tag exists.
 				if _, ok := n.RecvTagTimeout(9999, 5*Microsecond); ok {
-					panic("phantom message") //ripslint:allow panic test assertion off the test goroutine
+					panic("phantom message")
 				}
 			}
 		}
@@ -64,7 +64,7 @@ func TestRaceBroadcastStorm(t *testing.T) {
 			} else {
 				m := n.RecvTag(100 + r)
 				if m.Data.(int) != r {
-					panic("wrong round payload") //ripslint:allow panic test assertion off the test goroutine
+					panic("wrong round payload")
 				}
 			}
 			n.Compute(Time(n.Rand().Intn(20)+1) * Microsecond)

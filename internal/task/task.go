@@ -38,7 +38,7 @@ func (q *Queue) Len() int { return len(q.items) - q.head }
 func (q *Queue) Empty() bool { return q.Len() == 0 }
 
 // PushBack appends a task at the back.
-func (q *Queue) PushBack(t Task) { q.items = append(q.items, t) }
+func (q *Queue) PushBack(t Task) { q.items = append(q.items, t) } //ripslint:allow hotpath the backing array retains its capacity across phases; steady-state growth is zero (TestSteadyStateZeroAlloc pins it)
 
 // PushFront prepends a task at the front.
 func (q *Queue) PushFront(t Task) {
@@ -143,7 +143,7 @@ func (q *Queue) Drain() []Task {
 
 // PushAll appends tasks preserving slice order.
 func (q *Queue) PushAll(ts []Task) {
-	q.items = append(q.items, ts...)
+	q.items = append(q.items, ts...) //ripslint:allow hotpath the backing array retains its capacity across phases; steady-state growth is zero (TestSteadyStateZeroAlloc pins it)
 }
 
 // maybeCompact reclaims the dead prefix once it dominates the backing

@@ -298,14 +298,14 @@ func (c Config) Validate() error {
 // Deprecated: use RunContext, which adds cancellation. Run is
 // equivalent to RunContext with a background context.
 func Run(a App, cfg Config) (Result, error) {
-	return RunContext(context.Background(), a, cfg)
+	return RunContext(context.Background(), a, cfg) //ripslint:allow ctxflow deprecated context-free shim; a background root is its documented contract
 }
 
 // RunProfiled is Run with a pre-computed sequential profile.
 //
 // Deprecated: use RunProfiledContext, which adds cancellation.
 func RunProfiled(a App, p Profile, cfg Config) (Result, error) {
-	return RunProfiledContext(context.Background(), a, p, cfg)
+	return RunProfiledContext(context.Background(), a, p, cfg) //ripslint:allow ctxflow deprecated context-free shim; a background root is its documented contract
 }
 
 // RunContext executes the workload and returns the paper's metrics.
