@@ -6,6 +6,7 @@ import (
 	"errors"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -288,5 +289,142 @@ func TestOnPhaseParallelBackend(t *testing.T) {
 		if p != int64(i+1) {
 			t.Errorf("phase %d reported index %d", i+1, p)
 		}
+	}
+}
+
+// TestPriorityRoundTrip extends the enum property test to the serving
+// Priority vocabulary: parse(String(x)) == x for every defined lane,
+// "" defaults to PriorityNormal, and out-of-range renderings are
+// rejected.
+func TestPriorityRoundTrip(t *testing.T) {
+	for _, p := range rips.Priorities() {
+		got, err := rips.ParsePriority(p.String())
+		if err != nil {
+			t.Errorf("ParsePriority(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Errorf("ParsePriority(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	if got, err := rips.ParsePriority(""); err != nil || got != rips.PriorityNormal {
+		t.Errorf("ParsePriority(\"\") = %v, %v; want PriorityNormal", got, err)
+	}
+	if rips.PriorityLow >= rips.PriorityNormal || rips.PriorityNormal >= rips.PriorityHigh {
+		t.Error("priorities do not order numerically low < normal < high")
+	}
+	for bad := -3; bad <= 10; bad++ {
+		p := rips.Priority(bad)
+		defined := false
+		for _, d := range rips.Priorities() {
+			if p == d {
+				defined = true
+			}
+		}
+		if defined {
+			continue
+		}
+		s := p.String()
+		if !strings.Contains(s, "priority(") {
+			t.Errorf("Priority(%d).String() = %q, want priority(N) form", bad, s)
+		}
+		if _, err := rips.ParsePriority(s); err == nil {
+			t.Errorf("ParsePriority(%q) accepted an out-of-range value", s)
+		}
+	}
+}
+
+// TestConfigJSONCanonical checks the cache-key encoding: identical
+// resolved configs give byte-identical keys, any field difference
+// changes the key, and zero fields do not appear (so a default spelled
+// out and a default omitted agree after resolution).
+func TestConfigJSONCanonical(t *testing.T) {
+	base := rips.EncodeConfig(rips.Config{Procs: 4, Backend: rips.Parallel, Seed: 7})
+	if got, want := base.Canonical(), base.Canonical(); got != want {
+		t.Fatalf("Canonical not deterministic: %q vs %q", got, want)
+	}
+	variants := []rips.ConfigJSON{
+		rips.EncodeConfig(rips.Config{Procs: 8, Backend: rips.Parallel, Seed: 7}),
+		rips.EncodeConfig(rips.Config{Procs: 4, Backend: rips.Parallel, Seed: 8}),
+		rips.EncodeConfig(rips.Config{Procs: 4, Backend: rips.Parallel, Seed: 7, Eager: true}),
+		rips.EncodeConfig(rips.Config{Procs: 4, Backend: rips.Parallel, Seed: 7, Topology: "tree"}),
+		rips.EncodeConfig(rips.Config{Procs: 4, Seed: 7}),
+	}
+	seen := map[string]bool{base.Canonical(): true}
+	for i, v := range variants {
+		k := v.Canonical()
+		if seen[k] {
+			t.Errorf("variant %d collides with an earlier key: %q", i, k)
+		}
+		seen[k] = true
+	}
+	// The encoding inherits rips-result/v1's omitempty convention, so a
+	// zero Rows/Cols never appears and cannot split the cache.
+	if k := base.Canonical(); strings.Contains(k, "rows") || strings.Contains(k, "cols") {
+		t.Errorf("canonical key carries zero-valued fields: %q", k)
+	}
+}
+
+// TestPublicSubPools drives Split/Resize/Release through the public
+// API: two leases run concurrently submitted jobs with correct
+// answers, and Validate enforces the lease size, not the root's.
+func TestPublicSubPools(t *testing.T) {
+	pool, err := rips.NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	a, err := pool.Split(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.Split(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free := pool.Free(); free != 0 {
+		t.Errorf("Free() with both leases out = %d, want 0", free)
+	}
+
+	cfgFor := func(p *rips.Pool) rips.Config {
+		return rips.Config{Procs: 2, Backend: rips.Parallel, Pool: p}
+	}
+	// A machine that fits the root but not the lease is rejected.
+	big := rips.Config{Procs: 4, Backend: rips.Parallel, Pool: a}
+	if err := big.Validate(); err == nil || !strings.Contains(err.Error(), "pool has 2") {
+		t.Errorf("oversized lease config Validate = %v, want capacity error", err)
+	}
+
+	var wg sync.WaitGroup
+	for _, sub := range []*rips.Pool{a, b} {
+		wg.Add(1)
+		go func(sub *rips.Pool) {
+			defer wg.Done()
+			res, err := rips.RunContext(context.Background(), rips.NQueens(8), cfgFor(sub))
+			if err != nil {
+				t.Errorf("lease run: %v", err)
+				return
+			}
+			if res.AppResult != 92 {
+				t.Errorf("lease run AppResult = %d, want 92", res.AppResult)
+			}
+		}(sub)
+	}
+	wg.Wait()
+
+	a.Release()
+	if err := b.Resize(4); err != nil {
+		t.Fatalf("Resize(4) after release: %v", err)
+	}
+	res, err := rips.RunContext(context.Background(), rips.NQueens(8), rips.Config{Procs: 4, Backend: rips.Parallel, Pool: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AppResult != 92 {
+		t.Errorf("resized lease AppResult = %d, want 92", res.AppResult)
+	}
+	b.Release()
+	if free := pool.Free(); free != 4 {
+		t.Errorf("Free() after releasing both leases = %d, want 4", free)
 	}
 }

@@ -40,6 +40,19 @@
 // printed in); otherwise -n configurations are sampled from -seed, and
 // -smoke restricts the pool to the cheap seven-app set CI gates on.
 //
+// The serve experiment is the multi-tenant load generator: it drives
+// a live ripsd (or an in-process server) with a job mix spread across
+// tenants and priority lanes, polls every job to its terminal state,
+// and reports per-lane throughput and latency percentiles plus the
+// daemon's preemption and cache counters:
+//
+//	ripsbench serve [-addr URL] [-workers N] [-clients N] [-tenants N]
+//	                [-jobs N] [-qps R] [-mix small|mixed|heavy]
+//	                [-smoke] [-json FILE]
+//
+// -json writes the machine-readable BENCH_serve.json artifact (see
+// internal/exp.ServeBenchJSON for the rips-serve/v1 schema).
+//
 // The run experiment executes one workload through the public API and
 // optionally emits the rips-result/v1 document ripsd streams:
 //
@@ -75,7 +88,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ripsbench [flags] fig4|table1|table2|fig5|table3|ablation|topologies|taxonomy|detail|parscale|difftest|run|all\n")
+		fmt.Fprintf(os.Stderr, "usage: ripsbench [flags] fig4|table1|table2|fig5|table3|ablation|topologies|taxonomy|detail|parscale|difftest|run|serve|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -84,7 +97,7 @@ func main() {
 		os.Exit(2)
 	}
 	what := flag.Arg(0)
-	if flag.NArg() > 1 && what != "parscale" && what != "difftest" && what != "run" {
+	if flag.NArg() > 1 && what != "parscale" && what != "difftest" && what != "run" && what != "serve" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -123,6 +136,8 @@ func main() {
 		run("difftest", func() error { return difftestCmd(flag.Args()[1:]) })
 	case "run":
 		run("run", func() error { return runCmd(flag.Args()[1:]) })
+	case "serve":
+		run("serve", func() error { return serveCmd(flag.Args()[1:]) })
 	case "all":
 		run("fig4", fig4)
 		run("table1+table2+fig5", fig5) // fig5 subsumes tables I and II

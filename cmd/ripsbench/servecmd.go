@@ -1,0 +1,308 @@
+//ripslint:allow-file wallclock load generator measures real client-observed latency and paces submissions in wall time
+
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"rips"
+	"rips/internal/exp"
+	"rips/internal/serve"
+)
+
+// serveCmd is the multi-tenant load generator: it drives a live ripsd
+// (or an in-process server when -addr is empty) with a job mix spread
+// across synthetic tenants and priority lanes, polls every submission
+// to its terminal state, and reports per-lane throughput and latency
+// percentiles plus the server's preemption and cache counters — the
+// BENCH_serve.json artifact:
+//
+//	ripsbench serve [-addr URL] [-workers N] [-clients N] [-tenants N]
+//	                [-jobs N] [-qps R] [-mix small|mixed|heavy]
+//	                [-smoke] [-json PATH]
+//
+// The mix cycles a small set of distinct workloads, so repeats hit the
+// server's result cache once their first run completes; high-priority
+// submissions ask for the whole pool, so they stall behind running
+// work and exercise the preemption path. -qps paces the aggregate
+// submission rate (0 means closed-loop: each client submits as soon as
+// its previous job finishes).
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "", "ripsd base URL (e.g. http://127.0.0.1:8080); empty runs an in-process server")
+	workers := fs.Int("workers", max(8, runtime.NumCPU()), "in-process server pool size (worker goroutines, ignored with -addr)")
+	clients := fs.Int("clients", 4, "concurrent submitting clients")
+	tenants := fs.Int("tenants", 3, "synthetic tenants to spread the load over")
+	jobs := fs.Int("jobs", 120, "total jobs to submit")
+	qps := fs.Float64("qps", 0, "aggregate submission rate; 0 means closed-loop")
+	mix := fs.String("mix", "mixed", "workload mix: small, mixed or heavy")
+	smoke := fs.Bool("smoke", false, "tiny CI run: small mix, few jobs, 4 workers")
+	jsonPath := fs.String("json", "", "write BENCH_serve.json to this path (\"-\" for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *smoke {
+		*mix = "small"
+		*jobs = 24
+		*workers = 4
+	}
+	specs, ok := serveMixes[*mix]
+	if !ok {
+		return fmt.Errorf("serve: unknown mix %q (want small, mixed or heavy)", *mix)
+	}
+	if *clients < 1 || *tenants < 1 || *jobs < 1 {
+		return fmt.Errorf("serve: -clients, -tenants and -jobs must be positive")
+	}
+
+	base := *addr
+	if base == "" {
+		srv, err := serve.NewServer(serve.Options{Workers: *workers})
+		if err != nil {
+			return err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			_ = srv.Close(ctx)
+		}()
+		base = ts.URL
+	}
+
+	// The pool size bounds what a whole-pool high-priority job may ask
+	// for; against a remote daemon, learn it from /healthz.
+	poolWorkers, err := serveWorkers(base)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ripsbench: serve %d jobs (%s mix) via %s: %d clients, %d tenants, %d workers, qps %v\n",
+		*jobs, *mix, base, *clients, *tenants, poolWorkers, *qps)
+
+	// Pacing: the producer feeds job indices; with -qps it spaces the
+	// pushes, closed-loop it floods the buffer and the clients govern.
+	indices := make(chan int, *jobs)
+	go func() {
+		defer close(indices)
+		var interval time.Duration
+		if *qps > 0 {
+			interval = time.Duration(float64(time.Second) / *qps)
+		}
+		for i := 0; i < *jobs; i++ {
+			indices <- i
+			if interval > 0 {
+				time.Sleep(interval) //ripslint:allow sleep -qps pacing is the load generator's purpose; it shapes arrival times, never what any job computes
+			}
+		}
+	}()
+
+	samples := make([]exp.ServeSample, *jobs)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				spec := specs[i%len(specs)]
+				spec.Tenant = fmt.Sprintf("t%d", i%*tenants)
+				lane := laneFor(i)
+				spec.Priority = lane
+				if lane == "high" {
+					// Whole-pool asks stall behind running work and
+					// force the preemption path.
+					spec.Config.Procs = poolWorkers
+				}
+				t0 := time.Now()
+				state, cacheHit, err := submitAndWait(base, spec)
+				if err != nil {
+					fail(fmt.Errorf("job %d (%s %s/%s): %w", i, spec.App, spec.Tenant, lane, err))
+					return
+				}
+				samples[i] = exp.ServeSample{
+					Tenant:   spec.Tenant,
+					Lane:     lane,
+					State:    state,
+					CacheHit: cacheHit,
+					Latency:  time.Since(t0),
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+
+	stats, err := serveStats(base)
+	if err != nil {
+		return err
+	}
+	doc := exp.ServeBenchReport(samples, elapsed, exp.ServeCounters{
+		Preemptions: stats.Preemptions,
+		Requeues:    stats.Requeues,
+		Rejects:     stats.Rejects,
+		CacheHits:   stats.Cache.Hits,
+		CacheMisses: stats.Cache.Misses,
+	})
+	doc.Workers = poolWorkers
+	doc.Clients = *clients
+	doc.Tenants = *tenants
+	doc.QPS = *qps
+	doc.Mix = *mix
+	exp.PrintServeBench(os.Stdout, doc)
+
+	if *jsonPath != "" {
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := exp.WriteServeBench(out, doc); err != nil {
+			return err
+		}
+		if *jsonPath != "-" {
+			fmt.Fprintf(os.Stderr, "ripsbench: wrote %s\n", *jsonPath)
+		}
+	}
+	if *smoke && doc.Done != doc.Jobs {
+		return fmt.Errorf("serve: smoke run finished %d of %d jobs", doc.Done, doc.Jobs)
+	}
+	return nil
+}
+
+// serveMixes are the workload palettes, cycled by job index. Each mix
+// repeats a handful of distinct configs so the result cache sees real
+// traffic; sizes are chosen so a run is milliseconds (small) to
+// fractions of a second (heavy) per job on a few workers.
+var serveMixes = map[string][]serve.JobSpec{
+	"small": {
+		{App: "nq", Size: 8, Config: rips.ConfigJSON{Procs: 1, Backend: "parallel"}},
+		{App: "nq", Size: 8, Config: rips.ConfigJSON{Procs: 2, Backend: "parallel"}},
+		{App: "nq", Size: 9, Config: rips.ConfigJSON{Procs: 2, Backend: "parallel"}},
+		{App: "nq", Size: 9, Config: rips.ConfigJSON{Procs: 1, Backend: "parallel"}},
+	},
+	"mixed": {
+		{App: "nq", Size: 9, Config: rips.ConfigJSON{Procs: 2, Backend: "parallel"}},
+		{App: "nq", Size: 10, Config: rips.ConfigJSON{Procs: 2, Backend: "parallel"}},
+		{App: "nq", Size: 10, Config: rips.ConfigJSON{Procs: 4, Backend: "parallel"}},
+		{App: "nq", Size: 11, Config: rips.ConfigJSON{Procs: 4, Backend: "parallel"}},
+		{App: "nq", Size: 9, Config: rips.ConfigJSON{Procs: 1, Backend: "parallel"}},
+		{App: "nq", Size: 8, Config: rips.ConfigJSON{Procs: 2, Backend: "parallel"}},
+	},
+	"heavy": {
+		{App: "nq", Size: 11, Config: rips.ConfigJSON{Procs: 4, Backend: "parallel"}},
+		{App: "nq", Size: 12, Config: rips.ConfigJSON{Procs: 4, Backend: "parallel"}},
+		{App: "nq", Size: 11, Config: rips.ConfigJSON{Procs: 2, Backend: "parallel"}},
+		{App: "nq", Size: 12, Config: rips.ConfigJSON{Procs: 2, Backend: "parallel"}},
+	},
+}
+
+// laneFor spreads priorities deterministically over job indices:
+// roughly one high and one low for every five normal submissions.
+func laneFor(i int) string {
+	switch {
+	case i%7 == 3:
+		return "high"
+	case i%5 == 1:
+		return "low"
+	default:
+		return "normal"
+	}
+}
+
+// submitAndWait posts one spec and polls the job to a terminal state,
+// returning how it ended and whether the result came from the cache.
+func submitAndWait(base string, spec serve.JobSpec) (state string, cacheHit bool, err error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", false, err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", false, err
+	}
+	var job serve.JobJSON
+	decErr := json.NewDecoder(resp.Body).Decode(&job)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", false, fmt.Errorf("submit: status %d (%s)", resp.StatusCode, job.Error)
+	}
+	if decErr != nil {
+		return "", false, decErr
+	}
+	for {
+		if serve.Terminal(job.State) {
+			if job.State == serve.StateFailed {
+				return job.State, job.CacheHit, fmt.Errorf("job failed: %s", job.Error)
+			}
+			return job.State, job.CacheHit, nil
+		}
+		time.Sleep(5 * time.Millisecond) //ripslint:allow sleep client-side poll interval against the HTTP API; the server's scheduling is untouched
+		resp, err := http.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			return "", false, err
+		}
+		job = serve.JobJSON{}
+		decErr := json.NewDecoder(resp.Body).Decode(&job)
+		_ = resp.Body.Close()
+		if decErr != nil {
+			return "", false, decErr
+		}
+	}
+}
+
+// serveWorkers asks /healthz for the daemon's pool size.
+func serveWorkers(base string) (int, error) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return 0, fmt.Errorf("serve: daemon unreachable: %w", err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Workers int `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return 0, err
+	}
+	if health.Workers < 1 {
+		return 0, fmt.Errorf("serve: daemon reports %d workers", health.Workers)
+	}
+	return health.Workers, nil
+}
+
+// serveStats fetches the /v1/stats counters once after the run.
+func serveStats(base string) (serve.StatsJSON, error) {
+	var stats serve.StatsJSON
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return stats, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	return stats, err
+}

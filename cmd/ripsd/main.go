@@ -1,17 +1,29 @@
-// Command ripsd serves the incremental scheduler as a service: one
-// long-running process owning one shared worker pool, accepting
-// workload submissions over HTTP and streaming each run's per-phase
-// progress and final rips-result/v1 document back over SSE.
+// Command ripsd serves the incremental scheduler as a multi-tenant
+// service: one long-running process owning one shared worker pool,
+// partitioned into sub-pools so tenants' jobs run concurrently,
+// with weighted fair admission per tenant, priority lanes whose
+// high-priority jobs preempt lower ones, and a result cache keyed on
+// the canonical workload config. Submissions arrive over HTTP; each
+// run streams per-phase progress and its final rips-result/v1
+// document back over SSE.
 //
 // Usage:
 //
-//	ripsd [-addr HOST:PORT] [-workers N] [-queue N] [-drain-timeout D]
+//	ripsd [-addr HOST:PORT] [-workers N] [-queue N] [-cache N]
+//	      [-weight tenant=N]... [-drain-timeout D]
+//
+// -queue bounds each tenant's queued (not running) jobs — one noisy
+// tenant gets 503s without starving the rest. -weight sets a tenant's
+// fair-share weight (default 1; repeatable). -cache sizes the result
+// cache in entries.
 //
 // Endpoints:
 //
 //	GET  /healthz                liveness and pool size
+//	GET  /v1/stats               lanes, tenants, pool and cache counters
 //	GET  /v1/jobs                jobs in submission order
-//	POST /v1/jobs                submit {"app", "size", "config"} (202)
+//	POST /v1/jobs                submit {"app", "size", "config",
+//	                             "tenant", "priority"} (202, 400, 503)
 //	GET  /v1/jobs/{id}           one job
 //	POST /v1/jobs/{id}/cancel    request cancellation
 //	GET  /v1/jobs/{id}/events    SSE: phase events, then result/error
@@ -31,16 +43,33 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"rips/internal/serve"
+	"rips/internal/tenant"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	workers := flag.Int("workers", runtime.NumCPU(), "shared pool size (worker goroutines)")
-	queue := flag.Int("queue", serve.DefaultQueueLimit, "admission queue limit")
+	queue := flag.Int("queue", serve.DefaultQueueLimit, "per-tenant admission queue limit")
+	cacheEntries := flag.Int("cache", tenant.DefaultCacheEntries, "result cache entries")
+	weights := map[string]int{}
+	flag.Func("weight", "tenant fair-share weight as name=N (repeatable, default 1)", func(v string) error {
+		name, num, ok := strings.Cut(v, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want tenant=N, got %q", v)
+		}
+		w, err := strconv.Atoi(num)
+		if err != nil || w < 1 {
+			return fmt.Errorf("weight for %q must be a positive integer, got %q", name, num)
+		}
+		weights[name] = w
+		return nil
+	})
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "grace period for in-flight jobs on shutdown")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -49,7 +78,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv, err := serve.NewServer(serve.Options{Workers: *workers, QueueLimit: *queue})
+	srv, err := serve.NewServer(serve.Options{
+		Workers:      *workers,
+		QueueLimit:   *queue,
+		CacheEntries: *cacheEntries,
+		Weights:      weights,
+	})
 	if err != nil {
 		log.Fatalf("ripsd: %v", err)
 	}

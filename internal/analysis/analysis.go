@@ -61,10 +61,14 @@
 //     backend exists to measure actual elapsed time, so every one of
 //     its files that reads the clock carries an allow-file directive
 //     explaining that scheduling decisions still depend only on task
-//     counts — for benchmark drivers (cmd/ripsbench), and for the
+//     counts — for benchmark drivers (cmd/ripsbench), for the
 //     serving frontend (internal/serve, cmd/ripsd), which timestamps
 //     job lifecycles and enforces network deadlines on real time while
-//     leaving every in-run scheduling decision to the backends.
+//     leaving every in-run scheduling decision to the backends, and
+//     for the admission layer (internal/tenant), whose arbiter stamps
+//     enqueue times to report queue-wait ages: admission is real-time
+//     multiplexing by nature, but which ticket dispatches next is
+//     decided purely by the deficit ledger, never by the clock.
 //     Simulated code gets no file waivers; an isolated legitimate read
 //     uses the line form.
 //   - sleep: file-scope waivers are refused inside the scheduling

@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// The serve benchmark measures ripsd as a multi-tenant service: a load
+// generator (ripsbench serve) submits a job mix across tenants and
+// priority lanes at a target rate, polls every job to its terminal
+// state, and this file turns the observed samples into the committed
+// BENCH_serve.json artifact — per-lane throughput and latency
+// percentiles, plus the server's own preemption and cache counters.
+// The assembly lives here (not in internal/serve) so the report schema
+// has no dependency on the server implementation: the generator feeds
+// it plain observations.
+
+// ServeBenchSchema names the current BENCH_serve.json schema.
+const ServeBenchSchema = "rips-serve/v1"
+
+// ServeSample is one observed job: which lane it ran in, how long from
+// submission to terminal state, and how it ended.
+type ServeSample struct {
+	Tenant   string
+	Lane     string // "low", "normal", "high"
+	State    string // "done", "failed", "canceled"
+	CacheHit bool
+	Latency  time.Duration
+}
+
+// ServeLaneJSON is one priority lane's aggregate in BENCH_serve.json.
+// Percentiles use the nearest-rank method over completed jobs;
+// throughput is that lane's completions over the whole run window.
+type ServeLaneJSON struct {
+	Lane       string  `json:"lane"`
+	Jobs       int     `json:"jobs"`
+	Done       int     `json:"done"`
+	CacheHits  int     `json:"cache_hits"`
+	Throughput float64 `json:"throughput_jobs_per_sec"`
+	P50Ns      int64   `json:"p50_ns"`
+	P95Ns      int64   `json:"p95_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+}
+
+// ServeBenchJSON is the BENCH_serve.json document: the load shape, the
+// environment, per-lane results, and the server counters that prove
+// the multi-tenant machinery engaged (preemptions, requeues, cache
+// traffic).
+type ServeBenchJSON struct {
+	Schema      string          `json:"schema"`
+	Cores       int             `json:"cores"`
+	GOOS        string          `json:"goos"`
+	GOARCH      string          `json:"goarch"`
+	Workers     int             `json:"workers"`
+	Clients     int             `json:"clients"`
+	Tenants     int             `json:"tenants"`
+	QPS         float64         `json:"qps"` // 0 means closed-loop (as fast as the clients drain)
+	Mix         string          `json:"mix"`
+	Jobs        int             `json:"jobs"`
+	Done        int             `json:"done"`
+	Failed      int             `json:"failed"`
+	ElapsedNs   int64           `json:"elapsed_ns"`
+	Throughput  float64         `json:"throughput_jobs_per_sec"`
+	Lanes       []ServeLaneJSON `json:"lanes"`
+	Preemptions int64           `json:"preemptions"`
+	Requeues    int64           `json:"requeues"`
+	Rejects     int64           `json:"rejects"`
+	CacheHits   int64           `json:"cache_hits"`
+	CacheMisses int64           `json:"cache_misses"`
+	CacheRate   float64         `json:"cache_hit_rate"`
+}
+
+// ServeCounters carries the server-side /v1/stats totals into the
+// report; the generator reads them once after the run.
+type ServeCounters struct {
+	Preemptions, Requeues, Rejects int64
+	CacheHits, CacheMisses         int64
+}
+
+// percentileNs returns the nearest-rank p-th percentile of sorted
+// latencies (p in (0,100]).
+func percentileNs(sorted []time.Duration, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*p/100+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank].Nanoseconds()
+}
+
+// ServeBenchReport assembles the samples into the BENCH_serve.json
+// document. Lane order is low, normal, high; lanes with no samples are
+// omitted. elapsed is the whole run window (first submission to last
+// terminal observation) and is the denominator of every throughput.
+func ServeBenchReport(samples []ServeSample, elapsed time.Duration, c ServeCounters) ServeBenchJSON {
+	doc := ServeBenchJSON{
+		Schema:      ServeBenchSchema,
+		Cores:       runtime.NumCPU(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Jobs:        len(samples),
+		ElapsedNs:   elapsed.Nanoseconds(),
+		Preemptions: c.Preemptions,
+		Requeues:    c.Requeues,
+		Rejects:     c.Rejects,
+		CacheHits:   c.CacheHits,
+		CacheMisses: c.CacheMisses,
+	}
+	if lookups := c.CacheHits + c.CacheMisses; lookups > 0 {
+		doc.CacheRate = float64(c.CacheHits) / float64(lookups)
+	}
+	secs := elapsed.Seconds()
+	byLane := map[string][]ServeSample{}
+	for _, s := range samples {
+		byLane[s.Lane] = append(byLane[s.Lane], s)
+		if s.State == "done" {
+			doc.Done++
+		} else {
+			doc.Failed++
+		}
+	}
+	if secs > 0 {
+		doc.Throughput = float64(doc.Done) / secs
+	}
+	for _, lane := range []string{"low", "normal", "high"} {
+		ss := byLane[lane]
+		if len(ss) == 0 {
+			continue
+		}
+		lj := ServeLaneJSON{Lane: lane, Jobs: len(ss)}
+		var lat []time.Duration
+		for _, s := range ss {
+			if s.State != "done" {
+				continue
+			}
+			lj.Done++
+			if s.CacheHit {
+				lj.CacheHits++
+			}
+			lat = append(lat, s.Latency)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		lj.P50Ns = percentileNs(lat, 50)
+		lj.P95Ns = percentileNs(lat, 95)
+		lj.P99Ns = percentileNs(lat, 99)
+		if secs > 0 {
+			lj.Throughput = float64(lj.Done) / secs
+		}
+		doc.Lanes = append(doc.Lanes, lj)
+	}
+	return doc
+}
+
+// WriteServeBench emits the document as indented JSON.
+func WriteServeBench(w io.Writer, doc ServeBenchJSON) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
+}
+
+// PrintServeBench renders the human-readable summary.
+func PrintServeBench(w io.Writer, doc ServeBenchJSON) {
+	fmt.Fprintf(w, "Multi-tenant serve benchmark: %d jobs over %d tenants, %d clients, %d workers (mix %s)\n",
+		doc.Jobs, doc.Tenants, doc.Clients, doc.Workers, doc.Mix)
+	fmt.Fprintf(w, "%6s | %5s %5s %6s %9s | %10s %10s %10s\n",
+		"lane", "jobs", "done", "cache", "jobs/s", "p50", "p95", "p99")
+	for _, l := range doc.Lanes {
+		fmt.Fprintf(w, "%6s | %5d %5d %6d %9.2f | %10v %10v %10v\n",
+			l.Lane, l.Jobs, l.Done, l.CacheHits, l.Throughput,
+			time.Duration(l.P50Ns).Round(time.Microsecond),
+			time.Duration(l.P95Ns).Round(time.Microsecond),
+			time.Duration(l.P99Ns).Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "total: %.2f jobs/s over %v; preemptions=%d requeues=%d rejects=%d cache=%.0f%% (%d/%d)\n",
+		doc.Throughput, time.Duration(doc.ElapsedNs).Round(time.Millisecond),
+		doc.Preemptions, doc.Requeues, doc.Rejects,
+		100*doc.CacheRate, doc.CacheHits, doc.CacheHits+doc.CacheMisses)
+}

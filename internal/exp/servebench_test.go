@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+	} {
+		if got := percentileNs(lat, tc.p); got != tc.want.Nanoseconds() {
+			t.Errorf("p%.0f = %dns, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentileNs(nil, 50); got != 0 {
+		t.Errorf("p50 of empty = %d, want 0", got)
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	if got := percentileNs(one, 99); got != one[0].Nanoseconds() {
+		t.Errorf("p99 of singleton = %d, want %d", got, one[0].Nanoseconds())
+	}
+}
+
+func TestServeBenchReport(t *testing.T) {
+	samples := []ServeSample{
+		{Tenant: "a", Lane: "normal", State: "done", Latency: 10 * time.Millisecond},
+		{Tenant: "a", Lane: "normal", State: "done", CacheHit: true, Latency: time.Millisecond},
+		{Tenant: "b", Lane: "high", State: "done", Latency: 5 * time.Millisecond},
+		{Tenant: "b", Lane: "low", State: "failed", Latency: 20 * time.Millisecond},
+		{Tenant: "c", Lane: "low", State: "done", Latency: 40 * time.Millisecond},
+	}
+	doc := ServeBenchReport(samples, 2*time.Second, ServeCounters{
+		Preemptions: 1, Requeues: 1, CacheHits: 1, CacheMisses: 4,
+	})
+
+	if doc.Schema != ServeBenchSchema {
+		t.Errorf("schema %q", doc.Schema)
+	}
+	if doc.Jobs != 5 || doc.Done != 4 || doc.Failed != 1 {
+		t.Errorf("jobs=%d done=%d failed=%d", doc.Jobs, doc.Done, doc.Failed)
+	}
+	if doc.Throughput != 2.0 {
+		t.Errorf("throughput %v, want 2.0 (4 done over 2s)", doc.Throughput)
+	}
+	if doc.CacheRate != 0.2 {
+		t.Errorf("cache rate %v, want 0.2", doc.CacheRate)
+	}
+
+	// Lane order low, normal, high; failed jobs count toward Jobs but
+	// not Done or the percentiles.
+	if len(doc.Lanes) != 3 {
+		t.Fatalf("lanes %+v", doc.Lanes)
+	}
+	if doc.Lanes[0].Lane != "low" || doc.Lanes[1].Lane != "normal" || doc.Lanes[2].Lane != "high" {
+		t.Errorf("lane order %q %q %q", doc.Lanes[0].Lane, doc.Lanes[1].Lane, doc.Lanes[2].Lane)
+	}
+	low := doc.Lanes[0]
+	if low.Jobs != 2 || low.Done != 1 || low.P99Ns != (40*time.Millisecond).Nanoseconds() {
+		t.Errorf("low lane %+v", low)
+	}
+	normal := doc.Lanes[1]
+	if normal.CacheHits != 1 || normal.Done != 2 {
+		t.Errorf("normal lane %+v", normal)
+	}
+	if normal.P50Ns != time.Millisecond.Nanoseconds() {
+		t.Errorf("normal p50 %d, want 1ms (cached job is the fast half)", normal.P50Ns)
+	}
+
+	// The document round-trips and carries the lane blocks.
+	var buf bytes.Buffer
+	if err := WriteServeBench(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	var back ServeBenchJSON
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ServeBenchSchema || len(back.Lanes) != 3 || back.Preemptions != 1 {
+		t.Errorf("round-trip %+v", back)
+	}
+
+	var out strings.Builder
+	PrintServeBench(&out, doc)
+	for _, want := range []string{"low", "normal", "high", "preemptions=1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("printed summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestServeBenchReportEmpty(t *testing.T) {
+	doc := ServeBenchReport(nil, 0, ServeCounters{})
+	if doc.Jobs != 0 || doc.Throughput != 0 || len(doc.Lanes) != 0 || doc.CacheRate != 0 {
+		t.Errorf("empty report %+v", doc)
+	}
+}

@@ -2,6 +2,7 @@ package par
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -30,110 +31,289 @@ func (goDriver) dispatch(parties int, main func(id int)) {
 	wg.Wait()
 }
 
-// poolJob is one run handed to every resident worker. Workers whose id
-// is beyond the run's party count sit the run out but still join done,
-// so the dispatcher's wait is uniform.
+// poolJob is one run handed to a resident worker. rank is the worker's
+// role in this particular run — workers whose rank is beyond the run's
+// party count sit the run out but still join done, so the dispatcher's
+// wait is uniform over every worker it signalled. Ranks are assigned
+// per dispatch, which is what lets a sub-pool of arbitrary worker
+// indices play nodes 0..parties-1 of a virtual machine.
 type poolJob struct {
+	rank    int
 	parties int
 	main    func(id int)
 	done    *sync.WaitGroup
 }
 
 // Pool is a set of resident worker goroutines that successive runs are
-// multiplexed onto — the serving backend's substrate. A Pool executes
-// one run at a time (Run serializes callers); a run may use any
-// topology whose size fits the pool, with surplus workers idling for
-// its duration.
+// multiplexed onto — the serving backend's substrate. A root Pool
+// (from NewPool) owns the worker goroutines; Split leases disjoint
+// subsets of them out as sub-pools, and runs on distinct sub-pools
+// execute concurrently — the multi-tenant serving configuration, where
+// one machine's cores are carved up among simultaneous jobs. Resize
+// grows or shrinks a lease against the root's free set, and Release
+// returns the lease.
 //
-// The zero Pool is not usable; construct with NewPool and release with
-// Close.
+// Run on the root pool acquires every worker — waiting for outstanding
+// leases and runs to finish — so the historical one-run-at-a-time
+// semantics are unchanged for callers that never Split. Run on a
+// sub-pool uses only its leased workers; concurrent runs on one
+// sub-pool serialize.
+//
+// The zero Pool is not usable; construct with NewPool and shut down
+// with Close.
 type Pool struct {
-	workers int
-	work    []chan poolJob
-	wg      sync.WaitGroup
+	root *Pool // nil on a root pool
+	ids  []int // worker indices this pool dispatches to (root: all)
 
-	mu     sync.Mutex // serializes Run; guards closed
-	closed bool
+	// Root-only: the resident worker goroutines.
+	work []chan poolJob
+	wg   sync.WaitGroup
+
+	// Root: guards free and closed; cond signals workers returning to
+	// the free set. Sub-pool: serializes Run, Resize and Release, so a
+	// lease cannot change shape mid-run.
+	mu     sync.Mutex
+	cond   *sync.Cond
+	free   []int // root only: worker indices not leased and not running
+	closed bool  // root: Close called; sub: Release called
 }
 
-// NewPool starts workers resident goroutines and returns the pool.
+// NewPool starts workers resident goroutines and returns the root
+// pool.
 func NewPool(workers int) (*Pool, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("par: pool needs at least one worker, got %d", workers)
 	}
 	p := &Pool{
-		workers: workers,
-		work:    make([]chan poolJob, workers),
+		ids:  make([]int, workers),
+		work: make([]chan poolJob, workers),
+		free: make([]int, workers),
 	}
+	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < workers; i++ {
+		p.ids[i] = i
+		p.free[i] = i
 		// Buffer one job so the dispatcher never blocks handing out a
-		// run: every worker is between jobs whenever dispatch runs.
+		// run: every worker is between jobs whenever its owner
+		// dispatches.
 		ch := make(chan poolJob, 1)
 		p.work[i] = ch
 		p.wg.Add(1)
-		go func(id int) {
+		go func() {
 			defer p.wg.Done()
 			for job := range ch {
-				if id < job.parties {
-					job.main(id)
+				if job.rank < job.parties {
+					job.main(job.rank)
 				}
 				job.done.Done()
 			}
-		}(i)
+		}()
 	}
 	return p, nil
 }
 
-// Workers returns the pool's resident worker count.
-func (p *Pool) Workers() int { return p.workers }
-
-// dispatch hands one run to every resident worker and waits for all of
-// them — including the idle surplus — to check back in. Callers hold
-// p.mu (via Run), so at most one job is in flight per worker.
-func (p *Pool) dispatch(parties int, main func(id int)) {
-	var done sync.WaitGroup
-	done.Add(p.workers)
-	job := poolJob{parties: parties, main: main, done: &done}
-	for _, ch := range p.work {
-		ch <- job
+// Workers returns the pool's worker count: the resident total on a
+// root pool, the current lease size on a sub-pool.
+func (p *Pool) Workers() int {
+	if p.root == nil {
+		return len(p.ids)
 	}
-	done.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.ids)
 }
 
-// Run executes one workload on the pool's resident workers, exactly as
-// Run(cfg) would on fresh goroutines — cross-validation tests assert
-// the results are identical. Concurrent calls serialize: the pool's
-// cores run one workload at a time, and a queued caller's Cancel is
-// still honored the moment its run starts. The topology must fit the
-// pool.
-func (p *Pool) Run(cfg Config) (Result, error) {
-	if err := cfg.validate(); err != nil {
-		return Result{}, err
+// Free returns how many workers are currently leasable: neither leased
+// to a sub-pool nor occupied by a root run. A sub-pool cannot lease
+// and always reports 0.
+func (p *Pool) Free() int {
+	if p.root != nil {
+		return 0
 	}
-	if n := cfg.Topo.Size(); n > p.workers {
-		return Result{}, fmt.Errorf("par: config needs %d workers but the pool has %d", n, p.workers)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Split leases n workers out of the root pool's free set as a
+// sub-pool. It never blocks: if fewer than n workers are free the
+// lease is refused, which is what lets an admission scheduler decide
+// to queue or preempt instead of deadlocking on capacity. Runs on
+// disjoint sub-pools execute concurrently.
+func (p *Pool) Split(n int) (*Pool, error) {
+	if p.root != nil {
+		return nil, fmt.Errorf("par: Split on a sub-pool; lease from the root pool")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("par: sub-pool needs at least one worker, got %d", n)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return Result{}, fmt.Errorf("par: pool is closed")
+		return nil, fmt.Errorf("par: pool is closed")
 	}
-	return runOn(&cfg, p)
+	ids, err := p.takeLocked(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{root: p, ids: ids}, nil
 }
 
-// Close shuts the resident workers down and waits for them to exit.
-// It is an error to Close a pool with a run in flight only in the
-// sense that Close blocks until that run completes; after Close, Run
-// returns an error.
-func (p *Pool) Close() {
+// Resize grows or shrinks a sub-pool's lease to n workers, taking
+// from (or returning to) the root's free set. Like Split it never
+// blocks on capacity: growing beyond the free set is an error and the
+// lease is unchanged. Resize waits for a run in flight on this
+// sub-pool, so a lease never changes shape mid-run.
+func (p *Pool) Resize(n int) error {
+	if p.root == nil {
+		return fmt.Errorf("par: Resize on the root pool; resize sub-pool leases instead")
+	}
+	if n < 1 {
+		return fmt.Errorf("par: sub-pool needs at least one worker, got %d", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("par: sub-pool is released")
+	}
+	switch {
+	case n == len(p.ids):
+		return nil
+	case n < len(p.ids):
+		p.root.putBack(p.ids[n:])
+		p.ids = p.ids[:n:n]
+		return nil
+	default:
+		p.root.mu.Lock()
+		defer p.root.mu.Unlock()
+		extra, err := p.root.takeLocked(n - len(p.ids))
+		if err != nil {
+			return err
+		}
+		p.ids = append(p.ids, extra...)
+		return nil
+	}
+}
+
+// Release returns a sub-pool's workers to the root's free set and
+// marks the lease unusable. It waits for a run in flight on this
+// sub-pool to finish; it is idempotent. On a root pool Release is
+// Close.
+func (p *Pool) Release() {
+	if p.root == nil {
+		p.Close()
+		return
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return
 	}
 	p.closed = true
+	p.root.putBack(p.ids)
+	p.ids = nil
+}
+
+// takeLocked removes n worker indices from the free set; the caller
+// holds the root's mu. The lowest-numbered free workers are taken so
+// lease composition is deterministic given the lease history.
+func (p *Pool) takeLocked(n int) ([]int, error) {
+	if len(p.free) < n {
+		return nil, fmt.Errorf("par: want %d workers but only %d of %d are free", n, len(p.free), len(p.ids))
+	}
+	ids := make([]int, n)
+	copy(ids, p.free[:n])
+	p.free = append(p.free[:0], p.free[n:]...)
+	return ids, nil
+}
+
+// putBack returns worker indices to the root's free set and wakes
+// anyone waiting on capacity (a root Run, or Close).
+func (p *Pool) putBack(ids []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, ids...)
+	sort.Ints(p.free)
+	p.cond.Broadcast()
+}
+
+// dispatch hands one run to every worker this pool owns and waits for
+// all of them — including the idle surplus beyond the run's party
+// count — to check back in. The caller (Run) has exclusive use of
+// p.ids for the duration.
+func (p *Pool) dispatch(parties int, main func(id int)) {
+	root := p
+	if p.root != nil {
+		root = p.root
+	}
+	var done sync.WaitGroup
+	done.Add(len(p.ids))
+	for rank, id := range p.ids {
+		root.work[id] <- poolJob{rank: rank, parties: parties, main: main, done: &done}
+	}
+	done.Wait()
+}
+
+// Run executes one workload on the pool's workers, exactly as Run(cfg)
+// would on fresh goroutines — cross-validation tests assert the
+// results are identical. On a root pool, Run first acquires every
+// worker (concurrent root runs serialize, and a queued caller's Cancel
+// is still honored the moment its run starts); on a sub-pool it uses
+// the leased workers, so runs on disjoint leases proceed in parallel.
+// The topology must fit the pool it runs on.
+func (p *Pool) Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if p.root != nil {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.closed {
+			return Result{}, fmt.Errorf("par: sub-pool is released")
+		}
+		if n := cfg.Topo.Size(); n > len(p.ids) {
+			return Result{}, fmt.Errorf("par: config needs %d workers but the sub-pool has %d", n, len(p.ids))
+		}
+		return runOn(&cfg, p)
+	}
+	if n := cfg.Topo.Size(); n > len(p.ids) {
+		return Result{}, fmt.Errorf("par: config needs %d workers but the pool has %d", n, len(p.ids))
+	}
+	p.mu.Lock()
+	for !p.closed && len(p.free) != len(p.ids) {
+		p.cond.Wait()
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return Result{}, fmt.Errorf("par: pool is closed")
+	}
+	p.free = p.free[:0]
+	p.mu.Unlock()
+	defer p.putBack(p.ids)
+	return runOn(&cfg, p)
+}
+
+// Close shuts the resident workers down and waits for them to exit.
+// It blocks until every lease is released and any run in flight
+// completes; after Close, Run and Split return errors. On a sub-pool
+// Close is Release.
+func (p *Pool) Close() {
+	if p.root != nil {
+		p.Release()
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for len(p.free) != len(p.ids) {
+		p.cond.Wait()
+	}
 	for _, ch := range p.work {
 		close(ch)
 	}
+	p.mu.Unlock()
 	p.wg.Wait()
 }

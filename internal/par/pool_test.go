@@ -158,3 +158,279 @@ func TestNewPoolRejectsZeroWorkers(t *testing.T) {
 		t.Fatal("NewPool(0) succeeded")
 	}
 }
+
+// TestSubPoolMatchesRun leases sub-pools out of one root and checks a
+// sub-pool run returns the exact answer a fresh-goroutine run does —
+// including on a lease whose worker indices don't start at zero.
+func TestSubPoolMatchesRun(t *testing.T) {
+	pool, err := NewPool(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	first, err := pool.Split(4) // takes workers 0-3
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := pool.Split(4) // takes workers 4-7: offset ranks
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Release()
+	defer second.Release()
+
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"rips-2x2", Config{Topo: topo.NewMesh(2, 2), App: queens8()}},
+		{"rips-1x2", Config{Topo: topo.NewMesh(1, 2), App: queens8()}},
+		{"steal-2x2", Config{Topo: topo.NewMesh(2, 2), App: queens8(), Strategy: Steal}},
+		{"rips-tree", Config{Topo: topo.NewTree(3), App: queens8()}},
+	} {
+		direct := mustRun(t, tc.cfg)
+		for name, sub := range map[string]*Pool{"first": first, "second": second} {
+			got, err := sub.Run(tc.cfg)
+			if err != nil {
+				t.Fatalf("%s on %s lease: %v", tc.name, name, err)
+			}
+			if got.AppResult != direct.AppResult || got.Generated != direct.Generated ||
+				got.Executed != direct.Executed || got.VirtualWork != direct.VirtualWork {
+				t.Errorf("%s on %s lease: AppResult/Generated/Executed/VirtualWork = %d/%d/%d/%v, direct %d/%d/%d/%v",
+					tc.name, name, got.AppResult, got.Generated, got.Executed, got.VirtualWork,
+					direct.AppResult, direct.Generated, direct.Executed, direct.VirtualWork)
+			}
+		}
+	}
+}
+
+// TestSubPoolsDispatchConcurrently proves two leases really run at the
+// same time: the two dispatched bodies rendezvous with each other, so
+// the test completes only if neither lease waits for the other to
+// finish.
+func TestSubPoolsDispatchConcurrently(t *testing.T) {
+	pool, err := NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	a, err := pool.Split(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.Split(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Release()
+	defer b.Release()
+
+	gateA, gateB := make(chan struct{}), make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			a.dispatch(2, func(id int) {
+				if id == 0 {
+					close(gateA)
+					<-gateB
+				}
+			})
+		}()
+		go func() {
+			defer wg.Done()
+			b.dispatch(2, func(id int) {
+				if id == 0 {
+					close(gateB)
+					<-gateA
+				}
+			})
+		}()
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cross-lease rendezvous never completed: sub-pool runs are serialized")
+	}
+}
+
+// TestSubPoolConcurrentAnswers runs real workloads on two leases at
+// once and checks both answers — the multi-tenant serving pattern.
+func TestSubPoolConcurrentAnswers(t *testing.T) {
+	pool, err := NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	a, err := pool.Split(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.Split(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Release()
+	defer b.Release()
+
+	var wg sync.WaitGroup
+	for _, sub := range []*Pool{a, b} {
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func(sub *Pool) {
+				defer wg.Done()
+				res, err := sub.Run(Config{Topo: topo.NewMesh(1, 2), App: queens8()})
+				if err != nil {
+					t.Errorf("sub.Run: %v", err)
+					return
+				}
+				if res.AppResult != 92 {
+					t.Errorf("AppResult = %d, want 92", res.AppResult)
+				}
+			}(sub)
+		}
+	}
+	wg.Wait()
+}
+
+// TestSplitCapacity covers the lease ledger: capacity errors, Free
+// accounting, Release restoring capacity, and lease lifecycle errors.
+func TestSplitCapacity(t *testing.T) {
+	pool, err := NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	if got := pool.Free(); got != 4 {
+		t.Fatalf("fresh pool Free() = %d, want 4", got)
+	}
+	sub, err := pool.Split(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Free(); got != 1 {
+		t.Errorf("Free() after Split(3) = %d, want 1", got)
+	}
+	if got := sub.Workers(); got != 3 {
+		t.Errorf("sub.Workers() = %d, want 3", got)
+	}
+	if _, err := pool.Split(2); err == nil || !strings.Contains(err.Error(), "free") {
+		t.Errorf("oversubscribed Split err = %v, want free-capacity error", err)
+	}
+	if _, err := sub.Split(1); err == nil || !strings.Contains(err.Error(), "sub-pool") {
+		t.Errorf("Split on a sub-pool err = %v, want refusal", err)
+	}
+
+	// A run larger than the lease is refused even though the root could
+	// hold it.
+	if _, err := sub.Run(Config{Topo: topo.NewMesh(2, 2), App: queens8()}); err == nil ||
+		!strings.Contains(err.Error(), "sub-pool has 3") {
+		t.Errorf("oversized lease run err = %v, want sub-pool capacity error", err)
+	}
+
+	sub.Release()
+	sub.Release() // idempotent
+	if got := pool.Free(); got != 4 {
+		t.Errorf("Free() after Release = %d, want 4", got)
+	}
+	if _, err := sub.Run(Config{Topo: topo.NewMesh(1, 2), App: queens8()}); err == nil ||
+		!strings.Contains(err.Error(), "released") {
+		t.Errorf("run on released lease err = %v, want released error", err)
+	}
+	if err := sub.Resize(2); err == nil || !strings.Contains(err.Error(), "released") {
+		t.Errorf("Resize on released lease err = %v, want released error", err)
+	}
+}
+
+// TestSubPoolResize grows and shrinks a lease against the free set.
+func TestSubPoolResize(t *testing.T) {
+	pool, err := NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	sub, err := pool.Split(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Release()
+
+	if err := pool.Resize(2); err == nil || !strings.Contains(err.Error(), "root") {
+		t.Errorf("Resize on root err = %v, want refusal", err)
+	}
+	if err := sub.Resize(4); err != nil {
+		t.Fatalf("grow to 4: %v", err)
+	}
+	if got := pool.Free(); got != 0 {
+		t.Errorf("Free() after grow = %d, want 0", got)
+	}
+	res, err := sub.Run(Config{Topo: topo.NewMesh(2, 2), App: queens8()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkQueens8(t, res, "grown lease")
+
+	if err := sub.Resize(1); err != nil {
+		t.Fatalf("shrink to 1: %v", err)
+	}
+	if got := pool.Free(); got != 3 {
+		t.Errorf("Free() after shrink = %d, want 3", got)
+	}
+	if err := sub.Resize(5); err == nil || !strings.Contains(err.Error(), "free") {
+		t.Errorf("grow beyond free err = %v, want capacity error", err)
+	}
+	if got := sub.Workers(); got != 1 {
+		t.Errorf("failed grow changed the lease: Workers() = %d, want 1", got)
+	}
+	res, err = sub.Run(Config{Topo: topo.NewMesh(1, 1), App: queens8()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AppResult != 92 {
+		t.Errorf("1-worker lease AppResult = %d, want 92", res.AppResult)
+	}
+}
+
+// TestRootRunWaitsForLeases checks a root Run needs the whole machine:
+// it blocks while a lease is out and proceeds once released.
+func TestRootRunWaitsForLeases(t *testing.T) {
+	pool, err := NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	sub, err := pool.Split(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	finished := make(chan Result, 1)
+	go func() {
+		close(started)
+		res, err := pool.Run(Config{Topo: topo.NewMesh(1, 2), App: queens8()})
+		if err != nil {
+			t.Errorf("root run after release: %v", err)
+		}
+		finished <- res
+	}()
+	<-started
+	select {
+	case <-finished:
+		t.Fatal("root Run completed while a lease was outstanding")
+	case <-time.After(50 * time.Millisecond):
+	}
+	sub.Release()
+	select {
+	case res := <-finished:
+		checkQueens8(t, res, "root run after release")
+	case <-time.After(30 * time.Second):
+		t.Fatal("root Run never proceeded after the lease was released")
+	}
+}

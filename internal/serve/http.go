@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rips"
+	"rips/internal/tenant"
 )
 
 // JobJSON is the wire form of a job for GET /v1/jobs and
@@ -17,9 +18,13 @@ import (
 type JobJSON struct {
 	ID            string           `json:"id"`
 	Spec          JobSpec          `json:"spec"`
+	Tenant        string           `json:"tenant"`
+	Priority      string           `json:"priority"`
 	State         string           `json:"state"`
 	Phases        int              `json:"phases"`
 	DroppedPhases int              `json:"dropped_phases,omitempty"`
+	Preemptions   int              `json:"preemptions,omitempty"`
+	CacheHit      bool             `json:"cache_hit,omitempty"`
 	Result        *rips.ResultJSON `json:"result,omitempty"`
 	Error         string           `json:"error,omitempty"`
 	SubmittedAt   time.Time        `json:"submitted_at"`
@@ -44,9 +49,13 @@ func encodeJob(snap Snapshot) JobJSON {
 	out := JobJSON{
 		ID:            snap.ID,
 		Spec:          snap.Spec,
+		Tenant:        snap.Tenant,
+		Priority:      snap.Priority.String(),
 		State:         snap.State,
 		Phases:        len(snap.Phases) + snap.Dropped,
 		DroppedPhases: snap.Dropped,
+		Preemptions:   snap.Preemptions,
+		CacheHit:      snap.CacheHit,
 		Result:        snap.Result,
 		Error:         snap.Err,
 		SubmittedAt:   snap.Submitted,
@@ -74,6 +83,7 @@ func encodePhase(pi rips.PhaseInfo) PhaseEvent {
 // Handler returns the ripsd API:
 //
 //	GET  /healthz                  liveness
+//	GET  /v1/stats                 tenant queues, lanes, pool, cache
 //	GET  /v1/jobs                  list jobs in submission order
 //	POST /v1/jobs                  submit a JobSpec (202, 400, 503)
 //	GET  /v1/jobs/{id}             one job
@@ -82,12 +92,48 @@ func encodePhase(pi rips.PhaseInfo) PhaseEvent {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	return mux
+}
+
+// StatsJSON is the body of GET /v1/stats: the arbiter's admission
+// ledger (lanes keyed by priority name, per-tenant queue depths and
+// wait ages), the pool's lease utilization, and the result cache
+// counters.
+type StatsJSON struct {
+	Workers     int                           `json:"workers"`
+	PoolFree    int                           `json:"pool_free"`
+	Lanes       map[string]tenant.LaneStats   `json:"lanes"`
+	Tenants     map[string]tenant.TenantStats `json:"tenants"`
+	Dispatches  int64                         `json:"dispatches"`
+	Preemptions int64                         `json:"preemptions"`
+	Requeues    int64                         `json:"requeues"`
+	Rejects     int64                         `json:"rejects"`
+	Cache       tenant.CacheStats             `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	arb, cache, poolFree := s.Stats()
+	out := StatsJSON{
+		Workers:     s.Workers(),
+		PoolFree:    poolFree,
+		Lanes:       make(map[string]tenant.LaneStats, len(arb.Lanes)),
+		Tenants:     arb.Tenants,
+		Dispatches:  arb.Dispatches,
+		Preemptions: arb.Preemptions,
+		Requeues:    arb.Requeues,
+		Rejects:     arb.Rejects,
+		Cache:       cache,
+	}
+	for _, p := range rips.Priorities() {
+		out.Lanes[p.String()] = arb.Lanes[p]
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -164,10 +210,16 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams a job over SSE: every recorded phase as
-// `event: phase` (history first, then live), ending with one terminal
-// `event: result` (done or canceled-with-partial-result) or
-// `event: error`. The stream closes after the terminal event, or when
-// the client disconnects.
+// `event: phase` (history first, then live), ending with exactly one
+// terminal `event: result` (done or canceled-with-partial-result) or
+// `event: error` — a subscriber attaching after completion still
+// receives the terminal event exactly once. The stream closes after
+// the terminal event, or when the client disconnects.
+//
+// When a job is preempted its phase buffer resets and Snapshot.Attempt
+// bumps; the stream resets its replay offset with it, so the next
+// attempt's phases replay from its own phase 1 instead of indexing the
+// fresh buffer with a stale offset.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.jobFor(w, r)
 	if !ok {
@@ -183,8 +235,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 
 	sent := 0
+	attempt := -1
 	for {
 		snap, changed := job.Snapshot()
+		if snap.Attempt != attempt {
+			attempt = snap.Attempt
+			sent = 0
+		}
+		if sent > len(snap.Phases) {
+			// Defensive: never index past a buffer that shrank.
+			sent = len(snap.Phases)
+		}
 		for _, pi := range snap.Phases[sent:] {
 			writeEvent(w, "phase", encodePhase(pi))
 			sent++

@@ -11,7 +11,8 @@ import (
 )
 
 // Job states, in lifecycle order. queued → running → one of the
-// terminal three.
+// terminal three. A preempted job moves running → queued and runs
+// again; preemption never produces a terminal state by itself.
 const (
 	StateQueued   = "queued"
 	StateRunning  = "running"
@@ -19,6 +20,10 @@ const (
 	StateFailed   = "failed"
 	StateCanceled = "canceled"
 )
+
+// DefaultTenant is the fairness principal for submissions that name no
+// tenant.
+const DefaultTenant = "default"
 
 // maxPhaseHistory caps the per-job phase buffer so a long run cannot
 // grow server memory without bound; once full, older history stays and
@@ -28,13 +33,16 @@ const maxPhaseHistory = 4096
 
 // JobSpec is the submission body for POST /v1/jobs: a named workload
 // from the parscale registry (nq, ida, gromos) at a size, plus a
-// rips-result/v1 config object. Zero-value fields take server
-// defaults: the family's default size, the Parallel backend, a
-// machine the size of the whole pool.
+// rips-result/v1 config object, attributed to a tenant in a priority
+// lane. Zero-value fields take server defaults: the family's default
+// size, the Parallel backend, a machine the size of the whole pool,
+// the "default" tenant, the normal lane.
 type JobSpec struct {
-	App    string          `json:"app"`
-	Size   int             `json:"size,omitempty"`
-	Config rips.ConfigJSON `json:"config"`
+	App      string          `json:"app"`
+	Size     int             `json:"size,omitempty"`
+	Config   rips.ConfigJSON `json:"config"`
+	Tenant   string          `json:"tenant,omitempty"`
+	Priority string          `json:"priority,omitempty"`
 }
 
 // Job is one submitted run. The exported fields are immutable after
@@ -43,37 +51,53 @@ type Job struct {
 	ID   string
 	Spec JobSpec
 
-	cfg    rips.Config
-	app    rips.App
-	ctx    context.Context
-	cancel context.CancelFunc
+	cfg      rips.Config
+	app      rips.App
+	tenant   string
+	prio     rips.Priority
+	cacheKey string
+	ctx      context.Context
+	cancel   context.CancelFunc
 
-	mu        sync.Mutex
-	state     string
-	phases    []rips.PhaseInfo
-	dropped   int
-	result    *rips.ResultJSON
-	errMsg    string
-	notify    chan struct{} // closed and replaced on every state/phase change
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	mu           sync.Mutex
+	state        string
+	phases       []rips.PhaseInfo
+	dropped      int
+	attempt      int // bumps whenever the phase buffer resets (preempt requeue)
+	preemptions  int
+	preemptAsked bool               // a Preempt arrived for the current attempt
+	runCancel    context.CancelFunc // cancels the current attempt only
+	cacheHit     bool
+	result       *rips.ResultJSON
+	errMsg       string
+	notify       chan struct{} // closed and replaced on every state/phase change
+	submitted    time.Time
+	started      time.Time
+	finished     time.Time
 }
 
 // Snapshot is a consistent copy of a job's mutable state, safe to
 // read and serialize after the lock is released. Phases aliases the
-// job's append-only history buffer — read-only by contract.
+// job's append-only history buffer — read-only by contract. Attempt
+// identifies which run attempt the buffer belongs to: it bumps exactly
+// when the buffer resets, so a streaming reader that tracks it never
+// indexes a stale offset into a fresh buffer.
 type Snapshot struct {
-	ID        string
-	Spec      JobSpec
-	State     string
-	Phases    []rips.PhaseInfo
-	Dropped   int
-	Result    *rips.ResultJSON
-	Err       string
-	Submitted time.Time
-	Started   time.Time
-	Finished  time.Time
+	ID          string
+	Spec        JobSpec
+	Tenant      string
+	Priority    rips.Priority
+	State       string
+	Phases      []rips.PhaseInfo
+	Dropped     int
+	Attempt     int
+	Preemptions int
+	CacheHit    bool
+	Result      *rips.ResultJSON
+	Err         string
+	Submitted   time.Time
+	Started     time.Time
+	Finished    time.Time
 }
 
 // Snapshot returns the job's current state plus the channel that will
@@ -83,16 +107,21 @@ func (j *Job) Snapshot() (Snapshot, <-chan struct{}) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return Snapshot{
-		ID:        j.ID,
-		Spec:      j.Spec,
-		State:     j.state,
-		Phases:    j.phases[:len(j.phases):len(j.phases)],
-		Dropped:   j.dropped,
-		Result:    j.result,
-		Err:       j.errMsg,
-		Submitted: j.submitted,
-		Started:   j.started,
-		Finished:  j.finished,
+		ID:          j.ID,
+		Spec:        j.Spec,
+		Tenant:      j.tenant,
+		Priority:    j.prio,
+		State:       j.state,
+		Phases:      j.phases[:len(j.phases):len(j.phases)],
+		Dropped:     j.dropped,
+		Attempt:     j.attempt,
+		Preemptions: j.preemptions,
+		CacheHit:    j.cacheHit,
+		Result:      j.result,
+		Err:         j.errMsg,
+		Submitted:   j.submitted,
+		Started:     j.started,
+		Finished:    j.finished,
 	}, j.notify
 }
 
@@ -102,7 +131,7 @@ func Terminal(state string) bool {
 }
 
 // Cancel requests cancellation: the job's context is canceled, which
-// the backends observe at the next phase boundary (or the queue
+// the backends observe at the next phase boundary (or the arbiter
 // observes before the job starts). Idempotent; a no-op once terminal.
 func (j *Job) Cancel() { j.cancel() }
 
@@ -127,11 +156,63 @@ func (j *Job) appendPhase(pi rips.PhaseInfo) {
 	j.mu.Unlock()
 }
 
-// markRunning transitions queued → running.
-func (j *Job) markRunning() {
+// beginAttempt transitions to running and installs the attempt's
+// cancel function, returning the context the run must use. A preempt
+// request that raced ahead of the installation fires immediately, so
+// the attempt is canceled at its first phase boundary instead of being
+// lost.
+func (j *Job) beginAttempt() context.Context {
+	runCtx, cancel := context.WithCancel(j.ctx)
 	j.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
+	j.runCancel = cancel
+	if j.preemptAsked {
+		cancel()
+	}
+	j.wake()
+	j.mu.Unlock()
+	return runCtx
+}
+
+// endAttempt retires the attempt's cancel function and consumes the
+// preempt flag, reporting whether this attempt was asked to yield.
+func (j *Job) endAttempt() bool {
+	j.mu.Lock()
+	preempted := j.preemptAsked
+	j.preemptAsked = false
+	if j.runCancel != nil {
+		j.runCancel()
+		j.runCancel = nil
+	}
+	j.mu.Unlock()
+	return preempted
+}
+
+// requestPreempt is the arbiter's Preempt callback path: flag the
+// current attempt and cancel its context. The run unwinds at its next
+// phase boundary with a partial result, which runTicket turns into a
+// requeue rather than a terminal state.
+func (j *Job) requestPreempt() {
+	j.mu.Lock()
+	j.preemptAsked = true
+	if j.runCancel != nil {
+		j.runCancel()
+	}
+	j.mu.Unlock()
+}
+
+// markRequeued returns a preempted job to the queued state: the phase
+// buffer resets (the next attempt replays from its own phase 1) and
+// Attempt bumps in the same critical section so snapshot readers see
+// the reset and the new attempt id atomically.
+func (j *Job) markRequeued() {
+	j.mu.Lock()
+	j.state = StateQueued
+	j.phases = nil
+	j.dropped = 0
+	j.attempt++
+	j.preemptions++
 	j.wake()
 	j.mu.Unlock()
 }
@@ -146,6 +227,19 @@ func (j *Job) settle(state string, doc *rips.ResultJSON, err error) {
 	if err != nil {
 		j.errMsg = err.Error()
 	}
+	j.finished = time.Now()
+	j.wake()
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// settleCached settles a submission straight from the result cache: no
+// run, no phases, done on arrival with the recorded document.
+func (j *Job) settleCached(doc *rips.ResultJSON) {
+	j.mu.Lock()
+	j.state = StateDone
+	j.result = doc
+	j.cacheHit = true
 	j.finished = time.Now()
 	j.wake()
 	j.mu.Unlock()

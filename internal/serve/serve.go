@@ -2,18 +2,30 @@
 
 // Package serve is the scheduler-as-a-service frontend: a long-running
 // server that owns one shared Parallel worker pool, accepts workload
-// submissions, multiplexes them onto the pool one run at a time (the
-// pool's cores are the scarce resource; the admission queue is the
-// paper's "incremental scheduling" arrival stream), and streams each
-// job's per-phase progress and final rips-result/v1 document to
+// submissions from many tenants, and multiplexes them onto the pool
+// (the pool's cores are the scarce resource; the admission stream is
+// the paper's "incremental scheduling" arrival stream). Each job's
+// per-phase progress and final rips-result/v1 document stream to
 // clients over SSE.
+//
+// Admission is delegated to the internal/tenant arbiter: jobs carry a
+// tenant and a priority lane, tenants share the pool by weighted
+// deficit round-robin with a bounded per-tenant queue, sub-pool leases
+// (rips.Pool.Split) run several small jobs concurrently, and a
+// higher-lane job that cannot fit preempts running lower-lane jobs —
+// the run is canceled through its context, requeued, and re-run, so
+// its final answer is bit-identical to an uncontended run. Terminal
+// results are memoized in a cache keyed on the canonical resolved
+// config encoding; a byte-identical resubmission settles on arrival
+// without occupying a worker.
 //
 // The server is deliberately a thin shell over the public rips API:
 // submissions decode to rips.Config, run through rips.RunProfiledContext
 // with the job's context, progress arrives through rips.Config.OnPhase,
-// and cancellation — client disconnect, explicit cancel, or drain —
-// travels the same context path every library caller uses. Server-level
-// tests assert a served answer is bit-identical to a direct RunContext.
+// and cancellation — client disconnect, explicit cancel, preemption, or
+// drain — travels the same context path every library caller uses.
+// Server-level tests assert a served answer is bit-identical to a
+// direct RunContext.
 package serve
 
 import (
@@ -26,6 +38,7 @@ import (
 
 	"rips"
 	"rips/internal/exp"
+	"rips/internal/tenant"
 )
 
 // Options configures a Server.
@@ -33,10 +46,19 @@ type Options struct {
 	// Workers sizes the shared Parallel worker pool (required, >= 1).
 	// A submission's machine must fit the pool.
 	Workers int
-	// QueueLimit bounds the admission queue: submissions beyond the
-	// limit are rejected immediately (HTTP 503) instead of queueing
-	// without bound. Zero means DefaultQueueLimit.
+	// QueueLimit bounds each tenant's queued (not yet running) jobs:
+	// submissions beyond the limit are rejected immediately (HTTP 503)
+	// instead of queueing without bound. The bound is per tenant — one
+	// tenant's backlog never locks others out. Zero means
+	// DefaultQueueLimit.
 	QueueLimit int
+	// Weights maps tenant names to fairness weights (default 1): a
+	// weight-2 tenant receives twice the dispatch budget of a weight-1
+	// tenant under saturation.
+	Weights map[string]int
+	// CacheEntries bounds the result cache. Zero means the tenant
+	// package's default.
+	CacheEntries int
 	// MaxBodyBytes bounds a submission's JSON body. Zero means
 	// DefaultMaxBodyBytes.
 	MaxBodyBytes int64
@@ -52,26 +74,28 @@ const (
 var (
 	// ErrDraining rejects submissions while the server drains.
 	ErrDraining = errors.New("serve: server is draining")
-	// ErrQueueFull rejects submissions when the admission queue is at
-	// its limit.
+	// ErrQueueFull rejects submissions when the submitting tenant's
+	// admission queue is at its limit.
 	ErrQueueFull = errors.New("serve: admission queue is full")
 )
 
-// Server owns the pool, the job table and the admission queue. Create
-// with NewServer, expose with Handler, stop with Drain/Close.
+// Server owns the pool, the job table, the tenant arbiter and the
+// result cache. Create with NewServer, expose with Handler, stop with
+// Drain/Close.
 type Server struct {
-	opts Options
-	pool *rips.Pool
+	opts  Options
+	pool  *rips.Pool
+	arb   *tenant.Arbiter
+	cache *tenant.Cache
 
 	// baseCtx parents every job context, so Close cancels all jobs.
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	// queue is the bounded admission queue; the executor goroutine
-	// drains it one job at a time onto the pool. execDone closes when
-	// the executor exits (after the queue closes on drain).
-	queue    chan *Job
-	execDone chan struct{}
+	// jobsWG counts arbiter-admitted jobs that have not settled; Drain
+	// waits on it. idle closes when the post-drain wait finishes.
+	jobsWG sync.WaitGroup
+	idle   chan struct{}
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -86,7 +110,7 @@ type Server struct {
 	profiles map[string]rips.Profile
 }
 
-// NewServer starts the worker pool and the executor.
+// NewServer starts the worker pool and the tenant arbiter.
 func NewServer(opts Options) (*Server, error) {
 	if opts.QueueLimit == 0 {
 		opts.QueueLimit = DefaultQueueLimit
@@ -102,27 +126,63 @@ func NewServer(opts Options) (*Server, error) {
 	s := &Server{
 		opts:       opts,
 		pool:       pool,
+		cache:      tenant.NewCache(opts.CacheEntries),
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *Job, opts.QueueLimit),
-		execDone:   make(chan struct{}),
+		idle:       make(chan struct{}),
 		jobs:       make(map[string]*Job),
 		profiles:   make(map[string]rips.Profile),
 	}
-	go s.executor()
+	arb, err := tenant.New(tenant.Options{
+		Capacity:   opts.Workers,
+		DepthLimit: opts.QueueLimit,
+		Weights:    opts.Weights,
+		Start:      s.startTicket,
+		Preempt:    s.preemptTicket,
+	})
+	if err != nil {
+		cancel()
+		pool.Close()
+		return nil, err
+	}
+	s.arb = arb
 	return s, nil
 }
 
 // Workers returns the shared pool's size.
 func (s *Server) Workers() int { return s.pool.Workers() }
 
-// Submit validates a submission, admits it to the queue and returns
-// the queued job. Validation failures are plain errors (HTTP 400);
-// ErrDraining and ErrQueueFull are admission failures (HTTP 503).
+// Stats snapshots the serving state for GET /v1/stats.
+func (s *Server) Stats() (tenant.Stats, tenant.CacheStats, int) {
+	return s.arb.Stats(), s.cache.Stats(), s.pool.Free()
+}
+
+// Submit validates a submission, admits it to its tenant's queue and
+// returns the job. Validation failures are plain errors (HTTP 400);
+// ErrDraining and ErrQueueFull are admission failures (HTTP 503). A
+// submission whose resolved config matches a cached result settles as
+// done immediately without occupying the pool.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	cfg, a, err := s.resolve(&spec)
 	if err != nil {
 		return nil, err
+	}
+	ten := spec.Tenant
+	if ten == "" {
+		ten = DefaultTenant
+	}
+	prio, err := rips.ParsePriority(spec.Priority)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	// A Parallel run occupies one pool worker per machine node; a
+	// Simulate run's nodes are goroutines of the virtual-time engine,
+	// so it is charged a single admission slot.
+	cost := 1
+	if cfg.Backend == rips.Parallel {
+		if cost, err = cfg.Nodes(); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
 	}
 
 	s.mu.Lock()
@@ -138,17 +198,39 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		Spec:      spec,
 		cfg:       cfg,
 		app:       a,
+		tenant:    ten,
+		prio:      prio,
+		cacheKey:  tenant.Key(spec.App, spec.Size, rips.EncodeConfig(cfg)),
 		ctx:       ctx,
 		cancel:    cancel,
 		state:     StateQueued,
 		notify:    make(chan struct{}),
 		submitted: time.Now(),
 	}
-	select {
-	case s.queue <- job:
-	default:
+
+	if doc, ok := s.cache.Get(job.cacheKey); ok {
+		s.jobs[id] = job
+		s.order = append(s.order, id)
+		job.settleCached(&doc)
+		return job, nil
+	}
+
+	tk := &tenant.Ticket{ID: id, Tenant: ten, Lane: prio, Workers: cost, Ref: job}
+	// Admitted before arb.Submit: the Start callback can fire (and the
+	// job can even settle) inside the Submit call.
+	s.jobsWG.Add(1)
+	if err := s.arb.Submit(tk); err != nil {
+		s.jobsWG.Done()
 		cancel()
-		return nil, ErrQueueFull
+		var sat *tenant.SaturatedError
+		switch {
+		case errors.As(err, &sat):
+			return nil, fmt.Errorf("%w: tenant %q has %d jobs queued", ErrQueueFull, sat.Tenant, sat.Depth)
+		case errors.Is(err, tenant.ErrDraining):
+			return nil, ErrDraining
+		default:
+			return nil, fmt.Errorf("serve: %w", err)
+		}
 	}
 	s.jobs[id] = job
 	s.order = append(s.order, id)
@@ -158,7 +240,8 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 // resolve decodes and validates a submission against the server's
 // defaults: the workload must exist, the backend defaults to Parallel
 // on the shared pool, and a zero machine size defaults to the whole
-// pool. The returned Config carries no hooks yet — runJob wires those.
+// pool. The returned Config carries no hooks yet — runTicket wires
+// those, and swaps the root pool for the job's sub-pool lease.
 func (s *Server) resolve(spec *JobSpec) (rips.Config, rips.App, error) {
 	a, err := exp.ParScaleApp(spec.App, spec.Size)
 	if err != nil {
@@ -204,15 +287,16 @@ func (s *Server) Jobs() []*Job {
 	return out
 }
 
-// executor is the single goroutine multiplexing the queue onto the
-// pool. One job runs at a time: the pool's cores are one machine, and
-// a run occupies all of it (rips.Pool serializes anyway; doing it here
-// keeps queue order and makes the running job observable).
-func (s *Server) executor() {
-	defer close(s.execDone)
-	for job := range s.queue {
-		s.runJob(job)
-	}
+// startTicket is the arbiter's Start callback: spawn the run and
+// return (the arbiter requires Start not to block).
+func (s *Server) startTicket(t *tenant.Ticket) {
+	go s.runTicket(t)
+}
+
+// preemptTicket is the arbiter's Preempt callback: cancel the job's
+// current attempt; runTicket requeues it when the run unwinds.
+func (s *Server) preemptTicket(t *tenant.Ticket) {
+	t.Ref.(*Job).requestPreempt()
 }
 
 // profile returns the cached sequential profile for a workload,
@@ -235,43 +319,82 @@ func (s *Server) profile(spec JobSpec, a rips.App) rips.Profile {
 	return p
 }
 
-// runJob executes one admitted job on the pool and settles its state.
-func (s *Server) runJob(job *Job) {
+// runTicket executes one dispatched attempt of a job on a sub-pool
+// lease sized to its machine, then settles, fails, requeues (preempt)
+// or retires it with the arbiter. It runs on its own goroutine, once
+// per dispatch — a preempted job passes through here again.
+func (s *Server) runTicket(t *tenant.Ticket) {
+	job := t.Ref.(*Job)
 	if job.ctx.Err() != nil {
 		// Canceled while still queued: never ran.
-		job.settle(StateCanceled, nil, job.ctx.Err())
+		s.finish(t, job, StateCanceled, nil, job.ctx.Err())
 		return
 	}
-	job.markRunning()
+	runCtx := job.beginAttempt()
 	cfg := job.cfg
 	cfg.OnPhase = job.appendPhase
+	var sub *rips.Pool
+	if cfg.Backend == rips.Parallel {
+		var err error
+		if sub, err = s.pool.Split(t.Workers); err != nil {
+			// The arbiter's ledger guarantees the lease, so this is a
+			// closing pool (or a bug): fail the job rather than wedge.
+			job.endAttempt()
+			s.finish(t, job, StateFailed, nil, err)
+			return
+		}
+		cfg.Pool = sub
+	}
 	p := s.profile(job.Spec, job.app)
-	res, err := rips.RunProfiledContext(job.ctx, job.app, p, cfg)
+	res, err := rips.RunProfiledContext(runCtx, job.app, p, cfg)
+	if sub != nil {
+		// Before Done/Yielded: the workers must be back in the root's
+		// free set before the arbiter can re-lease them.
+		sub.Release()
+	}
 	doc := rips.EncodeResult(job.cfg, res)
+	preempted := job.endAttempt()
 	switch {
+	case res.Canceled && preempted && job.ctx.Err() == nil:
+		// Preempted, not canceled by the owner: back to the queue. The
+		// partial document is discarded — the next attempt recomputes
+		// the full answer, bit-identical to an uncontended run.
+		job.markRequeued()
+		s.arb.Yielded(t)
 	case res.Canceled:
-		job.settle(StateCanceled, &doc, err)
+		s.finish(t, job, StateCanceled, &doc, err)
 	case err != nil:
-		job.settle(StateFailed, nil, err)
+		s.finish(t, job, StateFailed, nil, err)
 	default:
-		job.settle(StateDone, &doc, nil)
+		s.cache.Put(job.cacheKey, doc)
+		s.finish(t, job, StateDone, &doc, nil)
 	}
 }
 
+// finish settles a job terminally and retires its ticket.
+func (s *Server) finish(t *tenant.Ticket, job *Job, state string, doc *rips.ResultJSON, err error) {
+	job.settle(state, doc, err)
+	s.arb.Done(t)
+	s.jobsWG.Done()
+}
+
 // Drain stops admission (new submissions get ErrDraining), lets the
-// queued and running jobs finish, and returns when the executor is
-// idle or the context expires — the SIGTERM path. Safe to call more
-// than once.
+// queued and running jobs finish, and returns when the server is idle
+// or the context expires — the SIGTERM path. Safe to call more than
+// once.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		// Submit holds the same mutex, so no send can race this close.
-		close(s.queue)
+		s.arb.Drain()
+		go func() {
+			s.jobsWG.Wait()
+			close(s.idle)
+		}()
 	}
 	s.mu.Unlock()
 	select {
-	case <-s.execDone:
+	case <-s.idle:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -279,12 +402,12 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Close drains with the given context, then cancels whatever is still
-// running and releases the pool. The forceful companion to Drain: a
-// expired drain context turns into cancellation of the running job.
+// running and releases the pool. The forceful companion to Drain: an
+// expired drain context turns into cancellation of the running jobs.
 func (s *Server) Close(ctx context.Context) error {
 	err := s.Drain(ctx)
 	s.baseCancel()
-	<-s.execDone
+	<-s.idle
 	s.pool.Close()
 	return err
 }

@@ -1,0 +1,416 @@
+//ripslint:allow-file wallclock admission-layer timing: enqueue timestamps feed
+// operator-facing wait-age stats only and never influence in-run scheduling.
+
+package tenant
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rips"
+	"rips/internal/invariant"
+)
+
+// Arbiter is the multi-tenant admission scheduler: a shared-state
+// ledger of queued and running tickets plus the worker budget, driving
+// the embedder through Start/Preempt callbacks. One mutex guards the
+// whole state — admission decisions are rare (per job, not per task),
+// so the global view buys correct preemption and fairness for
+// negligible contention; callbacks always fire with the lock released.
+type Arbiter struct {
+	opts       Options
+	quantum    int
+	depthLimit int
+
+	mu       sync.Mutex
+	free     int
+	draining bool
+	seq      int64
+	lanes    [NumLanes]laneState
+	tenants  map[string]*tenantState
+	running  map[*Ticket]struct{}
+
+	preemptions int64
+	requeues    int64
+	dispatches  int64
+	rejects     int64
+}
+
+// laneState is one priority lane's deficit-round-robin ring: the
+// tenants with queued work in this lane, visited in order. round
+// counts completed ring cycles so each tenant is credited exactly once
+// per cycle no matter how many dispatch events the cycle spans.
+type laneState struct {
+	ring   []string
+	cursor int
+	round  int64
+}
+
+// tenantState is everything the arbiter tracks per fairness principal.
+type tenantState struct {
+	name     string
+	queues   [NumLanes][]*Ticket
+	inRing   [NumLanes]bool
+	deficit  [NumLanes]int
+	credited [NumLanes]int64 // lane round the tenant was last credited in
+	queued   int             // across lanes; bounded by depthLimit
+	running  int
+	enq      map[*Ticket]time.Time
+}
+
+// New builds an Arbiter over a worker budget. Both callbacks are
+// required: an arbiter that cannot start work is useless, and one that
+// cannot preempt would strand its priority lanes.
+func New(opts Options) (*Arbiter, error) {
+	if opts.Capacity < 1 {
+		return nil, fmt.Errorf("tenant: capacity %d, need at least 1", opts.Capacity)
+	}
+	if opts.Start == nil || opts.Preempt == nil {
+		return nil, fmt.Errorf("tenant: Start and Preempt callbacks are required")
+	}
+	a := &Arbiter{
+		opts:       opts,
+		quantum:    opts.Quantum,
+		depthLimit: opts.DepthLimit,
+		free:       opts.Capacity,
+		tenants:    make(map[string]*tenantState),
+		running:    make(map[*Ticket]struct{}),
+	}
+	if a.quantum < 1 {
+		// Classic DRR wants quantum >= the largest cost so one round's
+		// credit affords any job that fits the machine.
+		a.quantum = opts.Capacity
+	}
+	if a.depthLimit < 1 {
+		a.depthLimit = DefaultDepthLimit
+	}
+	return a, nil
+}
+
+func (a *Arbiter) weight(tenant string) int {
+	if w := a.opts.Weights[tenant]; w > 1 {
+		return w
+	}
+	return 1
+}
+
+// deficitCap bounds accumulated DRR credit so an idle-then-bursty
+// tenant cannot bank unbounded priority: enough to afford any job that
+// fits the machine plus one visit's credit, no more.
+func (a *Arbiter) deficitCap(tenant string) int {
+	return a.opts.Capacity + a.quantum*a.weight(tenant)
+}
+
+func (a *Arbiter) tenantLocked(name string) *tenantState {
+	ts := a.tenants[name]
+	if ts == nil {
+		ts = &tenantState{name: name, enq: make(map[*Ticket]time.Time)}
+		for lane := range ts.credited {
+			ts.credited[lane] = -1 // not yet credited in any round
+		}
+		a.tenants[name] = ts
+	}
+	return ts
+}
+
+// Submit queues a ticket and dispatches whatever the new state allows.
+// It returns ErrDraining after Drain, a *SaturatedError when the
+// tenant's queue is at depth, and a plain error for malformed tickets.
+func (a *Arbiter) Submit(t *Ticket) error {
+	if t.Workers < 1 || t.Workers > a.opts.Capacity {
+		return fmt.Errorf("tenant: ticket %s wants %d workers, pool has %d", t.ID, t.Workers, a.opts.Capacity)
+	}
+	if int(t.Lane) < 0 || int(t.Lane) >= NumLanes {
+		return fmt.Errorf("tenant: ticket %s has unknown lane %d", t.ID, int(t.Lane))
+	}
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return ErrDraining
+	}
+	ts := a.tenantLocked(t.Tenant)
+	if ts.queued >= a.depthLimit {
+		a.rejects++
+		depth := ts.queued
+		a.mu.Unlock()
+		return &SaturatedError{Tenant: t.Tenant, Depth: depth}
+	}
+	if t.state != ticketIdle {
+		a.mu.Unlock()
+		invariant.Violated("tenant: ticket %s submitted twice", t.ID)
+	}
+	t.state = ticketQueued
+	ts.queues[t.Lane] = append(ts.queues[t.Lane], t)
+	ts.queued++
+	ts.enq[t] = time.Now()
+	a.joinRingLocked(t.Lane, ts)
+	starts, victims := a.dispatchLocked()
+	a.mu.Unlock()
+	a.fire(starts, victims)
+	return nil
+}
+
+// Done returns a finished ticket's workers to the budget. Call it when
+// the run reached a terminal outcome — completed, failed, or canceled
+// by its owner — including a run that completed while a preemption
+// request was in flight (the benign race: the workers come back either
+// way, and the ticket is not requeued).
+func (a *Arbiter) Done(t *Ticket) {
+	a.mu.Lock()
+	if t.state != ticketRunning && t.state != ticketPreempting {
+		a.mu.Unlock()
+		invariant.Violated("tenant: Done(%s) in state %d", t.ID, int(t.state))
+	}
+	a.retireLocked(t)
+	starts, victims := a.dispatchLocked()
+	a.mu.Unlock()
+	a.fire(starts, victims)
+}
+
+// Yielded reports that a preempted run has unwound: its workers return
+// to the budget and the ticket is requeued at the front of its tenant's
+// lane queue, so it is the first thing the tenant runs next. The
+// deficit it was charged at dispatch is refunded.
+func (a *Arbiter) Yielded(t *Ticket) {
+	a.mu.Lock()
+	if t.state != ticketPreempting {
+		a.mu.Unlock()
+		invariant.Violated("tenant: Yielded(%s) in state %d", t.ID, int(t.state))
+	}
+	ts := a.tenantLocked(t.Tenant)
+	a.free += t.Workers
+	delete(a.running, t)
+	ts.running--
+	t.state = ticketQueued
+	t.preempts++
+	ts.queues[t.Lane] = append([]*Ticket{t}, ts.queues[t.Lane]...)
+	ts.queued++
+	ts.enq[t] = time.Now()
+	ts.deficit[t.Lane] += t.Workers
+	if c := a.deficitCap(t.Tenant); ts.deficit[t.Lane] > c {
+		ts.deficit[t.Lane] = c
+	}
+	a.joinRingLocked(t.Lane, ts)
+	a.requeues++
+	starts, victims := a.dispatchLocked()
+	a.mu.Unlock()
+	a.fire(starts, victims)
+}
+
+// Remove cancels a ticket that is still queued. It reports whether the
+// ticket was removed — false means the ticket already started (or was
+// never submitted), and the embedder should cancel the run and call
+// Done instead.
+func (a *Arbiter) Remove(t *Ticket) bool {
+	a.mu.Lock()
+	if t.state != ticketQueued {
+		a.mu.Unlock()
+		return false
+	}
+	ts := a.tenantLocked(t.Tenant)
+	q := ts.queues[t.Lane]
+	for i, qt := range q {
+		if qt == t {
+			ts.queues[t.Lane] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	ts.queued--
+	delete(ts.enq, t)
+	t.state = ticketDone
+	starts, victims := a.dispatchLocked()
+	a.mu.Unlock()
+	a.fire(starts, victims)
+	return true
+}
+
+// Drain stops admission: subsequent Submits fail with ErrDraining.
+// Tickets already queued or running are unaffected; the embedder waits
+// for them on its own ledger (serve tracks its jobs).
+func (a *Arbiter) Drain() {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+}
+
+// Preempts returns how many times the ticket has been preempted and
+// requeued so far.
+func (a *Arbiter) Preempts(t *Ticket) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return t.preempts
+}
+
+func (a *Arbiter) retireLocked(t *Ticket) {
+	ts := a.tenantLocked(t.Tenant)
+	a.free += t.Workers
+	delete(a.running, t)
+	ts.running--
+	t.state = ticketDone
+}
+
+func (a *Arbiter) joinRingLocked(lane rips.Priority, ts *tenantState) {
+	if !ts.inRing[lane] {
+		ts.inRing[lane] = true
+		a.lanes[lane].ring = append(a.lanes[lane].ring, ts.name)
+	}
+}
+
+// fire invokes the collected callbacks outside the lock, preemptions
+// first so yielded capacity is already on its way before new runs pile
+// in behind it.
+func (a *Arbiter) fire(starts, victims []*Ticket) {
+	for _, v := range victims {
+		a.opts.Preempt(v)
+	}
+	for _, s := range starts {
+		a.opts.Start(s)
+	}
+}
+
+// dispatchLocked is the one placement routine: scan lanes high to low,
+// dispatch by DRR within each, and stop at the first capacity stall.
+// A stalled higher lane reserves the remaining capacity — lower lanes
+// must not leapfrog it — and triggers preemption of lower-lane runs if
+// reclaiming them would fit the stalled head.
+func (a *Arbiter) dispatchLocked() (starts, victims []*Ticket) {
+	for lane := NumLanes - 1; lane >= 0; lane-- {
+		var stalled *Ticket
+		starts, stalled = a.dispatchLaneLocked(lane, starts)
+		if stalled != nil {
+			victims = a.preemptForLocked(stalled)
+			break
+		}
+	}
+	return starts, victims
+}
+
+// dispatchLaneLocked runs deficit round-robin over one lane's ring.
+// Each tenant is credited quantum x weight once per ring cycle (the
+// lane's round counter persists across dispatch events, so a cycle
+// paused by a full pool resumes rather than re-crediting); a visit
+// drains the tenant's heads while its deficit allows. A head that fits
+// its deficit but not the free capacity pauses the lane with the
+// cursor in place — it is the next thing the lane runs — and is
+// returned as the stall so the caller can reserve capacity and weigh
+// preemption. A visit ends (cursor advances) only when the tenant's
+// queue or deficit is spent.
+func (a *Arbiter) dispatchLaneLocked(lane int, starts []*Ticket) ([]*Ticket, *Ticket) {
+	ls := &a.lanes[lane]
+	for {
+		if len(ls.ring) == 0 {
+			return starts, nil
+		}
+		placed := false
+		queued := false
+		for visited := 0; visited < len(ls.ring); {
+			if ls.cursor >= len(ls.ring) {
+				ls.cursor = 0
+				ls.round++
+			}
+			ts := a.tenants[ls.ring[ls.cursor]]
+			if len(ts.queues[lane]) == 0 {
+				ts.deficit[lane] = 0
+				ts.inRing[lane] = false
+				ls.ring = append(ls.ring[:ls.cursor], ls.ring[ls.cursor+1:]...)
+				if ls.cursor >= len(ls.ring) && len(ls.ring) > 0 {
+					ls.cursor = 0
+					ls.round++
+				}
+				continue
+			}
+			queued = true
+			for len(ts.queues[lane]) > 0 {
+				head := ts.queues[lane][0]
+				if head.Workers > ts.deficit[lane] {
+					if ts.credited[lane] == ls.round {
+						break // visit over: this cycle's credit is spent
+					}
+					ts.credited[lane] = ls.round
+					ts.deficit[lane] += a.quantum * a.weight(ts.name)
+					if c := a.deficitCap(ts.name); ts.deficit[lane] > c {
+						ts.deficit[lane] = c
+					}
+					if head.Workers > ts.deficit[lane] {
+						break
+					}
+				}
+				if head.Workers > a.free {
+					// Deficit-entitled but capacity-blocked: pause with
+					// the cursor in place and reserve what remains.
+					return starts, head
+				}
+				ts.queues[lane] = ts.queues[lane][1:]
+				ts.queued--
+				delete(ts.enq, head)
+				ts.deficit[lane] -= head.Workers
+				ts.running++
+				a.free -= head.Workers
+				a.seq++
+				head.seq = a.seq
+				head.state = ticketRunning
+				a.running[head] = struct{}{}
+				a.dispatches++
+				starts = append(starts, head)
+				placed = true
+			}
+			ls.cursor++
+			visited++
+		}
+		// With capacity left and work still queued, spin another cycle
+		// so small quantums accumulate toward big heads; otherwise the
+		// lane is drained as far as this event can take it.
+		if !placed && !(queued && a.free > 0) {
+			return starts, nil
+		}
+	}
+}
+
+// preemptForLocked selects victims for a stalled head: running tickets
+// in strictly lower lanes, taken lowest lane first and latest dispatch
+// first within a lane, but only if reclaiming them (plus capacity
+// already yielding back) actually covers the head — a preemption that
+// cannot seat the head would waste the victims' work for nothing.
+func (a *Arbiter) preemptForLocked(head *Ticket) []*Ticket {
+	pending := 0 // capacity already on its way back from earlier preemptions
+	var candidates []*Ticket
+	for t := range a.running {
+		if t.state == ticketPreempting {
+			pending += t.Workers
+			continue
+		}
+		if int(t.Lane) < int(head.Lane) {
+			candidates = append(candidates, t)
+		}
+	}
+	need := head.Workers - a.free - pending
+	if need <= 0 {
+		return nil // already covered once in-flight yields land
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Lane != candidates[j].Lane {
+			return candidates[i].Lane < candidates[j].Lane
+		}
+		return candidates[i].seq > candidates[j].seq
+	})
+	avail := 0
+	for _, c := range candidates {
+		avail += c.Workers
+	}
+	if avail < need {
+		return nil
+	}
+	var victims []*Ticket
+	for _, c := range candidates {
+		if need <= 0 {
+			break
+		}
+		c.state = ticketPreempting
+		a.preemptions++
+		victims = append(victims, c)
+		need -= c.Workers
+	}
+	return victims
+}

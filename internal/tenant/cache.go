@@ -1,0 +1,126 @@
+package tenant
+
+import (
+	"container/list"
+	"sync"
+
+	"rips"
+)
+
+// Cache memoizes terminal job results so a byte-identical resubmission
+// is answered without occupying a worker. Keys are
+// app + "/" + size + "/" + rips.ConfigJSON.Canonical() over the
+// *resolved* configuration — the serving frontend fills semantic
+// defaults (backend, machine size) before encoding, so two submissions
+// that mean the same run hit the same entry no matter which defaults
+// each spelled out. Only successful terminal results are stored:
+// failures and cancellations re-run.
+//
+// Eviction is LRU over a fixed entry bound; every run's document is a
+// few hundred bytes, so the default bound costs well under a megabyte.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	key string
+	doc rips.ResultJSON
+}
+
+// DefaultCacheEntries is the entry bound NewCache applies to max <= 0.
+const DefaultCacheEntries = 1024
+
+// NewCache builds a result cache bounded to max entries.
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheEntries
+	}
+	return &Cache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Key renders the canonical cache key for an app run. cfg must already
+// be resolved (defaults filled) by the caller's admission path.
+func Key(app string, size int, cfg rips.ConfigJSON) string {
+	return app + "/" + itoa(size) + "/" + cfg.Canonical()
+}
+
+// itoa avoids strconv for the one small positive int in the key.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Get looks a key up, counting a hit or miss, and returns a copy of
+// the stored document.
+func (c *Cache) Get(key string) (rips.ResultJSON, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return rips.ResultJSON{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).doc, true
+}
+
+// Put stores a terminal document under key, evicting the least
+// recently used entry past the bound. Re-putting an existing key
+// refreshes its document and recency.
+func (c *Cache) Put(key string, doc rips.ResultJSON) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).doc = doc
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, doc: doc})
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats is the cache's counter snapshot for GET /v1/stats.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+	Max     int   `json:"max"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.order.Len(), Max: c.max}
+}

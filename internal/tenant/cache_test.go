@@ -1,0 +1,127 @@
+package tenant
+
+import (
+	"fmt"
+	"testing"
+
+	"rips"
+)
+
+// TestNumLanesMatchesPriorities pins NumLanes to the public Priority
+// vocabulary so adding a lane without resizing the arbiter fails here.
+func TestNumLanesMatchesPriorities(t *testing.T) {
+	if got := len(rips.Priorities()); got != NumLanes {
+		t.Fatalf("len(rips.Priorities()) = %d, NumLanes = %d", got, NumLanes)
+	}
+	for _, p := range rips.Priorities() {
+		if int(p) < 0 || int(p) >= NumLanes {
+			t.Fatalf("priority %v indexes outside [0,%d)", p, NumLanes)
+		}
+	}
+}
+
+func doc(app int64) rips.ResultJSON {
+	return rips.ResultJSON{Schema: rips.ResultJSONSchema, AppResult: app}
+}
+
+// TestCacheHitMiss covers the counter contract: first Get misses, Put
+// then Get hits and returns the stored document.
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(8)
+	key := Key("nqueens", 8, rips.ConfigJSON{Procs: 4, Backend: "parallel"})
+	if _, ok := c.Get(key); ok {
+		t.Fatalf("hit on empty cache")
+	}
+	c.Put(key, doc(92))
+	got, ok := c.Get(key)
+	if !ok || got.AppResult != 92 {
+		t.Fatalf("Get = (%+v, %v), want app_result 92", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want hits=1 misses=1 entries=1", st)
+	}
+}
+
+// TestCacheKeyDistinguishesConfigs: app, size and any config field
+// change the key; spelling the same resolved config twice does not.
+func TestCacheKeyDistinguishesConfigs(t *testing.T) {
+	base := rips.ConfigJSON{Procs: 4, Backend: "parallel"}
+	k := Key("nqueens", 8, base)
+	if k != Key("nqueens", 8, rips.ConfigJSON{Procs: 4, Backend: "parallel"}) {
+		t.Fatalf("identical configs produced different keys")
+	}
+	variants := []string{
+		Key("tsp", 8, base),
+		Key("nqueens", 9, base),
+		Key("nqueens", 8, rips.ConfigJSON{Procs: 2, Backend: "parallel"}),
+		Key("nqueens", 8, rips.ConfigJSON{Procs: 4, Backend: "parallel", Eager: true}),
+	}
+	seen := map[string]bool{k: true}
+	for _, v := range variants {
+		if seen[v] {
+			t.Fatalf("key collision: %q", v)
+		}
+		seen[v] = true
+	}
+}
+
+// TestCacheEviction: the bound holds, eviction is least-recently-used,
+// and re-putting refreshes recency.
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(3)
+	keys := make([]string, 4)
+	for i := range keys {
+		keys[i] = Key("nqueens", i, rips.ConfigJSON{Procs: 1})
+	}
+	c.Put(keys[0], doc(0))
+	c.Put(keys[1], doc(1))
+	c.Put(keys[2], doc(2))
+	// Touch 0 so 1 is now least recently used.
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatalf("key 0 missing before eviction")
+	}
+	c.Put(keys[3], doc(3))
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatalf("LRU key 1 survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(keys[i]); !ok {
+			t.Fatalf("key %d evicted, want key 1", i)
+		}
+	}
+	if st := c.Stats(); st.Entries != 3 || st.Max != 3 {
+		t.Fatalf("stats = %+v, want entries=3 max=3", st)
+	}
+}
+
+// TestCacheConcurrent hammers one key set from several goroutines; the
+// -race run is the assertion.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(16)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := Key("nqueens", i%20, rips.ConfigJSON{Procs: g + 1})
+				if i%3 == 0 {
+					c.Put(k, doc(int64(i)))
+				} else {
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	st := c.Stats()
+	if st.Entries > 16 {
+		t.Fatalf("entries %d exceed bound 16", st.Entries)
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Fatalf("no counter traffic recorded")
+	}
+	_ = fmt.Sprintf("%+v", st)
+}

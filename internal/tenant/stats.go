@@ -1,0 +1,90 @@
+//ripslint:allow-file wallclock admission-layer timing: wait ages in the stats
+// snapshot are operator-facing and never influence in-run scheduling.
+
+package tenant
+
+import (
+	"sort"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of the arbiter's ledger, the body
+// behind ripsd's GET /v1/stats (merged there with pool and cache
+// counters).
+type Stats struct {
+	Capacity int `json:"capacity"`
+	Free     int `json:"free"`
+
+	// Lanes is indexed by rips.Priority; entries render under their
+	// lane name in the HTTP body.
+	Lanes [NumLanes]LaneStats `json:"-"`
+
+	Tenants map[string]TenantStats `json:"tenants"`
+
+	Dispatches  int64 `json:"dispatches"`
+	Preemptions int64 `json:"preemptions"`
+	Requeues    int64 `json:"requeues"`
+	Rejects     int64 `json:"rejects"`
+}
+
+// LaneStats aggregates one priority lane.
+type LaneStats struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+}
+
+// TenantStats aggregates one tenant across lanes.
+type TenantStats struct {
+	Queued  [NumLanes]int `json:"queued_by_lane"`
+	Running int           `json:"running"`
+	Weight  int           `json:"weight"`
+	// OldestWaitNS is how long the tenant's longest-queued ticket has
+	// been waiting, in nanoseconds; 0 when nothing is queued.
+	OldestWaitNS int64 `json:"oldest_wait_ns,omitempty"`
+}
+
+// Stats snapshots the ledger under the lock.
+func (a *Arbiter) Stats() Stats {
+	now := time.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := Stats{
+		Capacity:    a.opts.Capacity,
+		Free:        a.free,
+		Tenants:     make(map[string]TenantStats, len(a.tenants)),
+		Dispatches:  a.dispatches,
+		Preemptions: a.preemptions,
+		Requeues:    a.requeues,
+		Rejects:     a.rejects,
+	}
+	for t := range a.running {
+		s.Lanes[t.Lane].Running++
+	}
+	names := make([]string, 0, len(a.tenants))
+	for name := range a.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := a.tenants[name]
+		if ts.queued == 0 && ts.running == 0 {
+			continue
+		}
+		var out TenantStats
+		out.Running = ts.running
+		out.Weight = a.weight(name)
+		for lane := 0; lane < NumLanes; lane++ {
+			out.Queued[lane] = len(ts.queues[lane])
+			s.Lanes[lane].Queued += len(ts.queues[lane])
+		}
+		var oldest time.Duration
+		for _, at := range ts.enq {
+			if w := now.Sub(at); w > oldest {
+				oldest = w
+			}
+		}
+		out.OldestWaitNS = int64(oldest)
+		s.Tenants[name] = out
+	}
+	return s
+}

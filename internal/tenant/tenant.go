@@ -1,0 +1,142 @@
+// Package tenant is the multi-tenant admission core of the ripsd
+// serving frontend: it decides which submitted jobs run when, on how
+// many of the shared pool's workers, on behalf of which tenant.
+//
+// The subsystem sits between internal/serve (the HTTP job surface) and
+// rips.Pool (the resident workers): serve turns each admitted
+// submission into a Ticket and hands it to the Arbiter; the Arbiter
+// orders tickets by priority lane and weighted fairness and calls the
+// embedder back to start, and sometimes to preempt, actual runs on
+// pool leases (rips.Pool.Split). The design follows the arktos
+// global-scheduler line — shared-state placement with priority plus
+// fair scheduling — while the relaxed-scheduler results (Alistarh et
+// al.) justify the underlying bargain: admission order may be relaxed
+// for throughput because every answer stays exact regardless of when
+// and where a job runs.
+//
+// Three mechanisms compose:
+//
+//   - Priority lanes. Tickets carry a rips.Priority; a higher lane is
+//     always placed first, and when the pool cannot hold a higher-lane
+//     ticket the Arbiter preempts running lower-lane tickets (the
+//     embedder cancels their runs — cheap, since rips.RunContext
+//     returns promptly with a partial result) and requeues them at the
+//     front of their queues. A preempted-then-rerun job's answer is
+//     bit-identical to an uncontended run; only its latency changes.
+//
+//   - Weighted fair admission. Within a lane, tenants share capacity
+//     by deficit round-robin: each visit credits a tenant's deficit
+//     with quantum x weight, and a ticket dispatches when its worker
+//     cost fits both the deficit and the free capacity. Cost is
+//     measured in workers — the scarce resource — so a tenant
+//     submitting large machines drains its deficit proportionally
+//     faster than one submitting small ones. Queues are bounded per
+//     tenant (SaturatedError, the per-tenant 503), never globally: one
+//     tenant's backlog cannot lock others out.
+//
+//   - No-bypass placement. When the next ticket in DRR order fits its
+//     tenant's deficit but not the free capacity, the lane stalls:
+//     lower lanes and later tenants do not leapfrog it. This trades a
+//     little utilization for a hard no-starvation property — capacity
+//     accumulates for the stalled head instead of being re-stolen by
+//     smaller jobs — mirroring the conflict-avoidance argument of the
+//     arktos design.
+//
+// The package also houses the result Cache: terminal rips-result/v1
+// documents keyed by the canonical config encoding
+// (rips.ConfigJSON.Canonical), so byte-identical submissions are
+// served without occupying any worker at all.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+
+	"rips"
+)
+
+// NumLanes is the number of priority lanes, one per rips.Priority.
+const NumLanes = 3
+
+// ErrDraining rejects submissions once Drain has been called.
+var ErrDraining = errors.New("tenant: arbiter is draining")
+
+// SaturatedError rejects a submission whose tenant already has
+// DepthLimit tickets queued — the per-tenant 503. Other tenants are
+// unaffected; there is no global admission bound.
+type SaturatedError struct {
+	Tenant string
+	Depth  int
+}
+
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("tenant: queue for %q is full (%d queued)", e.Tenant, e.Depth)
+}
+
+// Ticket is the arbiter's view of one schedulable job. The exported
+// fields are set by the embedder before Submit and immutable after;
+// everything mutable lives behind the arbiter's lock.
+type Ticket struct {
+	// ID names the ticket in errors and stats (the serve job id).
+	ID string
+	// Tenant is the fairness principal the ticket is charged to.
+	Tenant string
+	// Lane is the priority lane.
+	Lane rips.Priority
+	// Workers is the ticket's cost: how many pool workers its machine
+	// needs. Must be at least 1 and at most the arbiter's capacity.
+	Workers int
+	// Ref is an opaque embedder pointer (the serve job), carried so
+	// Start and Preempt callbacks need no side table.
+	Ref any
+
+	state    ticketState
+	deficits int // unused; reserved
+	seq      int64
+	preempts int
+}
+
+type ticketState int
+
+const (
+	ticketIdle ticketState = iota
+	ticketQueued
+	ticketRunning
+	ticketPreempting
+	ticketDone
+)
+
+// Options configures an Arbiter.
+type Options struct {
+	// Capacity is the total worker budget the arbiter may hand out —
+	// the root pool's size.
+	Capacity int
+	// DepthLimit bounds each tenant's queued (not running) tickets
+	// across all lanes; a submission beyond it gets SaturatedError.
+	// Zero means DefaultDepthLimit.
+	DepthLimit int
+	// Quantum is the DRR credit per ring cycle in workers, scaled by
+	// the tenant's weight. Zero means Capacity — the classic DRR
+	// choice of quantum >= max cost, so one cycle's credit affords any
+	// job that fits the machine. Smaller quantums are legal and make
+	// fairness finer-grained at the price of big jobs waiting several
+	// cycles to accumulate their cost.
+	Quantum int
+	// Weights maps tenant names to fairness weights (default 1; values
+	// below 1 are treated as 1). A weight-2 tenant receives twice the
+	// dispatch budget of a weight-1 tenant under saturation.
+	Weights map[string]int
+	// Start launches a ticket's run. It is called with the arbiter's
+	// lock released, once per dispatch — a requeued ticket is started
+	// again. It must not block: spawn the run and return.
+	Start func(*Ticket)
+	// Preempt asks a running ticket to yield. Called with the lock
+	// released. The embedder cancels the ticket's run and, once the
+	// run has unwound, calls Yielded (or Done, if the run actually
+	// completed first — the race is benign).
+	Preempt func(*Ticket)
+}
+
+// DefaultDepthLimit is the per-tenant queue bound applied when
+// Options.DepthLimit is zero.
+const DefaultDepthLimit = 64

@@ -65,3 +65,57 @@ func ParseBackend(s string) (Backend, error) {
 	}
 	return 0, fmt.Errorf("rips: unknown backend %q", s)
 }
+
+// Priority is a submission's serving lane in the multi-tenant ripsd
+// frontend: jobs in a higher lane are placed first, and may preempt
+// running lower-lane jobs when the pool is full (the preempted job is
+// requeued and re-run; its answer is unaffected). Priorities order
+// numerically: PriorityLow < PriorityNormal < PriorityHigh.
+//
+// A Priority never changes what a run computes — it is admission
+// vocabulary shared by internal/serve, internal/tenant, ripsd and
+// ripsbench, not a scheduling knob of the RIPS algorithm itself.
+type Priority int
+
+const (
+	// PriorityLow yields to both other lanes and is the first preempted.
+	PriorityLow Priority = iota
+	// PriorityNormal is the default lane for submissions that name none.
+	PriorityNormal
+	// PriorityHigh is placed first and may preempt lower lanes.
+	PriorityHigh
+)
+
+// Priorities returns every defined Priority constant, in ascending
+// lane order. The list backs ParsePriority and the round-trip property
+// tests.
+func Priorities() []Priority {
+	return []Priority{PriorityLow, PriorityNormal, PriorityHigh}
+}
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityNormal:
+		return "normal"
+	case PriorityHigh:
+		return "high"
+	}
+	return fmt.Sprintf("priority(%d)", int(p))
+}
+
+// ParsePriority is the inverse of Priority.String: "low", "normal" or
+// "high". The empty string parses to PriorityNormal — the default lane
+// for submissions that name none — and anything else is an error.
+func ParsePriority(s string) (Priority, error) {
+	if s == "" {
+		return PriorityNormal, nil
+	}
+	for _, p := range Priorities() {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("rips: unknown priority %q", s)
+}

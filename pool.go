@@ -5,10 +5,16 @@ import "rips/internal/par"
 // Pool is a set of resident worker goroutines that successive
 // Parallel-backend runs multiplex onto via Config.Pool — the serving
 // configuration, where one machine's cores are shared by many
-// submissions instead of each run spawning its own workers. A Pool
-// executes one run at a time; concurrent runs serialize in submission
-// order, and a queued run's context is still honored the moment it
-// starts.
+// submissions instead of each run spawning its own workers.
+//
+// A root pool (from NewPool) executes one run at a time; concurrent
+// runs serialize in submission order, and a queued run's context is
+// still honored the moment it starts. Split leases disjoint subsets of
+// the root's workers out as sub-pools; runs on distinct sub-pools
+// execute concurrently, which is how the multi-tenant ripsd frontend
+// (internal/serve + internal/tenant) runs several small jobs on one
+// machine at once. Resize grows or shrinks a lease, Release returns
+// it.
 //
 // The Simulate backend ignores Config.Pool: simulated nodes are
 // goroutines of the virtual-time engine, not pool workers.
@@ -27,9 +33,40 @@ func NewPool(workers int) (*Pool, error) {
 	return &Pool{p: p}, nil
 }
 
-// Workers returns the pool's resident worker count.
+// Workers returns the pool's worker count: the resident total on a
+// root pool, the current lease size on a sub-pool.
 func (p *Pool) Workers() int { return p.p.Workers() }
 
-// Close shuts the resident workers down, blocking until any run in
-// flight completes. Runs submitted after Close fail.
+// Free returns how many of a root pool's workers are currently
+// leasable — neither leased to a sub-pool nor occupied by a run. A
+// sub-pool cannot lease and always reports 0.
+func (p *Pool) Free() int { return p.p.Free() }
+
+// Split leases n workers out of the root pool's free set as a
+// sub-pool usable anywhere a *Pool is (Config.Pool, WithPool). It
+// never blocks: if fewer than n workers are free the lease is refused,
+// so an admission scheduler can decide to queue or preempt instead of
+// deadlocking on capacity.
+func (p *Pool) Split(n int) (*Pool, error) {
+	sub, err := p.p.Split(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{p: sub}, nil
+}
+
+// Resize grows or shrinks a sub-pool's lease to n workers against the
+// root's free set, waiting for any run in flight on the lease first.
+// Growing beyond the free set is an error and leaves the lease
+// unchanged.
+func (p *Pool) Resize(n int) error { return p.p.Resize(n) }
+
+// Release returns a sub-pool's workers to the root's free set and
+// marks the lease unusable, waiting for any run in flight on it.
+// Idempotent; on a root pool Release is Close.
+func (p *Pool) Release() { p.p.Release() }
+
+// Close shuts the resident workers down, blocking until every lease is
+// released and any run in flight completes. Runs submitted after Close
+// fail.
 func (p *Pool) Close() { p.p.Close() }

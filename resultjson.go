@@ -1,6 +1,7 @@
 package rips
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 )
@@ -160,4 +161,23 @@ func (j ResultJSON) Decode() (Config, Result, error) {
 		Canceled:   j.Canceled,
 	}
 	return cfg, res, nil
+}
+
+// Canonical renders the wire config as the canonical cache-key string
+// of the rips-result/v1 encoding: the JSON object with fields in
+// struct order and zero-valued fields omitted (the encoding's
+// omitempty convention), so two submissions that resolve to the same
+// effective configuration — regardless of which defaults each spelled
+// out — produce byte-identical keys. Callers must canonicalize the
+// semantic defaults first (resolve "" enums, fill in defaulted machine
+// sizes) the way the serving frontend's admission path does; Canonical
+// then makes the textual encoding unambiguous. The result cache behind
+// ripsd keys on this string.
+func (j ConfigJSON) Canonical() string {
+	// Marshal of a struct with string/number/bool fields cannot fail.
+	b, err := json.Marshal(j)
+	if err != nil {
+		return fmt.Sprintf("unencodable:%v", err)
+	}
+	return string(b)
 }

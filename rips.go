@@ -255,6 +255,18 @@ func (c Config) machine() (topo.Topology, error) {
 	}
 }
 
+// Nodes returns the configured machine's node count — Procs, Rows x
+// Cols, or the topology's resolution of them. For a Parallel run this
+// is also the number of pool workers the run occupies, which is what
+// the multi-tenant admission arbiter charges a submission for.
+func (c Config) Nodes() (int, error) {
+	m, err := c.machine()
+	if err != nil {
+		return 0, err
+	}
+	return m.Size(), nil
+}
+
 // Validate checks the whole configuration eagerly — machine shape,
 // algorithm/backend compatibility, pool capacity — and returns a
 // descriptive error for the first problem found. RunContext validates
