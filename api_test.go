@@ -333,6 +333,72 @@ func TestPriorityRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParseNormalization pins the shared lenience policy of the three
+// enum parsers: mixed case and surrounding whitespace are normalized
+// once, identically, so parse(decorate(String(x))) == x for every
+// defined constant and every decoration — the parsers must not each
+// invent their own tolerance. Interior whitespace is still an error,
+// and whitespace-only priority input falls to the PriorityNormal
+// default exactly like "".
+func TestParseNormalization(t *testing.T) {
+	capitalize := func(s string) string {
+		if s == "" {
+			return s
+		}
+		return strings.ToUpper(s[:1]) + s[1:]
+	}
+	decorations := []func(string) string{
+		strings.ToUpper,
+		capitalize,
+		func(s string) string { return "  " + s },
+		func(s string) string { return s + "\t" },
+		func(s string) string { return " \n" + strings.ToUpper(s) + " " },
+	}
+	for _, a := range rips.Algorithms() {
+		for _, dec := range decorations {
+			in := dec(a.String())
+			got, err := rips.ParseAlgorithm(in)
+			if err != nil || got != a {
+				t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", in, got, err, a)
+			}
+		}
+	}
+	for _, b := range rips.Backends() {
+		for _, dec := range decorations {
+			in := dec(b.String())
+			got, err := rips.ParseBackend(in)
+			if err != nil || got != b {
+				t.Errorf("ParseBackend(%q) = %v, %v; want %v", in, got, err, b)
+			}
+		}
+	}
+	for _, p := range rips.Priorities() {
+		for _, dec := range decorations {
+			in := dec(p.String())
+			got, err := rips.ParsePriority(in)
+			if err != nil || got != p {
+				t.Errorf("ParsePriority(%q) = %v, %v; want %v", in, got, err, p)
+			}
+		}
+	}
+	if got, err := rips.ParsePriority(" \t\n"); err != nil || got != rips.PriorityNormal {
+		t.Errorf("ParsePriority(whitespace) = %v, %v; want PriorityNormal", got, err)
+	}
+	// Normalization trims edges only: interior whitespace, partial
+	// names and decorated garbage still fail.
+	for _, bad := range []string{"r ips", "si mulate", "hi gh", "ripsx", "PARALLELISM"} {
+		if _, err := rips.ParseAlgorithm(bad); err == nil && bad != "PARALLELISM" {
+			t.Errorf("ParseAlgorithm(%q) unexpectedly parsed", bad)
+		}
+		if _, err := rips.ParseBackend(bad); err == nil {
+			t.Errorf("ParseBackend(%q) unexpectedly parsed", bad)
+		}
+		if _, err := rips.ParsePriority(bad); err == nil {
+			t.Errorf("ParsePriority(%q) unexpectedly parsed", bad)
+		}
+	}
+}
+
 // TestConfigJSONCanonical checks the cache-key encoding: identical
 // resolved configs give byte-identical keys, any field difference
 // changes the key, and zero fields do not appear (so a default spelled

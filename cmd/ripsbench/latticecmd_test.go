@@ -1,0 +1,83 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rips/internal/perfreg"
+)
+
+// captureStdout runs f with os.Stdout redirected and returns what it
+// printed — latticeCmd reports to stdout like every ripsbench
+// experiment, and the test asserts on the human-facing output (the
+// minimal-repro line is part of the command's contract).
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := f()
+	os.Stdout = old
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+// TestLatticeCmdGatesOnDrift is the acceptance path of the perf
+// harness end to end through the CLI: -update writes a baseline, a
+// clean compare passes, and a baseline with a perturbed exact counter
+// makes the compare exit non-zero and print a reproducer in the
+// `ripsbench lattice -config "..."` form.
+func TestLatticeCmdGatesOnDrift(t *testing.T) {
+	baseline := filepath.Join(t.TempDir(), "BENCH_lattice.json")
+
+	if _, err := captureStdout(t, func() error {
+		return latticeCmd([]string{"-update", "-smoke", "-n", "2", "-seed", "1", "-baseline", baseline})
+	}); err != nil {
+		t.Fatalf("lattice -update: %v", err)
+	}
+
+	if out, err := captureStdout(t, func() error {
+		return latticeCmd([]string{"-smoke", "-baseline", baseline})
+	}); err != nil {
+		t.Fatalf("clean compare failed: %v\n%s", err, out)
+	}
+
+	// Inject drift into one deterministic counter of the committed
+	// baseline — the stand-in for a behavioral change in the scheduler.
+	doc, err := perfreg.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Entries[0].Exact[perfreg.ExactMigrated] += 7
+	if err := perfreg.WriteFile(baseline, doc); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := captureStdout(t, func() error {
+		return latticeCmd([]string{"-smoke", "-baseline", baseline})
+	})
+	if err == nil {
+		t.Fatalf("compare against a drifted baseline succeeded; output:\n%s", out)
+	}
+	if !strings.Contains(out, "EXACT drift") {
+		t.Errorf("output does not report the exact drift:\n%s", out)
+	}
+	if !strings.Contains(out, `minimal repro: ripsbench lattice -config "`) {
+		t.Errorf("output has no minimal reproducer line:\n%s", out)
+	}
+	if !strings.Contains(out, doc.Entries[0].Config) {
+		t.Errorf("reproducer/drift output never names the drifted config %q:\n%s", doc.Entries[0].Config, out)
+	}
+}

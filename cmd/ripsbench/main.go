@@ -40,6 +40,21 @@
 // printed in); otherwise -n configurations are sampled from -seed, and
 // -smoke restricts the pool to the cheap seven-app set CI gates on.
 //
+// The lattice experiment reuses the same configuration lattice as a
+// performance probe grid (see internal/perfreg): each point is run on
+// all three backends and its scheduling metrics are recorded, the
+// deterministic simulator quantities exactly and the real-parallel
+// ones advisorily. Against the committed BENCH_lattice.json baseline,
+// any exact drift fails the command and prints a minimal reproducer:
+//
+//	ripsbench lattice [-smoke] [-baseline FILE] [-update] [-n N]
+//	                  [-seed N] [-json FILE] [-config "..."]
+//
+// The default mode re-measures the baseline's own probe points and
+// compares; -update regenerates the baseline from a fresh sample;
+// -config measures one point verbatim (the form drifts are printed
+// in).
+//
 // The serve experiment is the multi-tenant load generator: it drives
 // a live ripsd (or an in-process server) with a job mix spread across
 // tenants and priority lanes, polls every job to its terminal state,
@@ -88,7 +103,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ripsbench [flags] fig4|table1|table2|fig5|table3|ablation|topologies|taxonomy|detail|parscale|difftest|run|serve|all\n")
+		fmt.Fprintf(os.Stderr, "usage: ripsbench [flags] fig4|table1|table2|fig5|table3|ablation|topologies|taxonomy|detail|parscale|difftest|lattice|run|serve|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -97,7 +112,7 @@ func main() {
 		os.Exit(2)
 	}
 	what := flag.Arg(0)
-	if flag.NArg() > 1 && what != "parscale" && what != "difftest" && what != "run" && what != "serve" {
+	if flag.NArg() > 1 && what != "parscale" && what != "difftest" && what != "lattice" && what != "run" && what != "serve" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -134,6 +149,8 @@ func main() {
 		run("parscale", func() error { return parscale(flag.Args()[1:]) })
 	case "difftest":
 		run("difftest", func() error { return difftestCmd(flag.Args()[1:]) })
+	case "lattice":
+		run("lattice", func() error { return latticeCmd(flag.Args()[1:]) })
 	case "run":
 		run("run", func() error { return runCmd(flag.Args()[1:]) })
 	case "serve":

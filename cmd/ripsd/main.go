@@ -20,6 +20,11 @@
 // Endpoints:
 //
 //	GET  /healthz                liveness and pool size
+//	GET  /metrics                Prometheus text exposition: queue depths
+//	                             and wait ages per tenant and lane, pool
+//	                             utilization, dispatch/preemption/cache
+//	                             counters, phase- and job-latency
+//	                             histograms (stdlib-rendered, no deps)
 //	GET  /v1/stats               lanes, tenants, pool and cache counters
 //	GET  /v1/jobs                jobs in submission order
 //	POST /v1/jobs                submit {"app", "size", "config",

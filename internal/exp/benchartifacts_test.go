@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// The committed BENCH artifacts are API: downstream trend tooling (and
+// the nightly CI jobs) decode them through these Go types, so a field
+// rename or schema drift must fail a test in this repo, not a dashboard
+// somewhere. These golden tests decode the artifacts committed at the
+// repo root with DisallowUnknownFields off in one direction only: every
+// field the Go types declare must be decodable from the committed
+// bytes, and the bytes must not carry fields the types have dropped.
+
+// decodeStrict decodes JSON refusing unknown fields, so committed
+// artifacts and the Go schema types cannot drift apart silently.
+func decodeStrict(t *testing.T, path string, v any) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading committed artifact: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		t.Fatalf("%s does not decode through the Go schema types: %v", path, err)
+	}
+}
+
+func TestBenchParArtifactSchema(t *testing.T) {
+	var doc ParScaleJSON
+	decodeStrict(t, "../../BENCH_par.json", &doc)
+	if doc.Schema != ParScaleJSONSchema {
+		t.Fatalf("schema = %q, want %q", doc.Schema, ParScaleJSONSchema)
+	}
+	if doc.App == "" || doc.Cores < 1 || doc.Reps < 1 {
+		t.Errorf("missing run provenance: app=%q cores=%d reps=%d", doc.App, doc.Cores, doc.Reps)
+	}
+	if len(doc.Points) == 0 {
+		t.Fatal("artifact has no scaling points")
+	}
+	for _, p := range doc.Points {
+		if p.Workers < 1 {
+			t.Errorf("point with %d workers", p.Workers)
+		}
+		if p.RIPSWallNs <= 0 || p.StealWallNs <= 0 {
+			t.Errorf("workers=%d: non-positive wall times rips=%d steal=%d", p.Workers, p.RIPSWallNs, p.StealWallNs)
+		}
+		if p.RIPSSpeedup <= 0 || p.StealSpeedup <= 0 {
+			t.Errorf("workers=%d: non-positive speedups", p.Workers)
+		}
+	}
+	if sp := doc.SystemPhase; sp != nil {
+		if sp.SerialNsPerPhase <= 0 || sp.ParallelNsPerPhase <= 0 {
+			t.Errorf("system-phase comparison has non-positive per-phase times: %+v", sp)
+		}
+	}
+}
+
+func TestBenchServeArtifactSchema(t *testing.T) {
+	var doc ServeBenchJSON
+	decodeStrict(t, "../../BENCH_serve.json", &doc)
+	if doc.Schema != ServeBenchSchema {
+		t.Fatalf("schema = %q, want %q", doc.Schema, ServeBenchSchema)
+	}
+	if doc.Workers < 1 || doc.Tenants < 1 || doc.Jobs < 1 {
+		t.Errorf("missing run shape: workers=%d tenants=%d jobs=%d", doc.Workers, doc.Tenants, doc.Jobs)
+	}
+	if doc.Done+doc.Failed > doc.Jobs {
+		t.Errorf("done %d + failed %d exceeds submitted %d", doc.Done, doc.Failed, doc.Jobs)
+	}
+	if len(doc.Lanes) == 0 {
+		t.Fatal("artifact has no per-lane rows")
+	}
+	var laneDone int
+	for _, l := range doc.Lanes {
+		if l.Lane == "" {
+			t.Error("lane row without a lane name")
+		}
+		// Latency percentiles must be ordered; equality is fine (few
+		// samples collapse the tail onto the median).
+		if !(l.P50Ns <= l.P95Ns && l.P95Ns <= l.P99Ns) {
+			t.Errorf("lane %s: percentiles out of order p50=%d p95=%d p99=%d", l.Lane, l.P50Ns, l.P95Ns, l.P99Ns)
+		}
+		if l.Done > l.Jobs {
+			t.Errorf("lane %s: done %d > jobs %d", l.Lane, l.Done, l.Jobs)
+		}
+		laneDone += l.Done
+	}
+	if laneDone != doc.Done {
+		t.Errorf("lane done totals %d, document says %d", laneDone, doc.Done)
+	}
+	if doc.CacheHits+doc.CacheMisses > 0 && (doc.CacheRate < 0 || doc.CacheRate > 1) {
+		t.Errorf("cache hit rate %v outside [0,1]", doc.CacheRate)
+	}
+}

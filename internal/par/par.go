@@ -244,6 +244,51 @@ type Result struct {
 	Canceled bool
 }
 
+// Metric names of Result.Metrics, in the order the accessor emits
+// them. These are the stable vocabulary of the performance-regression
+// harness (internal/perfreg) and its BENCH_lattice.json artifact:
+// renaming one is a schema change, so the names live here as constants
+// rather than ad-hoc strings at every consumer.
+const (
+	MetricWallNS     = "wall_ns"
+	MetricBusyNS     = "busy_ns"
+	MetricOverheadNS = "overhead_ns"
+	MetricIdleNS     = "idle_ns"
+	MetricGenerated  = "generated"
+	MetricExecuted   = "executed"
+	MetricNonlocal   = "nonlocal"
+	MetricMigrated   = "migrated"
+	MetricSteals     = "steals"
+	MetricPhases     = "phases"
+	MetricWaves      = "waves"
+	MetricPhaseSum   = "phase_sum"
+	MetricPhaseMax   = "phase_max"
+)
+
+// Metrics flattens the Result's measures into the stable name → value
+// form consumed by the perf-regression harness and trend artifacts.
+// Names are the Metric* constants; durations are integer nanoseconds.
+// The accessor is the compatibility surface: Result fields may be
+// reorganized, but a name emitted here keeps its meaning (and its
+// presence) across versions of the rips-lattice artifact schema.
+func (r *Result) Metrics() map[string]int64 {
+	return map[string]int64{
+		MetricWallNS:     int64(r.Wall),
+		MetricBusyNS:     int64(r.Busy),
+		MetricOverheadNS: int64(r.Overhead),
+		MetricIdleNS:     int64(r.Idle),
+		MetricGenerated:  r.Generated,
+		MetricExecuted:   r.Executed,
+		MetricNonlocal:   r.Nonlocal,
+		MetricMigrated:   r.Migrated,
+		MetricSteals:     r.Steals,
+		MetricPhases:     r.Phases,
+		MetricWaves:      r.Waves,
+		MetricPhaseSum:   r.PhaseSum,
+		MetricPhaseMax:   int64(r.PhaseMax),
+	}
+}
+
 // Run executes the workload on real cores and returns the wall-clock
 // measures. The caller controls true hardware parallelism through
 // GOMAXPROCS; Run itself never changes it. Each call spawns fresh

@@ -1,9 +1,29 @@
 package par
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+)
+
+// Typed pool errors. Callers that branch on why a lease or run was
+// refused — the admission arbiter deciding between queueing and
+// preemption, tests pinning the contract — match with errors.Is; the
+// wrapped messages keep the human-readable detail (sizes, counts).
+var (
+	// ErrPoolClosed reports an operation on a root pool after Close.
+	ErrPoolClosed = errors.New("par: pool is closed")
+	// ErrLeaseReleased reports an operation on a sub-pool after Release.
+	ErrLeaseReleased = errors.New("par: sub-pool is released")
+	// ErrInsufficientWorkers reports a Split or Resize asking for more
+	// workers than the root's free set holds. The refusal is immediate —
+	// leasing never blocks on capacity — and leaves every lease
+	// unchanged.
+	ErrInsufficientWorkers = errors.New("par: insufficient free workers")
+	// ErrBadLeaseSize reports a Split or Resize asking for fewer than
+	// one worker.
+	ErrBadLeaseSize = errors.New("par: sub-pool needs at least one worker")
 )
 
 // driver abstracts how a run's worker bodies get onto goroutines: the
@@ -145,12 +165,12 @@ func (p *Pool) Split(n int) (*Pool, error) {
 		return nil, fmt.Errorf("par: Split on a sub-pool; lease from the root pool")
 	}
 	if n < 1 {
-		return nil, fmt.Errorf("par: sub-pool needs at least one worker, got %d", n)
+		return nil, fmt.Errorf("%w, got %d", ErrBadLeaseSize, n)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return nil, fmt.Errorf("par: pool is closed")
+		return nil, ErrPoolClosed
 	}
 	ids, err := p.takeLocked(n)
 	if err != nil {
@@ -169,12 +189,12 @@ func (p *Pool) Resize(n int) error {
 		return fmt.Errorf("par: Resize on the root pool; resize sub-pool leases instead")
 	}
 	if n < 1 {
-		return fmt.Errorf("par: sub-pool needs at least one worker, got %d", n)
+		return fmt.Errorf("%w, got %d", ErrBadLeaseSize, n)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return fmt.Errorf("par: sub-pool is released")
+		return ErrLeaseReleased
 	}
 	switch {
 	case n == len(p.ids):
@@ -219,7 +239,7 @@ func (p *Pool) Release() {
 // lease composition is deterministic given the lease history.
 func (p *Pool) takeLocked(n int) ([]int, error) {
 	if len(p.free) < n {
-		return nil, fmt.Errorf("par: want %d workers but only %d of %d are free", n, len(p.free), len(p.ids))
+		return nil, fmt.Errorf("%w: want %d but only %d of %d are free", ErrInsufficientWorkers, n, len(p.free), len(p.ids))
 	}
 	ids := make([]int, n)
 	copy(ids, p.free[:n])
@@ -269,7 +289,7 @@ func (p *Pool) Run(cfg Config) (Result, error) {
 		p.mu.Lock()
 		defer p.mu.Unlock()
 		if p.closed {
-			return Result{}, fmt.Errorf("par: sub-pool is released")
+			return Result{}, ErrLeaseReleased
 		}
 		if n := cfg.Topo.Size(); n > len(p.ids) {
 			return Result{}, fmt.Errorf("par: config needs %d workers but the sub-pool has %d", n, len(p.ids))
@@ -285,7 +305,7 @@ func (p *Pool) Run(cfg Config) (Result, error) {
 	}
 	if p.closed {
 		p.mu.Unlock()
-		return Result{}, fmt.Errorf("par: pool is closed")
+		return Result{}, ErrPoolClosed
 	}
 	p.free = p.free[:0]
 	p.mu.Unlock()

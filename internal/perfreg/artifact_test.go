@@ -1,0 +1,68 @@
+package perfreg
+
+import (
+	"testing"
+
+	"rips/internal/difftest"
+	"rips/internal/par"
+)
+
+// TestBenchLatticeArtifactSchema golden-checks the committed
+// BENCH_lattice.json: it must load through ReadFile (schema tag,
+// non-empty), every probe point must parse back into a lattice
+// configuration, the smoke flag must be honest about the app pool, and
+// every entry must carry the full exact vocabulary with sane values —
+// the compare gate is only as strong as the committed baseline.
+func TestBenchLatticeArtifactSchema(t *testing.T) {
+	doc, err := ReadFile("../../BENCH_lattice.json")
+	if err != nil {
+		t.Fatalf("committed baseline does not load: %v", err)
+	}
+	heavy := map[string]bool{}
+	for _, s := range difftest.Apps() {
+		heavy[s.Name] = s.Heavy
+	}
+	requiredExact := []string{
+		ExactTasks, ExactAppResult, ExactPhases, ExactMigrated,
+		ExactNonlocal, ExactVirtualTimeNS, ExactVirtualOverheadNS, ExactVirtualIdleNS,
+	}
+	requiredAdvisory := []string{
+		AdvisoryRIPSPrefix + par.MetricWallNS,
+		AdvisoryRIPSPrefix + par.MetricWaves,
+		AdvisoryStealPrefix + par.MetricWallNS,
+		AdvisoryStealPrefix + par.MetricSteals,
+	}
+	seen := map[string]bool{}
+	for _, e := range doc.Entries {
+		cfg, err := difftest.Parse(e.Config)
+		if err != nil {
+			t.Errorf("entry %q is not a lattice configuration: %v", e.Config, err)
+			continue
+		}
+		if seen[e.Config] {
+			t.Errorf("duplicate probe point %q", e.Config)
+		}
+		seen[e.Config] = true
+		if doc.Smoke && heavy[cfg.App] {
+			t.Errorf("smoke baseline carries heavy app %q", cfg.App)
+		}
+		for _, k := range requiredExact {
+			v, ok := e.Exact[k]
+			if !ok {
+				t.Errorf("[%s] missing exact metric %q", e.Config, k)
+			}
+			if v < 0 {
+				t.Errorf("[%s] exact %s = %d, want non-negative", e.Config, k, v)
+			}
+		}
+		if e.Exact[ExactTasks] <= 0 || e.Exact[ExactVirtualTimeNS] <= 0 {
+			t.Errorf("[%s] degenerate run: tasks=%d virtual_time=%d",
+				e.Config, e.Exact[ExactTasks], e.Exact[ExactVirtualTimeNS])
+		}
+		for _, k := range requiredAdvisory {
+			if _, ok := e.Advisory[k]; !ok {
+				t.Errorf("[%s] missing advisory metric %q", e.Config, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package perfreg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rips/internal/difftest"
+	"rips/internal/ripsrt"
+)
+
+// Options tune the advisory (real-time) drift thresholds. Exact
+// metrics take no options: they are compared bit-for-bit.
+type Options struct {
+	// Ratio is the multiplicative slack for advisory regressions: a
+	// value is drifting only if got > want*Ratio. 0 means the default.
+	Ratio float64
+	// MinWallDeltaNS additionally gates *_ns advisory metrics: small
+	// absolute wall differences are scheduler noise even at large
+	// ratios (a 2 µs phase doubling to 4 µs means nothing).
+	MinWallDeltaNS int64
+	// MinCounterDelta gates non-duration advisory counters (waves,
+	// steals) the same way.
+	MinCounterDelta int64
+}
+
+// Default advisory thresholds: double-or-worse, and at least 25 ms of
+// real regression (or 16 counted events) before a warning is worth a
+// human's attention.
+const (
+	DefaultRatio           = 2.0
+	DefaultMinWallDeltaNS  = 25_000_000
+	DefaultMinCounterDelta = 16
+)
+
+func (o Options) withDefaults() Options {
+	if o.Ratio == 0 {
+		o.Ratio = DefaultRatio
+	}
+	if o.MinWallDeltaNS == 0 {
+		o.MinWallDeltaNS = DefaultMinWallDeltaNS
+	}
+	if o.MinCounterDelta == 0 {
+		o.MinCounterDelta = DefaultMinCounterDelta
+	}
+	return o
+}
+
+// Drift is one metric disagreeing between baseline and current.
+type Drift struct {
+	Config string
+	Metric string
+	Want   int64 // baseline value
+	Got    int64 // current value
+	Exact  bool  // exact drifts fail the comparison, advisory ones warn
+}
+
+func (d Drift) String() string {
+	kind := "advisory"
+	if d.Exact {
+		kind = "EXACT"
+	}
+	return fmt.Sprintf("%s drift [%s] %s: got %d, baseline %d", kind, d.Config, d.Metric, d.Got, d.Want)
+}
+
+// Report is the outcome of one baseline comparison.
+type Report struct {
+	// Entries is the number of baseline entries compared.
+	Entries int
+	// Exact holds deterministic-metric drifts; any entry here fails
+	// the comparison.
+	Exact []Drift
+	// Advisory holds real-time drifts beyond the noise thresholds;
+	// informational.
+	Advisory []Drift
+	// Missing lists baseline configurations absent from the current
+	// measurement — also fatal: a probe point that can no longer run
+	// is itself a regression.
+	Missing []string
+}
+
+// Failed reports whether the comparison gates: any exact drift or
+// missing probe point.
+func (r *Report) Failed() bool { return len(r.Exact)+len(r.Missing) > 0 }
+
+// Print streams the report in log form: exact drifts, then missing
+// points, then advisory warnings.
+func (r *Report) Print(w io.Writer) {
+	for _, d := range r.Exact {
+		fmt.Fprintln(w, d)
+	}
+	for _, c := range r.Missing {
+		fmt.Fprintf(w, "MISSING [%s]: baseline probe point was not measured\n", c)
+	}
+	for _, d := range r.Advisory {
+		fmt.Fprintln(w, d)
+	}
+	fmt.Fprintf(w, "compared %d lattice points: %d exact drifts, %d missing, %d advisory warnings\n",
+		r.Entries, len(r.Exact), len(r.Missing), len(r.Advisory))
+}
+
+// sortedKeys iterates maps deterministically so reports (and tests
+// over them) are stable.
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Compare checks a fresh measurement against the committed baseline.
+// Exact metrics must match bit-for-bit — they are pure functions of
+// configuration and seed, so any difference is a behavioral change in
+// the scheduling protocol, intended (then regenerate the baseline with
+// -update) or not (a regression). Advisory metrics warn on regressions
+// beyond the Options thresholds and never gate. Entries present only
+// in current are ignored: the baseline defines the probe grid.
+func Compare(baseline, current *Document, opts Options) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{}
+	cur := make(map[string]Entry, len(current.Entries))
+	for _, e := range current.Entries {
+		cur[e.Config] = e
+	}
+	for _, be := range baseline.Entries {
+		rep.Entries++
+		ce, ok := cur[be.Config]
+		if !ok {
+			rep.Missing = append(rep.Missing, be.Config)
+			continue
+		}
+		for _, k := range sortedKeys(be.Exact) {
+			want := be.Exact[k]
+			got, ok := ce.Exact[k]
+			if ok && got == want {
+				continue
+			}
+			rep.Exact = append(rep.Exact, Drift{Config: be.Config, Metric: k, Want: want, Got: got, Exact: true})
+		}
+		for _, k := range sortedKeys(be.Advisory) {
+			want := be.Advisory[k]
+			got, ok := ce.Advisory[k]
+			if !ok {
+				continue // vocabulary change; advisory metrics don't gate
+			}
+			delta := got - want
+			if float64(got) <= float64(want)*opts.Ratio {
+				continue
+			}
+			minDelta := opts.MinCounterDelta
+			if strings.HasSuffix(k, "_ns") {
+				minDelta = opts.MinWallDeltaNS
+			}
+			if delta <= minDelta {
+				continue
+			}
+			rep.Advisory = append(rep.Advisory, Drift{Config: be.Config, Metric: k, Want: want, Got: got})
+		}
+	}
+	return rep
+}
+
+// configCost ranks a lattice configuration for reproducer selection:
+// cheapest app first (the difftest.Apps order is cheapest-first by
+// construction), then fewest workers, then simplest topology, laziest
+// policy, smallest seed. The baseline is defined only at its recorded
+// probe points, so unlike difftest.Shrink the reproducer cannot wander
+// off-lattice — MinimalRepro picks the cheapest *failing* point.
+func configCost(c difftest.Config) [6]int {
+	appRank := 0
+	for i, s := range difftest.Apps() {
+		if s.Name == c.App {
+			appRank = i
+			break
+		}
+	}
+	topoRank := map[string]int{"mesh": 0, "tree": 1, "hypercube": 2}[c.Topology]
+	policyRank := 0
+	if c.Global == ripsrt.All {
+		policyRank += 2
+	}
+	if c.Local == ripsrt.Eager {
+		policyRank++
+	}
+	return [6]int{appRank, c.Workers, topoRank, policyRank, int(c.Seed), 0}
+}
+
+func costLess(a, b [6]int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// MinimalRepro returns the cheapest failing configuration of a failed
+// comparison — the one to hand a human, in the canonical form
+// `ripsbench lattice -config "..."` re-runs verbatim. ok is false when
+// the report did not fail or no failing config parses.
+func MinimalRepro(rep *Report) (cfg difftest.Config, ok bool) {
+	seen := map[string]bool{}
+	var failing []string
+	for _, d := range rep.Exact {
+		if !seen[d.Config] {
+			seen[d.Config] = true
+			failing = append(failing, d.Config)
+		}
+	}
+	for _, c := range rep.Missing {
+		if !seen[c] {
+			seen[c] = true
+			failing = append(failing, c)
+		}
+	}
+	for _, s := range failing {
+		c, err := difftest.Parse(s)
+		if err != nil {
+			continue
+		}
+		if !ok || costLess(configCost(c), configCost(cfg)) {
+			cfg, ok = c, true
+		}
+	}
+	return cfg, ok
+}

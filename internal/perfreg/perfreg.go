@@ -1,0 +1,218 @@
+// Package perfreg is the lattice-guided performance-regression
+// harness: it reuses the differential-testing lattice (app × topology
+// × policy × seed, see internal/difftest) as a performance probe grid,
+// records per-configuration scheduling metrics into a versioned
+// artifact (BENCH_lattice.json, schema rips-lattice/v1), and compares
+// fresh measurements against a committed baseline.
+//
+// The central design problem is that a committed baseline must compare
+// exactly on any machine, while real-parallel numbers never do. The
+// harness splits the metrics accordingly:
+//
+//   - Exact metrics come from the virtual-time simulator (ripsrt),
+//     whose results — virtual execution time T, per-node overhead Th,
+//     task/migration/phase counters, the paper's Table I quantities —
+//     are pure functions of the configuration and seed. Any drift in
+//     an exact metric means the scheduling protocol itself changed
+//     behavior, and the comparison fails.
+//
+//   - Advisory metrics come from the real-parallel backends (RIPS and
+//     work-stealing, internal/par): wall clock, busy/idle split, wave
+//     and steal counts. They depend on the machine and the OS
+//     scheduler, so drift is reported with noise-aware thresholds but
+//     never fails the comparison.
+//
+// A failing comparison is accompanied by a minimal reproducer
+// configuration (see MinimalRepro) printed in the canonical form
+// `ripsbench lattice -config "..."` re-runs verbatim.
+package perfreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"rips/internal/difftest"
+	"rips/internal/ripsrt"
+)
+
+// Schema identifies the BENCH_lattice.json wire format. Bump on any
+// incompatible change to Document or the metric vocabulary.
+const Schema = "rips-lattice/v1"
+
+// Names of the exact (simulator-derived, machine-independent) metrics.
+// Like par.Metric*, these are schema vocabulary: renaming one is an
+// artifact-format change.
+const (
+	ExactTasks             = "tasks"
+	ExactAppResult         = "app_result"
+	ExactPhases            = "phases"
+	ExactMigrated          = "migrated"
+	ExactNonlocal          = "nonlocal"
+	ExactVirtualTimeNS     = "virtual_time_ns"
+	ExactVirtualOverheadNS = "virtual_overhead_ns"
+	ExactVirtualIdleNS     = "virtual_idle_ns"
+)
+
+// Advisory metric names are the par.Metric* vocabulary prefixed with
+// the backend that produced them.
+const (
+	AdvisoryRIPSPrefix  = "rips_"
+	AdvisoryStealPrefix = "steal_"
+)
+
+// Entry is one measured lattice point. Config is the canonical
+// difftest string form (`app=nq12 topo=mesh:2x4 policy=any-lazy
+// seed=3`), so an entry is replayable verbatim and the baseline
+// carries its own probe grid — compare mode re-measures exactly the
+// configurations recorded here, never a fresh sample.
+type Entry struct {
+	Config   string           `json:"config"`
+	Exact    map[string]int64 `json:"exact"`
+	Advisory map[string]int64 `json:"advisory"`
+}
+
+// Document is the artifact root.
+type Document struct {
+	Schema string `json:"schema"`
+	// Seed and Smoke record how the probe grid was sampled (see
+	// difftest.Sample); informational once the entries exist.
+	Seed  int64 `json:"seed"`
+	Smoke bool  `json:"smoke"`
+	// Cores, GoOS and GoArch describe the machine that produced the
+	// advisory numbers; exact numbers are machine-independent.
+	Cores   int     `json:"cores"`
+	GoOS    string  `json:"goos"`
+	GoArch  string  `json:"goarch"`
+	Entries []Entry `json:"entries"`
+}
+
+// Configs parses every entry's configuration back out of the
+// document — the probe grid a comparison run must re-measure.
+func (d *Document) Configs() ([]difftest.Config, error) {
+	out := make([]difftest.Config, 0, len(d.Entries))
+	for _, e := range d.Entries {
+		c, err := difftest.Parse(e.Config)
+		if err != nil {
+			return nil, fmt.Errorf("perfreg: entry %q: %w", e.Config, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// exactMetrics flattens the simulator result into the exact metric
+// map. sim.Time is virtual nanoseconds, so the casts are unit-true.
+func exactMetrics(r ripsrt.Result) map[string]int64 {
+	return map[string]int64{
+		ExactTasks:             r.Generated,
+		ExactAppResult:         r.AppResult,
+		ExactPhases:            r.Phases,
+		ExactMigrated:          r.Migrated,
+		ExactNonlocal:          r.Nonlocal,
+		ExactVirtualTimeNS:     int64(r.Time),
+		ExactVirtualOverheadNS: int64(r.Overhead),
+		ExactVirtualIdleNS:     int64(r.Idle),
+	}
+}
+
+// advisoryMetrics merges both real-parallel backends' stable metric
+// maps (par.Result.Metrics) under backend prefixes.
+func advisoryMetrics(m difftest.Measurement) map[string]int64 {
+	out := make(map[string]int64, 2*13)
+	for name, v := range m.RIPS.Metrics() {
+		out[AdvisoryRIPSPrefix+name] = v
+	}
+	for name, v := range m.Steal.Metrics() {
+		out[AdvisoryStealPrefix+name] = v
+	}
+	return out
+}
+
+// MeasureEntry measures one lattice point into artifact form.
+func MeasureEntry(h *difftest.Harness, cfg difftest.Config) (Entry, error) {
+	m, err := h.Measure(cfg)
+	if err != nil {
+		return Entry{}, err
+	}
+	return Entry{
+		Config:   cfg.String(),
+		Exact:    exactMetrics(m.Sim),
+		Advisory: advisoryMetrics(m),
+	}, nil
+}
+
+// Measure runs every configuration through the three backends and
+// builds the artifact document. A measurement error (including an
+// answer diverging from the sequential truth) aborts: a baseline or a
+// comparison computed from a wrong run would be worse than none. When
+// progress is non-nil one line per configuration is streamed to it.
+func Measure(h *difftest.Harness, cfgs []difftest.Config, seed int64, smoke bool, progress io.Writer) (*Document, error) {
+	doc := &Document{
+		Schema: Schema,
+		Seed:   seed,
+		Smoke:  smoke,
+		Cores:  runtime.NumCPU(),
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+	}
+	for i, cfg := range cfgs {
+		e, err := MeasureEntry(h, cfg)
+		if err != nil {
+			return nil, err
+		}
+		doc.Entries = append(doc.Entries, e)
+		if progress != nil {
+			fmt.Fprintf(progress, "[%3d/%d] %-60s tasks=%d virtual_time=%dns\n",
+				i+1, len(cfgs), cfg.String(), e.Exact[ExactTasks], e.Exact[ExactVirtualTimeNS])
+		}
+	}
+	return doc, nil
+}
+
+// Encode renders the document as indented JSON with a trailing
+// newline. encoding/json emits map keys sorted, so the byte form is
+// deterministic for fixed metric values — regenerating a baseline on
+// the same code produces an identical exact section.
+func Encode(d *Document) ([]byte, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the document to path.
+func WriteFile(path string, d *Document) error {
+	b, err := Encode(d)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadFile loads and schema-checks a baseline document.
+func ReadFile(path string) (*Document, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}
+
+// Decode parses and schema-checks a document.
+func Decode(b []byte) (*Document, error) {
+	var d Document
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("perfreg: decoding baseline: %w", err)
+	}
+	if d.Schema != Schema {
+		return nil, fmt.Errorf("perfreg: baseline schema %q, this build reads %q", d.Schema, Schema)
+	}
+	if len(d.Entries) == 0 {
+		return nil, fmt.Errorf("perfreg: baseline has no entries")
+	}
+	return &d, nil
+}

@@ -1,0 +1,199 @@
+package perfreg
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rips/internal/difftest"
+)
+
+// tinyGrid is a cheap probe grid for harness tests: the two cheapest
+// kernels on the smallest interesting machines.
+func tinyGrid(t *testing.T) []difftest.Config {
+	t.Helper()
+	var cfgs []difftest.Config
+	for _, s := range []string{
+		"app=mg topo=mesh:1x2 policy=any-lazy seed=1",
+		"app=fft topo=tree:3 policy=all-eager seed=2",
+	} {
+		c, err := difftest.Parse(s)
+		if err != nil {
+			t.Fatalf("parsing grid config %q: %v", s, err)
+		}
+		cfgs = append(cfgs, c)
+	}
+	return cfgs
+}
+
+func measureGrid(t *testing.T) *Document {
+	t.Helper()
+	doc, err := Measure(difftest.NewHarness(), tinyGrid(t), 1, true, nil)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	return doc
+}
+
+// copyDoc deep-copies a document so tests can perturb one side.
+func copyDoc(d *Document) *Document {
+	out := *d
+	out.Entries = make([]Entry, len(d.Entries))
+	for i, e := range d.Entries {
+		out.Entries[i] = Entry{Config: e.Config,
+			Exact: map[string]int64{}, Advisory: map[string]int64{}}
+		for k, v := range e.Exact {
+			out.Entries[i].Exact[k] = v
+		}
+		for k, v := range e.Advisory {
+			out.Entries[i].Advisory[k] = v
+		}
+	}
+	return &out
+}
+
+// TestExactMetricsDeterministic is the property the whole design rests
+// on: the exact metric block is a pure function of the configuration,
+// so two independent measurements (fresh harnesses, fresh app
+// instances) must agree bit-for-bit. If this fails, a committed
+// baseline could never gate anything.
+func TestExactMetricsDeterministic(t *testing.T) {
+	a, b := measureGrid(t), measureGrid(t)
+	for i := range a.Entries {
+		if !reflect.DeepEqual(a.Entries[i].Exact, b.Entries[i].Exact) {
+			t.Errorf("[%s] exact metrics differ across identical runs:\n  %v\n  %v",
+				a.Entries[i].Config, a.Entries[i].Exact, b.Entries[i].Exact)
+		}
+	}
+}
+
+// TestCompareCleanBaseline: a measurement compared against itself (and
+// against an independent re-measurement) has no exact drift.
+func TestCompareCleanBaseline(t *testing.T) {
+	base := measureGrid(t)
+	rep := Compare(base, measureGrid(t), Options{})
+	if rep.Failed() {
+		rep.Print(testWriter{t})
+		t.Fatal("clean re-measurement failed the baseline comparison")
+	}
+	if rep.Entries != len(base.Entries) {
+		t.Errorf("compared %d entries, want %d", rep.Entries, len(base.Entries))
+	}
+}
+
+// TestCompareDetectsInjectedDrift perturbs exact counters in a copy of
+// the baseline and asserts the comparison fails and the minimal
+// reproducer is the cheapest failing configuration — the acceptance
+// property of the harness: a behavioral change in the scheduler cannot
+// slip past the committed baseline.
+func TestCompareDetectsInjectedDrift(t *testing.T) {
+	cur := measureGrid(t)
+	base := copyDoc(cur)
+
+	// Drift both points; the reproducer must pick the cheaper app (mg
+	// precedes fft in difftest.Apps' cheapest-first order).
+	base.Entries[0].Exact[ExactMigrated]++
+	base.Entries[1].Exact[ExactPhases] += 3
+
+	rep := Compare(base, cur, Options{})
+	if !rep.Failed() {
+		t.Fatal("injected exact drift did not fail the comparison")
+	}
+	if len(rep.Exact) != 2 {
+		t.Errorf("got %d exact drifts, want 2: %v", len(rep.Exact), rep.Exact)
+	}
+	min, ok := MinimalRepro(rep)
+	if !ok {
+		t.Fatal("failed report produced no reproducer")
+	}
+	if min.App != "mg" {
+		t.Errorf("reproducer picked %q, want the cheapest failing app mg", min.String())
+	}
+	// The reproducer round-trips through the form the CLI prints.
+	back, err := difftest.Parse(min.String())
+	if err != nil || back != min {
+		t.Errorf("reproducer %q does not round-trip: %v", min.String(), err)
+	}
+}
+
+// TestCompareMissingEntryFails: a baseline probe point absent from the
+// current measurement is fatal, not silently skipped.
+func TestCompareMissingEntryFails(t *testing.T) {
+	base := measureGrid(t)
+	cur := copyDoc(base)
+	cur.Entries = cur.Entries[:1]
+	rep := Compare(base, cur, Options{})
+	if !rep.Failed() || len(rep.Missing) != 1 {
+		t.Fatalf("dropped probe point not reported: failed=%v missing=%v", rep.Failed(), rep.Missing)
+	}
+	if min, ok := MinimalRepro(rep); !ok || min.String() != base.Entries[1].Config {
+		t.Errorf("reproducer = %v, %v; want the missing config %q", min, ok, base.Entries[1].Config)
+	}
+}
+
+// TestAdvisoryThresholds: wall-clock regressions warn only beyond both
+// the ratio and the absolute floor, and never fail the comparison.
+func TestAdvisoryThresholds(t *testing.T) {
+	base := measureGrid(t)
+	cur := copyDoc(base)
+
+	// Huge regression: far over 2x and over the 25 ms floor.
+	cur.Entries[0].Advisory["rips_wall_ns"] = base.Entries[0].Advisory["rips_wall_ns"]*3 + 100_000_000
+	// Large ratio but tiny absolute delta: noise, no warning.
+	cur.Entries[1].Advisory["steal_wall_ns"] = base.Entries[1].Advisory["steal_wall_ns"]*5 + 1000
+
+	rep := Compare(base, cur, Options{})
+	if rep.Failed() {
+		t.Fatal("advisory drift failed the comparison; only exact metrics gate")
+	}
+	if len(rep.Advisory) != 1 {
+		t.Fatalf("got %d advisory warnings, want exactly the large regression: %v", len(rep.Advisory), rep.Advisory)
+	}
+	if d := rep.Advisory[0]; d.Metric != "rips_wall_ns" || d.Config != base.Entries[0].Config {
+		t.Errorf("warned on %v, want rips_wall_ns of %q", d, base.Entries[0].Config)
+	}
+	if !strings.Contains(rep.Advisory[0].String(), "advisory") {
+		t.Errorf("advisory drift renders as %q, want it labeled advisory", rep.Advisory[0].String())
+	}
+}
+
+// TestEncodeDecodeRoundTrip also pins schema rejection: a document
+// from a future schema or with no entries refuses to load rather than
+// silently comparing nothing.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	doc := measureGrid(t)
+	b, err := Encode(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(doc, got) {
+		t.Error("document changed across Encode/Decode")
+	}
+	// Determinism of the byte form for fixed values.
+	b2, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Error("Encode is not deterministic for identical documents")
+	}
+
+	if _, err := Decode([]byte(`{"schema":"rips-lattice/v999","entries":[{"config":"x"}]}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+	if _, err := Decode([]byte(`{"schema":"` + Schema + `","entries":[]}`)); err == nil {
+		t.Error("empty baseline accepted")
+	}
+}
+
+// testWriter adapts t.Log for Report.Print.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Log(string(p))
+	return len(p), nil
+}

@@ -83,6 +83,7 @@ func encodePhase(pi rips.PhaseInfo) PhaseEvent {
 // Handler returns the ripsd API:
 //
 //	GET  /healthz                  liveness
+//	GET  /metrics                  Prometheus text exposition
 //	GET  /v1/stats                 tenant queues, lanes, pool, cache
 //	GET  /v1/jobs                  list jobs in submission order
 //	POST /v1/jobs                  submit a JobSpec (202, 400, 503)
@@ -92,6 +93,7 @@ func encodePhase(pi rips.PhaseInfo) PhaseEvent {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -145,6 +147,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleMetrics serves the Prometheus text exposition (version 0.0.4,
+// the format every scraper accepts). Stdlib-only by design: the
+// format is a few Fprintf lines, not a dependency.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.WriteMetrics(w)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -58,6 +58,7 @@ type Job struct {
 	cacheKey string
 	ctx      context.Context
 	cancel   context.CancelFunc
+	metrics  *metricsRegistry // set by Submit; nil in unit tests that build Jobs by hand
 
 	mu           sync.Mutex
 	state        string
@@ -74,6 +75,10 @@ type Job struct {
 	submitted    time.Time
 	started      time.Time
 	finished     time.Time
+	// lastElapsed is the previous phase's cumulative Elapsed within the
+	// current attempt; the difference to the next phase's Elapsed is
+	// the per-phase latency the metrics registry observes.
+	lastElapsed time.Duration
 }
 
 // Snapshot is a consistent copy of a job's mutable state, safe to
@@ -152,8 +157,19 @@ func (j *Job) appendPhase(pi rips.PhaseInfo) {
 	} else {
 		j.dropped++
 	}
+	// Elapsed is cumulative wall time per attempt on the Parallel
+	// backend (zero on Simulate, which has no wall clock to observe):
+	// the delta between consecutive phases is one phase latency.
+	var phaseLat time.Duration
+	if pi.Elapsed > 0 {
+		phaseLat = pi.Elapsed - j.lastElapsed
+		j.lastElapsed = pi.Elapsed
+	}
 	j.wake()
 	j.mu.Unlock()
+	if j.metrics != nil && phaseLat > 0 {
+		j.metrics.observePhase(j.prio, phaseLat)
+	}
 }
 
 // beginAttempt transitions to running and installs the attempt's
@@ -166,6 +182,7 @@ func (j *Job) beginAttempt() context.Context {
 	j.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
+	j.lastElapsed = 0 // Elapsed restarts from zero on every attempt
 	j.runCancel = cancel
 	if j.preemptAsked {
 		cancel()
@@ -228,8 +245,12 @@ func (j *Job) settle(state string, doc *rips.ResultJSON, err error) {
 		j.errMsg = err.Error()
 	}
 	j.finished = time.Now()
+	latency := j.finished.Sub(j.submitted)
 	j.wake()
 	j.mu.Unlock()
+	if j.metrics != nil {
+		j.metrics.observeJob(j.prio, state, latency, false)
+	}
 	j.cancel()
 }
 
@@ -241,7 +262,11 @@ func (j *Job) settleCached(doc *rips.ResultJSON) {
 	j.result = doc
 	j.cacheHit = true
 	j.finished = time.Now()
+	latency := j.finished.Sub(j.submitted)
 	j.wake()
 	j.mu.Unlock()
+	if j.metrics != nil {
+		j.metrics.observeJob(j.prio, StateDone, latency, true)
+	}
 	j.cancel()
 }

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"rips"
+	"rips/internal/tenant"
+)
+
+// metricsPrefix namespaces every exposed metric; the underlying names
+// come from the tenant adapter (tenant.Sample) or this file.
+const metricsPrefix = "ripsd_"
+
+// latencyBuckets are the shared histogram bounds in seconds,
+// exponential ×4 from 100 µs. System phases on small machines land in
+// the first few buckets, whole jobs in the later ones; one bucket
+// vocabulary keeps the exposition simple and the two histograms
+// comparable.
+var latencyBuckets = []float64{
+	0.0001, 0.0004, 0.0016, 0.0064, 0.0256,
+	0.1024, 0.4096, 1.6384, 6.5536, 26.2144,
+}
+
+// histogram is a fixed-bucket cumulative histogram over
+// latencyBuckets. The zero value is ready; the registry's lock
+// serializes access.
+type histogram struct {
+	counts []uint64 // per-bucket (non-cumulative) counts, one per latencyBuckets entry
+	sum    float64
+	count  uint64
+}
+
+func (h *histogram) observe(sec float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(latencyBuckets))
+	}
+	h.sum += sec
+	h.count++
+	for i, b := range latencyBuckets {
+		if sec <= b {
+			h.counts[i]++
+			return
+		}
+	}
+}
+
+// metricsRegistry accumulates the event-driven half of /metrics: the
+// quantities that exist only at the moment they happen (a system phase
+// completing, a job settling) and so cannot be recovered from a
+// snapshot at scrape time. Everything snapshot-derivable (queue
+// depths, pool state, admission counters) is deliberately NOT stored
+// here — it is read fresh from Server.Stats at scrape, so /metrics and
+// /v1/stats can never disagree.
+type metricsRegistry struct {
+	mu sync.Mutex
+	// phaseLatency observes the wall-clock gap between consecutive
+	// system phases of one attempt (Parallel backend; the Simulate
+	// backend has no wall clock and is not observed), by priority lane.
+	phaseLatency [tenant.NumLanes]histogram
+	// jobDuration observes submit-to-settle latency by lane — the
+	// end-to-end number a tenant experiences, queueing and preemption
+	// re-runs included.
+	jobDuration [tenant.NumLanes]histogram
+	// jobsTotal counts settled jobs by terminal state.
+	jobsTotal map[string]int64
+	// cacheServedTotal counts the done jobs settled straight from the
+	// result cache (a subset of jobsTotal["done"]).
+	cacheServedTotal int64
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{jobsTotal: map[string]int64{}}
+}
+
+// observePhase records one phase-to-phase latency.
+func (m *metricsRegistry) observePhase(lane rips.Priority, d time.Duration) {
+	m.mu.Lock()
+	m.phaseLatency[lane].observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// observeJob records a settled job: terminal state, end-to-end
+// latency, and whether the cache served it.
+func (m *metricsRegistry) observeJob(lane rips.Priority, state string, d time.Duration, cached bool) {
+	m.mu.Lock()
+	m.jobsTotal[state]++
+	if cached {
+		m.cacheServedTotal++
+	}
+	m.jobDuration[lane].observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// fnum renders a float the Prometheus way: integral values without an
+// exponent, everything else shortest-round-trip.
+func fnum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeSamples renders a run of tenant.Samples sharing names under the
+// ripsd_ prefix, emitting each metric's HELP/TYPE header once.
+func writeSamples(w io.Writer, samples []tenant.Sample) {
+	seen := map[string]bool{}
+	for _, s := range samples {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			fmt.Fprintf(w, "# HELP %s%s %s\n", metricsPrefix, s.Name, s.Help)
+			fmt.Fprintf(w, "# TYPE %s%s %s\n", metricsPrefix, s.Name, s.Kind)
+		}
+		if s.Labels == "" {
+			fmt.Fprintf(w, "%s%s %s\n", metricsPrefix, s.Name, fnum(s.Value))
+		} else {
+			fmt.Fprintf(w, "%s%s{%s} %s\n", metricsPrefix, s.Name, s.Labels, fnum(s.Value))
+		}
+	}
+}
+
+// writeHistogram renders one lane-labeled histogram family.
+func writeHistogram(w io.Writer, name, help string, hists *[tenant.NumLanes]histogram) {
+	fmt.Fprintf(w, "# HELP %s%s %s\n", metricsPrefix, name, help)
+	fmt.Fprintf(w, "# TYPE %s%s histogram\n", metricsPrefix, name)
+	for lane := 0; lane < tenant.NumLanes; lane++ {
+		h := &hists[lane]
+		label := fmt.Sprintf("lane=%q", rips.Priority(lane).String())
+		var cum uint64
+		for i, b := range latencyBuckets {
+			if h.counts != nil {
+				cum += h.counts[i]
+			}
+			fmt.Fprintf(w, "%s%s_bucket{%s,le=%q} %d\n", metricsPrefix, name, label, fnum(b), cum)
+		}
+		fmt.Fprintf(w, "%s%s_bucket{%s,le=\"+Inf\"} %d\n", metricsPrefix, name, label, h.count)
+		fmt.Fprintf(w, "%s%s_sum{%s} %s\n", metricsPrefix, name, label, fnum(h.sum))
+		fmt.Fprintf(w, "%s%s_count{%s} %d\n", metricsPrefix, name, label, h.count)
+	}
+}
+
+// WriteMetrics renders the full Prometheus text exposition: live
+// snapshot gauges and counters from the admission arbiter, the result
+// cache and the pool (the same sources as GET /v1/stats, so the two
+// endpoints always agree), plus the event-accumulated job-state
+// counters and latency histograms.
+func (s *Server) WriteMetrics(w io.Writer) {
+	arb, cache, poolFree := s.Stats()
+
+	fmt.Fprintf(w, "# HELP %sworkers Shared worker-pool size.\n", metricsPrefix)
+	fmt.Fprintf(w, "# TYPE %sworkers gauge\n", metricsPrefix)
+	fmt.Fprintf(w, "%sworkers %d\n", metricsPrefix, s.Workers())
+	fmt.Fprintf(w, "# HELP %spool_free_workers Pool workers neither leased nor running.\n", metricsPrefix)
+	fmt.Fprintf(w, "# TYPE %spool_free_workers gauge\n", metricsPrefix)
+	fmt.Fprintf(w, "%spool_free_workers %d\n", metricsPrefix, poolFree)
+
+	writeSamples(w, arb.Samples())
+	writeSamples(w, cache.Samples())
+
+	s.metrics.mu.Lock()
+	defer s.metrics.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %sjobs_total Jobs settled, by terminal state.\n", metricsPrefix)
+	fmt.Fprintf(w, "# TYPE %sjobs_total counter\n", metricsPrefix)
+	states := make([]string, 0, len(s.metrics.jobsTotal))
+	for st := range s.metrics.jobsTotal {
+		states = append(states, st)
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		fmt.Fprintf(w, "%sjobs_total{state=%q} %d\n", metricsPrefix, st, s.metrics.jobsTotal[st])
+	}
+	fmt.Fprintf(w, "# HELP %scache_served_jobs_total Done jobs settled straight from the result cache.\n", metricsPrefix)
+	fmt.Fprintf(w, "# TYPE %scache_served_jobs_total counter\n", metricsPrefix)
+	fmt.Fprintf(w, "%scache_served_jobs_total %d\n", metricsPrefix, s.metrics.cacheServedTotal)
+
+	writeHistogram(w, "phase_latency_seconds",
+		"Wall-clock latency between consecutive system phases of one attempt (Parallel backend), by priority lane.",
+		&s.metrics.phaseLatency)
+	writeHistogram(w, "job_duration_seconds",
+		"Submit-to-settle latency, queueing and preemption re-runs included, by priority lane.",
+		&s.metrics.jobDuration)
+}

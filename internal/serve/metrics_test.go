@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"rips"
+)
+
+// scrapeMetrics fetches /metrics and parses the text exposition into
+// series → value, keyed by the full series name including its label
+// set (`ripsd_queue_depth{lane="high"}`).
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want Prometheus text format", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		series, val, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("series %s has non-numeric value %q", series, val)
+		}
+		if _, dup := out[series]; dup {
+			t.Errorf("series %s exposed twice", series)
+		}
+		out[series] = f
+	}
+	return out
+}
+
+// TestMetricsMatchesStats is the /metrics acceptance test: drive a
+// loaded server (multiple tenants, lanes, a cache hit, Parallel and
+// Simulate backends) to quiescence, then assert the Prometheus
+// exposition agrees with GET /v1/stats on every shared total and that
+// the event-fed histograms are internally consistent. Run under -race
+// this also exercises scraping concurrently with running jobs.
+func TestMetricsMatchesStats(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	specs := []JobSpec{
+		{App: "nq", Size: 8, Tenant: "alice", Config: rips.ConfigJSON{Procs: 2, Backend: "parallel"}},
+		{App: "nq", Size: 9, Tenant: "bob", Priority: "high", Config: rips.ConfigJSON{Procs: 2, Backend: "parallel"}},
+		{App: "nq", Size: 8, Tenant: "alice", Priority: "low", Config: rips.ConfigJSON{Procs: 8, Backend: "simulate", Seed: 1}},
+		// Byte-identical to the first submission: settles from the cache
+		// once the first one is done (submitted after it below).
+		{App: "nq", Size: 8, Tenant: "carol", Config: rips.ConfigJSON{Procs: 2, Backend: "parallel"}},
+	}
+
+	// Scrape concurrently with the load so -race checks the registry's
+	// lock protocol against live observation, not just quiescence.
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	scrapes.Add(1)
+	go func() {
+		defer scrapes.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				scrapeMetrics(t, ts.URL)
+			}
+		}
+	}()
+
+	first, err := s.Submit(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, first)
+	var jobs []*Job
+	for _, spec := range specs[1:] {
+		job, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	done := 0
+	cacheHits := 0
+	for _, job := range append(jobs, first) {
+		snap := waitTerminal(t, job)
+		if snap.State != StateDone {
+			t.Fatalf("job %s settled %q (%s)", job.ID, snap.State, snap.Err)
+		}
+		done++
+		if snap.CacheHit {
+			cacheHits++
+		}
+	}
+	if cacheHits != 1 {
+		t.Fatalf("cache hits = %d, want exactly the duplicate submission", cacheHits)
+	}
+	close(stop)
+	scrapes.Wait()
+
+	// Quiescent: every job terminal, nothing queued. The exposition and
+	// the stats snapshot must now agree exactly.
+	m := scrapeMetrics(t, ts.URL)
+	arb, cache, poolFree := s.Stats()
+
+	want := map[string]float64{
+		"ripsd_workers":                  float64(s.Workers()),
+		"ripsd_pool_free_workers":        float64(poolFree),
+		"ripsd_capacity_workers":         float64(arb.Capacity),
+		"ripsd_free_workers":             float64(arb.Free),
+		"ripsd_dispatches_total":         float64(arb.Dispatches),
+		"ripsd_preemptions_total":        float64(arb.Preemptions),
+		"ripsd_requeues_total":           float64(arb.Requeues),
+		"ripsd_rejects_total":            float64(arb.Rejects),
+		"ripsd_cache_hits_total":         float64(cache.Hits),
+		"ripsd_cache_misses_total":       float64(cache.Misses),
+		"ripsd_cache_entries":            float64(cache.Entries),
+		"ripsd_cache_max_entries":        float64(cache.Max),
+		`ripsd_jobs_total{state="done"}`: float64(done),
+		"ripsd_cache_served_jobs_total":  float64(cacheHits),
+	}
+	for series, v := range want {
+		got, ok := m[series]
+		if !ok {
+			t.Errorf("exposition is missing %s", series)
+			continue
+		}
+		if got != v {
+			t.Errorf("%s = %v, /v1/stats says %v", series, got, v)
+		}
+	}
+	for _, p := range rips.Priorities() {
+		lane := p.String()
+		if got := m[`ripsd_queue_depth{lane="`+lane+`"}`]; got != float64(arb.Lanes[p].Queued) {
+			t.Errorf("queue_depth{%s} = %v, stats say %d", lane, got, arb.Lanes[p].Queued)
+		}
+		if got := m[`ripsd_running_jobs{lane="`+lane+`"}`]; got != float64(arb.Lanes[p].Running) {
+			t.Errorf("running_jobs{%s} = %v, stats say %d", lane, got, arb.Lanes[p].Running)
+		}
+	}
+
+	// Histogram consistency: the normal lane saw Parallel phases, so
+	// phase latencies were observed; job durations count every settled
+	// job across lanes; +Inf buckets equal counts.
+	var jobCount, phaseCount float64
+	for _, p := range rips.Priorities() {
+		lane := p.String()
+		jc := m[`ripsd_job_duration_seconds_count{lane="`+lane+`"}`]
+		jobCount += jc
+		phaseCount += m[`ripsd_phase_latency_seconds_count{lane="`+lane+`"}`]
+		if inf := m[`ripsd_job_duration_seconds_bucket{lane="`+lane+`",le="+Inf"}`]; inf != jc {
+			t.Errorf("lane %s: job_duration +Inf bucket %v != count %v", lane, inf, jc)
+		}
+	}
+	if jobCount != float64(done) {
+		t.Errorf("job_duration histograms observed %v jobs, want %d", jobCount, done)
+	}
+	if phaseCount == 0 {
+		t.Error("no phase latencies observed despite Parallel runs")
+	}
+}

@@ -83,10 +83,11 @@ var (
 // result cache. Create with NewServer, expose with Handler, stop with
 // Drain/Close.
 type Server struct {
-	opts  Options
-	pool  *rips.Pool
-	arb   *tenant.Arbiter
-	cache *tenant.Cache
+	opts    Options
+	pool    *rips.Pool
+	arb     *tenant.Arbiter
+	cache   *tenant.Cache
+	metrics *metricsRegistry
 
 	// baseCtx parents every job context, so Close cancels all jobs.
 	baseCtx    context.Context
@@ -127,6 +128,7 @@ func NewServer(opts Options) (*Server, error) {
 		opts:       opts,
 		pool:       pool,
 		cache:      tenant.NewCache(opts.CacheEntries),
+		metrics:    newMetricsRegistry(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		idle:       make(chan struct{}),
@@ -201,6 +203,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		tenant:    ten,
 		prio:      prio,
 		cacheKey:  tenant.Key(spec.App, spec.Size, rips.EncodeConfig(cfg)),
+		metrics:   s.metrics,
 		ctx:       ctx,
 		cancel:    cancel,
 		state:     StateQueued,

@@ -1,0 +1,179 @@
+package tenant
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rips"
+)
+
+// refModel is the executable specification the Cache is checked
+// against: a plain map plus an explicit recency list (front = most
+// recently used), updated by the same rules Cache documents. It makes
+// no attempt at efficiency — its whole value is being obviously
+// correct.
+type refModel struct {
+	max     int
+	docs    map[string]rips.ResultJSON
+	recency []string // recency[0] is most recently used
+}
+
+func newRefModel(max int) *refModel {
+	return &refModel{max: max, docs: map[string]rips.ResultJSON{}}
+}
+
+func (m *refModel) touch(key string) {
+	for i, k := range m.recency {
+		if k == key {
+			m.recency = append(m.recency[:i], m.recency[i+1:]...)
+			break
+		}
+	}
+	m.recency = append([]string{key}, m.recency...)
+}
+
+func (m *refModel) get(key string) (rips.ResultJSON, bool) {
+	doc, ok := m.docs[key]
+	if ok {
+		m.touch(key)
+	}
+	return doc, ok
+}
+
+func (m *refModel) put(key string, doc rips.ResultJSON) {
+	m.docs[key] = doc
+	m.touch(key)
+	for len(m.recency) > m.max {
+		last := m.recency[len(m.recency)-1]
+		m.recency = m.recency[:len(m.recency)-1]
+		delete(m.docs, last)
+	}
+}
+
+// TestCacheMatchesReferenceModel drives the Cache and the reference
+// model through the same random insert/get/re-put sequence over a key
+// space larger than the bound (so eviction is constantly engaged) and
+// asserts after every step that hits, misses and returned documents
+// agree, and that the cache's entry count never exceeds the bound.
+// Documents are distinguishable by AppResult, so a hit returning the
+// wrong document (e.g. a stale value surviving a re-put) is caught,
+// not just a wrong hit/miss verdict — and because the model's eviction
+// order is explicit, any divergence in LRU bookkeeping (touch on get,
+// touch on re-put, evict-from-back) surfaces as a hit/miss mismatch
+// within at most max operations.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	const (
+		maxEntries = 8
+		keySpace   = 24 // 3x the bound: most of the space is always evicted
+		steps      = 5000
+	)
+	rng := rand.New(rand.NewSource(1))
+	c := NewCache(maxEntries)
+	m := newRefModel(maxEntries)
+
+	var puts int64
+	for step := 0; step < steps; step++ {
+		key := fmt.Sprintf("k%d", rng.Intn(keySpace))
+		if rng.Intn(2) == 0 {
+			puts++
+			doc := rips.ResultJSON{Schema: rips.ResultJSONSchema, AppResult: puts}
+			c.Put(key, doc)
+			m.put(key, doc)
+		} else {
+			got, ok := c.Get(key)
+			want, wantOK := m.get(key)
+			if ok != wantOK {
+				t.Fatalf("step %d: Get(%q) present=%v, model says %v", step, key, ok, wantOK)
+			}
+			if ok && got.AppResult != want.AppResult {
+				t.Fatalf("step %d: Get(%q) = doc %d, model has doc %d", step, key, got.AppResult, want.AppResult)
+			}
+		}
+		stats := c.Stats()
+		if stats.Entries != len(m.docs) {
+			t.Fatalf("step %d: cache holds %d entries, model holds %d", step, stats.Entries, len(m.docs))
+		}
+		if stats.Entries > maxEntries {
+			t.Fatalf("step %d: cache holds %d entries, bound is %d", step, stats.Entries, maxEntries)
+		}
+	}
+
+	// Endgame: every key the model kept must hit, every key it evicted
+	// must miss — the full eviction-order check in one sweep. Counted
+	// against the model's own bookkeeping before the sweep mutates it.
+	kept := make(map[string]rips.ResultJSON, len(m.docs))
+	for k, v := range m.docs {
+		kept[k] = v
+	}
+	for i := 0; i < keySpace; i++ {
+		key := fmt.Sprintf("k%d", i)
+		want, wantOK := kept[key]
+		got, ok := c.Get(key)
+		if ok != wantOK {
+			t.Errorf("endgame: Get(%q) present=%v, model says %v", key, ok, wantOK)
+			continue
+		}
+		if ok && got.AppResult != want.AppResult {
+			t.Errorf("endgame: Get(%q) = doc %d, model has doc %d", key, got.AppResult, want.AppResult)
+		}
+	}
+}
+
+// TestCanonicalKeyCollisionIffEqual is the cache-key half of the LRU
+// property: over a set of randomly resolved configurations,
+// Key(app, size, EncodeConfig(cfg)) collides exactly when the resolved
+// configs (and app identity) are equal — equal configs must share an
+// entry (that is the cache's purpose), unequal ones must never alias
+// (that would serve one tenant another workload's answer).
+func TestCanonicalKeyCollisionIffEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type submission struct {
+		app  string
+		size int
+		cfg  rips.Config
+	}
+	randomSub := func() submission {
+		cfg := rips.Config{
+			Procs:   1 + rng.Intn(4),
+			Backend: rips.Parallel,
+			Seed:    int64(rng.Intn(3)),
+		}
+		if rng.Intn(2) == 0 {
+			cfg.Eager = true
+		}
+		if rng.Intn(2) == 0 {
+			cfg.All = true
+		}
+		if rng.Intn(3) == 0 {
+			cfg.Backend = rips.Simulate
+		}
+		apps := []string{"nq", "ida"}
+		return submission{app: apps[rng.Intn(len(apps))], size: 8 + rng.Intn(3), cfg: cfg}
+	}
+	subs := make([]submission, 60)
+	for i := range subs {
+		subs[i] = randomSub()
+	}
+	for i, a := range subs {
+		for j, b := range subs {
+			if j < i {
+				continue
+			}
+			// Equality over the wire form: ConfigJSON carries exactly the
+			// fields that define a run (hooks and pools are process-local
+			// wiring and excluded by design), and it is a comparable
+			// struct, so == is field-for-field resolved-config equality.
+			ja, jb := rips.EncodeConfig(a.cfg), rips.EncodeConfig(b.cfg)
+			equal := a.app == b.app && a.size == b.size && ja == jb
+			ka := Key(a.app, a.size, ja)
+			kb := Key(b.app, b.size, jb)
+			if equal && ka != kb {
+				t.Errorf("equal submissions produced distinct keys:\n  %q\n  %q", ka, kb)
+			}
+			if !equal && ka == kb {
+				t.Errorf("distinct submissions collided on key %q:\n  %+v\n  %+v", ka, a, b)
+			}
+		}
+	}
+}

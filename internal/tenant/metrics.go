@@ -1,0 +1,87 @@
+package tenant
+
+import (
+	"fmt"
+	"sort"
+
+	"rips"
+)
+
+// Sample is one flat gauge or counter measurement derived from an
+// admission or cache snapshot — the bridge between the arbiter's
+// structured Stats and a metrics exposition format. The tenant package
+// decides what is observable and how it is labeled; the serving layer
+// decides the namespace prefix and the wire format, so neither knows
+// the other's business.
+type Sample struct {
+	// Name is the metric name without any namespace prefix, following
+	// Prometheus conventions (_total for counters, unit suffixes).
+	Name string
+	// Labels is the pre-rendered label body (`tenant="a",lane="high"`);
+	// empty for unlabeled metrics.
+	Labels string
+	// Kind is "gauge" or "counter".
+	Kind string
+	// Help is the one-line metric description.
+	Help  string
+	Value float64
+}
+
+// Metric kinds.
+const (
+	KindGauge   = "gauge"
+	KindCounter = "counter"
+)
+
+// laneName renders a lane index under its public priority name.
+func laneName(lane int) string { return rips.Priority(lane).String() }
+
+// Samples flattens the admission snapshot into metric samples. Lanes
+// are labeled by priority name and tenants by tenant name; map order
+// is sorted so successive scrapes render identically.
+func (s Stats) Samples() []Sample {
+	out := []Sample{
+		{Name: "capacity_workers", Kind: KindGauge, Help: "Admission capacity in workers (the shared pool size).", Value: float64(s.Capacity)},
+		{Name: "free_workers", Kind: KindGauge, Help: "Workers the admission ledger considers unleased.", Value: float64(s.Free)},
+		{Name: "dispatches_total", Kind: KindCounter, Help: "Job attempts dispatched to the pool.", Value: float64(s.Dispatches)},
+		{Name: "preemptions_total", Kind: KindCounter, Help: "Running jobs preempted for a higher lane.", Value: float64(s.Preemptions)},
+		{Name: "requeues_total", Kind: KindCounter, Help: "Preempted jobs returned to their queue.", Value: float64(s.Requeues)},
+		{Name: "rejects_total", Kind: KindCounter, Help: "Submissions rejected at admission (queue depth limit).", Value: float64(s.Rejects)},
+	}
+	for lane := 0; lane < NumLanes; lane++ {
+		out = append(out,
+			Sample{Name: "queue_depth", Labels: fmt.Sprintf("lane=%q", laneName(lane)),
+				Kind: KindGauge, Help: "Jobs queued for dispatch, by priority lane.", Value: float64(s.Lanes[lane].Queued)},
+			Sample{Name: "running_jobs", Labels: fmt.Sprintf("lane=%q", laneName(lane)),
+				Kind: KindGauge, Help: "Jobs currently running, by priority lane.", Value: float64(s.Lanes[lane].Running)})
+	}
+	names := make([]string, 0, len(s.Tenants))
+	for name := range s.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := s.Tenants[name]
+		for lane := 0; lane < NumLanes; lane++ {
+			out = append(out, Sample{Name: "tenant_queue_depth",
+				Labels: fmt.Sprintf("tenant=%q,lane=%q", name, laneName(lane)),
+				Kind:   KindGauge, Help: "Jobs a tenant has queued, by priority lane.", Value: float64(ts.Queued[lane])})
+		}
+		out = append(out,
+			Sample{Name: "tenant_running_jobs", Labels: fmt.Sprintf("tenant=%q", name),
+				Kind: KindGauge, Help: "Jobs a tenant has running.", Value: float64(ts.Running)},
+			Sample{Name: "tenant_oldest_wait_seconds", Labels: fmt.Sprintf("tenant=%q", name),
+				Kind: KindGauge, Help: "Age of the tenant's longest-queued job.", Value: float64(ts.OldestWaitNS) / 1e9})
+	}
+	return out
+}
+
+// Samples flattens the result-cache snapshot into metric samples.
+func (c CacheStats) Samples() []Sample {
+	return []Sample{
+		{Name: "cache_hits_total", Kind: KindCounter, Help: "Result-cache hits (jobs settled without running).", Value: float64(c.Hits)},
+		{Name: "cache_misses_total", Kind: KindCounter, Help: "Result-cache misses.", Value: float64(c.Misses)},
+		{Name: "cache_entries", Kind: KindGauge, Help: "Result documents currently cached.", Value: float64(c.Entries)},
+		{Name: "cache_max_entries", Kind: KindGauge, Help: "Result-cache capacity bound.", Value: float64(c.Max)},
+	}
+}

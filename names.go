@@ -1,6 +1,21 @@
 package rips
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
+
+// normalizeEnum canonicalizes user-supplied enum spellings before the
+// Parse* lookups: surrounding whitespace is trimmed and letters are
+// lowered, so "RIPS", " steal\n" and "High" all parse. Every parser in
+// this file normalizes through here exactly once — the three enums
+// share one lenience policy instead of each rejecting mixed case or
+// stray whitespace in its own way. The canonical String() renderings
+// are already lower-case and trimmed, so normalization never changes
+// the parse(String(x)) == x round-trip.
+func normalizeEnum(s string) string {
+	return strings.ToLower(strings.TrimSpace(s))
+}
 
 // Algorithms returns every defined Algorithm constant, in order. The
 // list backs ParseAlgorithm and the round-trip property tests.
@@ -44,9 +59,11 @@ func (b Backend) String() string {
 // ParseAlgorithm is the inverse of Algorithm.String: it maps "rips",
 // "random", "gradient", "rid", "static" or "steal" back to the
 // constant, so ParseAlgorithm(a.String()) == a for every defined a.
+// Input is case-insensitive and surrounding whitespace is ignored.
 // Anything else — including the String() rendering of an out-of-range
 // value — is an error.
 func ParseAlgorithm(s string) (Algorithm, error) {
+	s = normalizeEnum(s)
 	for _, a := range Algorithms() {
 		if s == a.String() {
 			return a, nil
@@ -56,8 +73,10 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 }
 
 // ParseBackend is the inverse of Backend.String: "simulate" or
-// "parallel". Anything else is an error.
+// "parallel", case-insensitively with surrounding whitespace ignored.
+// Anything else is an error.
 func ParseBackend(s string) (Backend, error) {
+	s = normalizeEnum(s)
 	for _, b := range Backends() {
 		if s == b.String() {
 			return b, nil
@@ -106,9 +125,12 @@ func (p Priority) String() string {
 }
 
 // ParsePriority is the inverse of Priority.String: "low", "normal" or
-// "high". The empty string parses to PriorityNormal — the default lane
-// for submissions that name none — and anything else is an error.
+// "high", case-insensitively with surrounding whitespace ignored. The
+// empty string (including all-whitespace input) parses to
+// PriorityNormal — the default lane for submissions that name none —
+// and anything else is an error.
 func ParsePriority(s string) (Priority, error) {
+	s = normalizeEnum(s)
 	if s == "" {
 		return PriorityNormal, nil
 	}

@@ -22,6 +22,24 @@ type Pool struct {
 	p *par.Pool
 }
 
+// Typed pool errors, matchable with errors.Is. They let an admission
+// layer (or a test) branch on why a lease was refused without parsing
+// message text: capacity refusals queue or preempt, lifecycle refusals
+// fail the request.
+var (
+	// ErrPoolClosed reports an operation on a root pool after Close.
+	ErrPoolClosed = par.ErrPoolClosed
+	// ErrLeaseReleased reports an operation on a sub-pool after Release.
+	ErrLeaseReleased = par.ErrLeaseReleased
+	// ErrInsufficientWorkers reports a Split or Resize asking for more
+	// workers than the root pool's free set holds; the lease is
+	// unchanged and nothing blocks.
+	ErrInsufficientWorkers = par.ErrInsufficientWorkers
+	// ErrBadLeaseSize reports a Split or Resize asking for fewer than
+	// one worker.
+	ErrBadLeaseSize = par.ErrBadLeaseSize
+)
+
 // NewPool starts a pool of the given size. Every Parallel run on the
 // pool must fit it: Config.Validate rejects machines larger than the
 // pool.

@@ -1,0 +1,175 @@
+package rips_test
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rips"
+)
+
+// TestPoolLeaseEdgeCases pins the sub-pool leasing contract at its
+// boundaries through the public API: a zero- or negative-size Split is
+// ErrBadLeaseSize, over-capacity Split and Resize are
+// ErrInsufficientWorkers and leave every lease unchanged, a released
+// lease refuses Resize with ErrLeaseReleased, double Release is a
+// no-op, and a closed root refuses Split with ErrPoolClosed. Each
+// refusal is checked with errors.Is — the errors are typed API, not
+// message text.
+func TestPoolLeaseEdgeCases(t *testing.T) {
+	pool, err := rips.NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range []int{0, -1} {
+		if _, err := pool.Split(n); !errors.Is(err, rips.ErrBadLeaseSize) {
+			t.Errorf("Split(%d) = %v, want ErrBadLeaseSize", n, err)
+		}
+	}
+	if free := pool.Free(); free != 4 {
+		t.Fatalf("free = %d after refused splits, want 4", free)
+	}
+
+	// Over-capacity Split refuses immediately (leasing never blocks).
+	if _, err := pool.Split(5); !errors.Is(err, rips.ErrInsufficientWorkers) {
+		t.Errorf("Split(5) on a 4-pool = %v, want ErrInsufficientWorkers", err)
+	}
+
+	sub, err := pool.Split(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.Workers(); got != 2 {
+		t.Fatalf("sub.Workers() = %d, want 2", got)
+	}
+	if free := pool.Free(); free != 2 {
+		t.Fatalf("free = %d with a 2-lease out, want 2", free)
+	}
+
+	// Resize beyond the free set: refused, lease unchanged.
+	if err := sub.Resize(5); !errors.Is(err, rips.ErrInsufficientWorkers) {
+		t.Errorf("Resize(5) = %v, want ErrInsufficientWorkers", err)
+	}
+	if got := sub.Workers(); got != 2 {
+		t.Errorf("lease changed shape after refused Resize: %d workers, want 2", got)
+	}
+	if err := sub.Resize(0); !errors.Is(err, rips.ErrBadLeaseSize) {
+		t.Errorf("Resize(0) = %v, want ErrBadLeaseSize", err)
+	}
+
+	// Growing to exactly the free set succeeds; shrinking returns the
+	// surplus to the root.
+	if err := sub.Resize(4); err != nil {
+		t.Fatalf("Resize(4): %v", err)
+	}
+	if free := pool.Free(); free != 0 {
+		t.Errorf("free = %d with the whole pool leased, want 0", free)
+	}
+	if err := sub.Resize(1); err != nil {
+		t.Fatalf("Resize(1): %v", err)
+	}
+	if free := pool.Free(); free != 3 {
+		t.Errorf("free = %d after shrinking to 1, want 3", free)
+	}
+
+	// Double Release: idempotent; the workers come back exactly once.
+	sub.Release()
+	if free := pool.Free(); free != 4 {
+		t.Fatalf("free = %d after Release, want 4", free)
+	}
+	sub.Release()
+	if free := pool.Free(); free != 4 {
+		t.Fatalf("free = %d after double Release, want 4 (workers returned twice?)", free)
+	}
+	if err := sub.Resize(2); !errors.Is(err, rips.ErrLeaseReleased) {
+		t.Errorf("Resize on a released lease = %v, want ErrLeaseReleased", err)
+	}
+
+	pool.Close()
+	if _, err := pool.Split(1); !errors.Is(err, rips.ErrPoolClosed) {
+		t.Errorf("Split on a closed pool = %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestPoolLeaseConcurrent hammers Split/Resize/Release from many
+// goroutines and checks the capacity invariant the arbiter depends on:
+// leased + free == workers at every quiescent point, no lease is ever
+// granted beyond capacity, and after every lease is released the full
+// pool is free again. Run under -race this also exercises the lock
+// protocol of the lease ledger.
+func TestPoolLeaseConcurrent(t *testing.T) {
+	const workers = 8
+	pool, err := rips.NewPool(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	var mu sync.Mutex
+	leased := 0 // tracked under mu from the goroutines' own accounting
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				n := 1 + rng.Intn(3)
+				sub, err := pool.Split(n)
+				if err != nil {
+					if !errors.Is(err, rips.ErrInsufficientWorkers) {
+						t.Errorf("Split(%d): %v", n, err)
+					}
+					continue
+				}
+				mu.Lock()
+				leased += n
+				if leased > workers {
+					t.Errorf("leases total %d workers, capacity is %d", leased, workers)
+				}
+				mu.Unlock()
+
+				size := n
+				if rng.Intn(2) == 0 {
+					grown := size + 1
+					if err := sub.Resize(grown); err == nil {
+						mu.Lock()
+						leased++
+						size = grown
+						if leased > workers {
+							t.Errorf("leases total %d workers after Resize, capacity is %d", leased, workers)
+						}
+						mu.Unlock()
+					} else if !errors.Is(err, rips.ErrInsufficientWorkers) {
+						t.Errorf("Resize(%d): %v", grown, err)
+					}
+				}
+
+				sub.Release()
+				if rng.Intn(4) == 0 {
+					sub.Release() // double release must stay a no-op under contention
+				}
+				mu.Lock()
+				leased -= size
+				mu.Unlock()
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+
+	if leased != 0 {
+		t.Fatalf("accounting leak: %d workers still recorded as leased", leased)
+	}
+	if free := pool.Free(); free != workers {
+		t.Fatalf("free = %d after all leases released, want %d", free, workers)
+	}
+	// The pool still works after the churn.
+	sub, err := pool.Split(workers)
+	if err != nil {
+		t.Fatalf("Split(%d) after churn: %v", workers, err)
+	}
+	sub.Release()
+}
