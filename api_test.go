@@ -53,7 +53,7 @@ func TestEnumRoundTrip(t *testing.T) {
 	}
 	for bad := -3; bad <= 10; bad++ {
 		b := rips.Backend(bad)
-		if b == rips.Simulate || b == rips.Parallel {
+		if isDefinedBackend(b) {
 			continue
 		}
 		s := b.String()
@@ -69,6 +69,15 @@ func TestEnumRoundTrip(t *testing.T) {
 func isDefined(a rips.Algorithm) bool {
 	for _, d := range rips.Algorithms() {
 		if a == d {
+			return true
+		}
+	}
+	return false
+}
+
+func isDefinedBackend(b rips.Backend) bool {
+	for _, d := range rips.Backends() {
+		if b == d {
 			return true
 		}
 	}
@@ -92,6 +101,17 @@ func TestNewConfigOptions(t *testing.T) {
 	}
 	if cfg.Procs != 8 || cfg.Backend != rips.Parallel || !cfg.Eager || cfg.Seed != 7 {
 		t.Errorf("NewConfig assembled %+v", cfg)
+	}
+	hcfg, err := rips.NewConfig(
+		rips.WithWorkers(4),
+		rips.WithBackend(rips.Hybrid),
+		rips.WithDomains(2),
+	)
+	if err != nil {
+		t.Fatalf("NewConfig(hybrid): %v", err)
+	}
+	if hcfg.Backend != rips.Hybrid || hcfg.Domains != 2 {
+		t.Errorf("NewConfig assembled hybrid %+v", hcfg)
 	}
 
 	for _, tc := range []struct {
@@ -127,6 +147,22 @@ func TestNewConfigOptions(t *testing.T) {
 			"hypercube size",
 			[]rips.Option{rips.WithWorkers(6), rips.WithTopology("hypercube")},
 			"power-of-two",
+		},
+		{"bad domains", []rips.Option{rips.WithDomains(-1)}, "non-negative"},
+		{
+			"domains on parallel",
+			[]rips.Option{rips.WithWorkers(4), rips.WithBackend(rips.Parallel), rips.WithDomains(2)},
+			"only to the Hybrid backend",
+		},
+		{
+			"steal on hybrid",
+			[]rips.Option{rips.WithWorkers(4), rips.WithBackend(rips.Hybrid), rips.WithAlgorithm(rips.Steal)},
+			"must be RIPS",
+		},
+		{
+			"periodic on hybrid",
+			[]rips.Option{rips.WithWorkers(4), rips.WithBackend(rips.Hybrid), rips.WithPeriodic(rips.Millisecond)},
+			"periodic detector is not available",
 		},
 	} {
 		_, err := rips.NewConfig(tc.opts...)
@@ -203,6 +239,19 @@ func TestResultJSONRoundTrip(t *testing.T) {
 
 	if _, err := (rips.ConfigJSON{Algorithm: "magic"}).Decode(); err == nil {
 		t.Error("Decode accepted algorithm \"magic\"")
+	}
+
+	// The hybrid fields ride the same document.
+	hdoc := rips.EncodeResult(
+		rips.Config{Procs: 8, Backend: rips.Hybrid, Domains: 2},
+		rips.Result{Domains: 2, Steals: 5, Tasks: 10},
+	)
+	hcfg, hres, err := hdoc.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hcfg.Backend != rips.Hybrid || hcfg.Domains != 2 || hres.Domains != 2 {
+		t.Errorf("hybrid round-trip: cfg %+v res %+v", hcfg, hres)
 	}
 }
 
@@ -414,6 +463,8 @@ func TestConfigJSONCanonical(t *testing.T) {
 		rips.EncodeConfig(rips.Config{Procs: 4, Backend: rips.Parallel, Seed: 7, Eager: true}),
 		rips.EncodeConfig(rips.Config{Procs: 4, Backend: rips.Parallel, Seed: 7, Topology: "tree"}),
 		rips.EncodeConfig(rips.Config{Procs: 4, Seed: 7}),
+		rips.EncodeConfig(rips.Config{Procs: 4, Backend: rips.Hybrid, Seed: 7}),
+		rips.EncodeConfig(rips.Config{Procs: 4, Backend: rips.Hybrid, Seed: 7, Domains: 2}),
 	}
 	seen := map[string]bool{base.Canonical(): true}
 	for i, v := range variants {

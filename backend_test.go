@@ -39,8 +39,40 @@ func TestParallelBackend(t *testing.T) {
 	}
 }
 
+// TestHybridBackend runs the hierarchical backend through the public
+// facade: exact answer, resolved domain count, wall-clock measures.
+func TestHybridBackend(t *testing.T) {
+	a := rips.NQueens(10)
+	p := rips.Measure(a)
+	res, err := rips.RunProfiled(a, p, rips.Config{Procs: 4, Backend: rips.Hybrid, Domains: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != int64(p.Tasks) || res.AppResult != p.Result {
+		t.Errorf("tasks %d result %d, want %d and %d", res.Tasks, res.AppResult, p.Tasks, p.Result)
+	}
+	if res.Domains != 2 {
+		t.Errorf("Domains = %d, want the explicit 2", res.Domains)
+	}
+	if res.Phases < 1 || res.Wall <= 0 || res.Time != 0 {
+		t.Errorf("phases=%d wall=%v virtual=%v", res.Phases, res.Wall, res.Time)
+	}
+
+	// Domains zero auto-detects and reports what it resolved to.
+	res, err = rips.RunProfiled(a, p, rips.Config{Procs: 4, Backend: rips.Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Domains < 1 || res.Domains > 4 {
+		t.Errorf("auto-detected Domains = %d, want in [1, 4]", res.Domains)
+	}
+	if res.AppResult != p.Result {
+		t.Errorf("auto-domain AppResult = %d, want %d", res.AppResult, p.Result)
+	}
+}
+
 // TestParallelBackendPolicyKnobs exercises the Eager/All knobs on the
-// real backend.
+// real backends.
 func TestParallelBackendPolicyKnobs(t *testing.T) {
 	a := rips.NQueens(9)
 	for _, cfg := range []rips.Config{
@@ -48,6 +80,10 @@ func TestParallelBackendPolicyKnobs(t *testing.T) {
 		{Procs: 4, Backend: rips.Parallel, All: true},
 		{Procs: 7, Backend: rips.Parallel, Topology: "tree"},
 		{Procs: 8, Backend: rips.Parallel, Topology: "hypercube"},
+		{Procs: 4, Backend: rips.Hybrid, Domains: 2, Eager: true},
+		{Procs: 4, Backend: rips.Hybrid, Domains: 2, All: true},
+		{Procs: 7, Backend: rips.Hybrid, Domains: 2, Topology: "tree"},
+		{Procs: 8, Backend: rips.Hybrid, Domains: 2, Topology: "hypercube"},
 	} {
 		res, err := rips.Run(a, cfg)
 		if err != nil {
@@ -70,6 +106,15 @@ func TestParallelBackendErrors(t *testing.T) {
 	}
 	if _, err := rips.Run(a, rips.Config{Procs: 4, Backend: rips.Parallel, Periodic: rips.Millisecond}); err == nil {
 		t.Error("periodic detector on the Parallel backend accepted")
+	}
+	if _, err := rips.Run(a, rips.Config{Procs: 4, Backend: rips.Hybrid, Algorithm: rips.Steal}); err == nil {
+		t.Error("steal algorithm on the Hybrid backend accepted")
+	}
+	if _, err := rips.Run(a, rips.Config{Procs: 4, Backend: rips.Parallel, Domains: 2}); err == nil {
+		t.Error("Domains on the Parallel backend accepted")
+	}
+	if _, err := rips.Run(a, rips.Config{Procs: 4, Domains: -1, Backend: rips.Hybrid}); err == nil {
+		t.Error("negative Domains accepted")
 	}
 }
 
@@ -109,8 +154,8 @@ func TestZeroBackoffTerminates(t *testing.T) {
 }
 
 func TestBackendStrings(t *testing.T) {
-	if rips.Simulate.String() != "simulate" || rips.Parallel.String() != "parallel" {
-		t.Fatalf("Backend strings = %q, %q", rips.Simulate.String(), rips.Parallel.String())
+	if rips.Simulate.String() != "simulate" || rips.Parallel.String() != "parallel" || rips.Hybrid.String() != "hybrid" {
+		t.Fatalf("Backend strings = %q, %q, %q", rips.Simulate.String(), rips.Parallel.String(), rips.Hybrid.String())
 	}
 	if rips.Steal.String() != "steal" {
 		t.Fatalf("Steal.String() = %q", rips.Steal.String())

@@ -300,26 +300,33 @@ func taxonomy() error {
 }
 
 // parscale runs the real-parallel scaling experiment on the
-// internal/par backend: GOMAXPROCS swept from 1 to NumCPU, RIPS and
-// work stealing side by side. -app selects the workload family (the
-// Table I contrast on real cores: nq, ida or gromos); -n is that
-// family's size knob. Invariant checks (conservation, Theorem 1
-// balance) run inside every system phase unless disabled via
-// RIPS_INVARIANTS. -smoke shrinks the run to seconds for CI.
+// internal/par backend: GOMAXPROCS swept from 1 to -maxworkers (NumCPU
+// by default), RIPS, work stealing and the hierarchical hybrid side by
+// side. -app selects the workload family (the Table I contrast on real
+// cores: nq, ida or gromos); -n is that family's size knob; -domains
+// shapes the hybrid partition (0 auto-detects the machine's affinity
+// domains). Invariant checks (conservation, Theorem 1 balance) run
+// inside every system phase unless disabled via RIPS_INVARIANTS.
+// -smoke shrinks the run to seconds for CI.
 func parscale(args []string) error {
 	fs := flag.NewFlagSet("parscale", flag.ExitOnError)
 	family := fs.String("app", "nq", "workload family: nq, ida or gromos")
 	size := fs.Int("n", 0, "family size (nq board / ida config 1-3 / gromos cutoff in A); 0 picks the default")
 	reps := fs.Int("reps", 3, "runs per point; the fastest is kept")
+	domains := fs.Int("domains", 0, "hybrid affinity-domain count (0 auto-detects; clamped per point)")
+	maxWorkers := fs.Int("maxworkers", 0, "top of the worker sweep; 0 means NumCPU (larger values oversubscribe)")
 	smoke := fs.Bool("smoke", false, "tiny CI run: reduced workload, 1-2 workers, one rep")
 	jsonPath := fs.String("json", "", "also write the BENCH_par.json trajectory (scaling curve + serial-vs-parallel system-phase comparison) to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	counts := exp.ParScaleCounts(runtime.NumCPU())
+	if *maxWorkers == 0 {
+		*maxWorkers = runtime.NumCPU()
+	}
+	counts := exp.ParScaleCounts(*maxWorkers)
 	if *smoke {
 		*reps = 1
-		counts = exp.ParScaleCounts(min(2, runtime.NumCPU()))
+		counts = exp.ParScaleCounts(min(2, *maxWorkers))
 		if *family == "nq" && *size == 0 {
 			*size = 10
 		}
@@ -328,9 +335,9 @@ func parscale(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "ripsbench: parscale %s on %d cores, worker counts %v, %d reps (invariants: %v)\n",
-		a.Name(), runtime.NumCPU(), counts, *reps, invariant.Enabled())
-	pts, err := exp.ParScale(a, counts, *reps, 0, *seed)
+	fmt.Fprintf(os.Stderr, "ripsbench: parscale %s on %d cores, worker counts %v, %d reps, hybrid domains %d (invariants: %v)\n",
+		a.Name(), runtime.NumCPU(), counts, *reps, *domains, invariant.Enabled())
+	pts, err := exp.ParScale(a, counts, *reps, 0, *domains, *seed)
 	if err != nil {
 		return err
 	}

@@ -9,13 +9,15 @@
 //
 // Usage:
 //
-//	ripsd [-addr HOST:PORT] [-workers N] [-queue N] [-cache N]
-//	      [-weight tenant=N]... [-drain-timeout D]
+//	ripsd [-addr HOST:PORT] [-workers N] [-domains N] [-queue N]
+//	      [-cache N] [-weight tenant=N]... [-drain-timeout D]
 //
 // -queue bounds each tenant's queued (not running) jobs — one noisy
 // tenant gets 503s without starving the rest. -weight sets a tenant's
 // fair-share weight (default 1; repeatable). -cache sizes the result
-// cache in entries.
+// cache in entries. -domains partitions the pool into affinity domains
+// so small jobs' sub-pool leases land inside one domain's cache
+// hierarchy (0 auto-detects the machine's domains).
 //
 // Endpoints:
 //
@@ -60,6 +62,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	workers := flag.Int("workers", runtime.NumCPU(), "shared pool size (worker goroutines)")
+	domains := flag.Int("domains", 0, "pool affinity domains; leases prefer a single domain (0 auto-detects)")
 	queue := flag.Int("queue", serve.DefaultQueueLimit, "per-tenant admission queue limit")
 	cacheEntries := flag.Int("cache", tenant.DefaultCacheEntries, "result cache entries")
 	weights := map[string]int{}
@@ -85,6 +88,7 @@ func main() {
 
 	srv, err := serve.NewServer(serve.Options{
 		Workers:      *workers,
+		Domains:      *domains,
 		QueueLimit:   *queue,
 		CacheEntries: *cacheEntries,
 		Weights:      weights,

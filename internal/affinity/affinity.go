@@ -1,0 +1,119 @@
+// Package affinity is the small OS shim behind the hierarchical hybrid
+// backend (internal/par, Strategy Hybrid): it discovers the machine's
+// NUMA domains and pins the calling thread to a domain's CPU set, so
+// the hybrid runtime can make the paper's Theorem 2 locality physical —
+// tasks stolen within a domain stay inside one cache/memory hierarchy,
+// and only the RIPS system phases cross it.
+//
+// On Linux the domains come from /sys/devices/system/node and pinning
+// is sched_setaffinity on the calling thread (raw syscall; no
+// dependencies). Everywhere else — and on Linux machines whose sysfs
+// is absent or single-node — the package degrades to one domain
+// covering every CPU and pinning becomes a no-op refusal the caller
+// falls back from. Nothing above this package may fail because
+// affinity is unavailable: detection always returns at least one
+// domain, and a Pin error must leave the caller running unpinned but
+// otherwise unchanged (internal/par tests pin that contract).
+package affinity
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Domain is one scheduling domain: a NUMA node and the CPUs local to
+// it. CPUs is nil when the platform cannot enumerate them (the
+// portable fallback); a nil set cannot be pinned to.
+type Domain struct {
+	// Node is the OS node index (the N of /sys/devices/system/node/nodeN
+	// on Linux; 0 in the fallback).
+	Node int
+	// CPUs are the logical CPU indices local to the node, ascending.
+	CPUs []int
+}
+
+var (
+	detectOnce sync.Once
+	detected   []Domain
+)
+
+// Domains returns the machine's NUMA domains, ascending by node index.
+// The result always has at least one entry: platforms (or machines)
+// without visible NUMA topology report a single domain covering the
+// whole machine with a nil CPU set. Detection runs once per process
+// and is cached.
+func Domains() []Domain {
+	detectOnce.Do(func() {
+		detected = detect()
+		if len(detected) == 0 {
+			detected = []Domain{{Node: 0}}
+		}
+		sort.Slice(detected, func(i, j int) bool { return detected[i].Node < detected[j].Node })
+	})
+	return detected
+}
+
+// Pin restricts the calling thread to the given CPU set and returns a
+// restore function that reinstates the previous mask. The caller must
+// hold runtime.LockOSThread for the pin to mean anything (goroutines
+// migrate otherwise). An empty or unpinnable set is an error and the
+// thread is left untouched — callers are expected to fall back to
+// running unpinned.
+func Pin(cpus []int) (restore func(), err error) {
+	if len(cpus) == 0 {
+		return nil, fmt.Errorf("affinity: empty CPU set")
+	}
+	return pin(cpus)
+}
+
+// parseCPUList decodes the kernel's cpulist format ("0-3,8,10-11",
+// possibly with a trailing newline) into ascending CPU indices. An
+// empty list (a memory-only NUMA node) decodes to nil.
+func parseCPUList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var cpus []int
+	for _, part := range strings.Split(s, ",") {
+		lo, hi, ranged := strings.Cut(part, "-")
+		a, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil {
+			return nil, fmt.Errorf("affinity: cpulist entry %q: %v", part, err)
+		}
+		b := a
+		if ranged {
+			if b, err = strconv.Atoi(strings.TrimSpace(hi)); err != nil {
+				return nil, fmt.Errorf("affinity: cpulist entry %q: %v", part, err)
+			}
+		}
+		if a < 0 || b < a {
+			return nil, fmt.Errorf("affinity: cpulist entry %q: bad range", part)
+		}
+		for c := a; c <= b; c++ {
+			cpus = append(cpus, c)
+		}
+	}
+	sort.Ints(cpus)
+	return cpus, nil
+}
+
+// fallbackDomains is the portable single-domain machine view: one
+// domain, node 0, no enumerable CPU set. runtime.NumCPU is reported
+// through Width so callers can size worker partitions.
+func fallbackDomains() []Domain {
+	return []Domain{{Node: 0}}
+}
+
+// Width returns the number of CPUs a domain spans, falling back to the
+// whole machine when the platform could not enumerate the set.
+func (d Domain) Width() int {
+	if len(d.CPUs) > 0 {
+		return len(d.CPUs)
+	}
+	return runtime.NumCPU()
+}

@@ -1,0 +1,102 @@
+//go:build linux
+
+package affinity
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"unsafe"
+)
+
+// nodeRoot is the sysfs NUMA topology root; a variable so tests can
+// point detection at a synthetic tree.
+var nodeRoot = "/sys/devices/system/node"
+
+// detect enumerates NUMA nodes from sysfs. Nodes without local CPUs
+// (memory-only nodes) are skipped: a scheduling domain with nothing to
+// schedule on is useless to the hybrid backend. Any read or parse
+// problem degrades to the portable fallback — detection must never
+// fail.
+func detect() []Domain {
+	entries, err := os.ReadDir(nodeRoot)
+	if err != nil {
+		return fallbackDomains()
+	}
+	var doms []Domain
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "node") {
+			continue
+		}
+		id, err := strconv.Atoi(name[len("node"):])
+		if err != nil {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(nodeRoot, name, "cpulist"))
+		if err != nil {
+			continue
+		}
+		cpus, err := parseCPUList(string(b))
+		if err != nil || len(cpus) == 0 {
+			continue
+		}
+		doms = append(doms, Domain{Node: id, CPUs: cpus})
+	}
+	if len(doms) == 0 {
+		return fallbackDomains()
+	}
+	return doms
+}
+
+// cpuSetWords sizes the affinity mask at 1024 CPUs — the kernel's
+// historical CPU_SETSIZE, comfortably above any machine this runs on.
+const cpuSetWords = 1024 / 64
+
+type cpuSet [cpuSetWords]uint64
+
+func (s *cpuSet) set(cpu int) bool {
+	if cpu < 0 || cpu >= cpuSetWords*64 {
+		return false
+	}
+	s[cpu/64] |= 1 << (uint(cpu) % 64)
+	return true
+}
+
+// schedAffinity wraps the raw sched_{get,set}affinity syscalls on the
+// calling thread (pid 0). The stdlib syscall package exports the
+// syscall numbers but not wrappers, so the shim issues them directly —
+// no external dependencies.
+func schedAffinity(trap uintptr, set *cpuSet) error {
+	_, _, errno := syscall.RawSyscall(trap, 0, uintptr(cpuSetWords*8), uintptr(unsafe.Pointer(set)))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// pin applies the CPU set to the calling thread and returns a restore
+// closure reinstating the mask read before the change.
+func pin(cpus []int) (func(), error) {
+	var prev cpuSet
+	if err := schedAffinity(syscall.SYS_SCHED_GETAFFINITY, &prev); err != nil {
+		return nil, fmt.Errorf("affinity: reading current mask: %w", err)
+	}
+	var want cpuSet
+	for _, c := range cpus {
+		if !want.set(c) {
+			return nil, fmt.Errorf("affinity: cpu %d out of mask range", c)
+		}
+	}
+	if err := schedAffinity(syscall.SYS_SCHED_SETAFFINITY, &want); err != nil {
+		return nil, fmt.Errorf("affinity: pinning to %v: %w", cpus, err)
+	}
+	return func() {
+		// Restoration is best-effort: the thread is about to be unlocked
+		// (or is exiting) either way, and there is nobody to report to.
+		_ = schedAffinity(syscall.SYS_SCHED_SETAFFINITY, &prev)
+	}, nil
+}

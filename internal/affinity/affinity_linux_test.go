@@ -1,0 +1,75 @@
+//go:build linux
+
+package affinity
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestPinRoundTrip pins the calling thread to CPU 0 (which always
+// exists), checks the restore closure reinstates the previous mask
+// without error, and checks an unpinnable set fails cleanly — the
+// fall-back-to-unpinned contract the hybrid backend relies on.
+func TestPinRoundTrip(t *testing.T) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+
+	restore, err := Pin([]int{0})
+	if err != nil {
+		t.Fatalf("Pin([0]): %v", err)
+	}
+	restore()
+
+	// A CPU index beyond the mask is rejected before any syscall.
+	if _, err := Pin([]int{cpuSetWords * 64}); err == nil {
+		t.Error("Pin(out-of-range cpu) succeeded")
+	}
+	// A mask of CPUs the machine does not have fails in the kernel; the
+	// thread must be left runnable (this test keeps executing).
+	if _, err := Pin([]int{1022, 1023}); err == nil && runtime.NumCPU() < 1022 {
+		t.Error("Pin(nonexistent cpus) succeeded")
+	}
+}
+
+// TestDetectSyntheticSysfs points detection at a synthetic sysfs tree:
+// two CPU-carrying nodes plus a memory-only node (skipped) plus a
+// non-node entry (ignored).
+func TestDetectSyntheticSysfs(t *testing.T) {
+	dir := t.TempDir()
+	write := func(node, cpulist string) {
+		p := filepath.Join(dir, node)
+		if err := os.MkdirAll(p, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(p, "cpulist"), []byte(cpulist), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("node0", "0-3\n")
+	write("node1", "4-7\n")
+	write("node2", "\n") // memory-only: no local CPUs
+	if err := os.MkdirAll(filepath.Join(dir, "possible"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	old := nodeRoot
+	nodeRoot = dir
+	defer func() { nodeRoot = old }()
+
+	doms := detect()
+	if len(doms) != 2 {
+		t.Fatalf("detect() = %v, want 2 CPU-carrying domains", doms)
+	}
+	if doms[0].Node != 0 || len(doms[0].CPUs) != 4 || doms[1].Node != 1 || doms[1].CPUs[0] != 4 {
+		t.Errorf("detect() = %v", doms)
+	}
+
+	// A missing tree degrades to the single-domain fallback.
+	nodeRoot = filepath.Join(dir, "does-not-exist")
+	if doms := detect(); len(doms) != 1 || doms[0].Node != 0 {
+		t.Errorf("detect() without sysfs = %v, want single fallback domain", doms)
+	}
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package affinity
+
+import "fmt"
+
+// detect has no portable NUMA enumeration: the machine is one domain.
+func detect() []Domain {
+	return fallbackDomains()
+}
+
+// pin is unavailable off Linux; callers fall back to running unpinned.
+func pin(cpus []int) (func(), error) {
+	return nil, fmt.Errorf("affinity: thread pinning is not supported on this platform")
+}

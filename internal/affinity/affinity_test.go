@@ -1,0 +1,60 @@
+package affinity
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDomainsNonEmpty(t *testing.T) {
+	doms := Domains()
+	if len(doms) == 0 {
+		t.Fatal("Domains() returned no domains; the fallback must guarantee at least one")
+	}
+	for i, d := range doms {
+		if i > 0 && doms[i-1].Node >= d.Node {
+			t.Errorf("domains out of node order: %v", doms)
+		}
+		if d.Width() < 1 {
+			t.Errorf("domain %d has width %d", d.Node, d.Width())
+		}
+		for j := 1; j < len(d.CPUs); j++ {
+			if d.CPUs[j-1] >= d.CPUs[j] {
+				t.Errorf("domain %d CPU set not ascending: %v", d.Node, d.CPUs)
+			}
+		}
+	}
+}
+
+func TestParseCPUList(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []int
+	}{
+		{"0", []int{0}},
+		{"0-3", []int{0, 1, 2, 3}},
+		{"0-2,5,8-9\n", []int{0, 1, 2, 5, 8, 9}},
+		{" 4,2 ", []int{2, 4}},
+		{"", nil},
+		{"\n", nil},
+	} {
+		got, err := parseCPUList(tc.in)
+		if err != nil {
+			t.Errorf("parseCPUList(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseCPUList(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"x", "3-1", "-2", "1-"} {
+		if got, err := parseCPUList(bad); err == nil {
+			t.Errorf("parseCPUList(%q) = %v, want error", bad, got)
+		}
+	}
+}
+
+func TestPinEmptySetRefused(t *testing.T) {
+	if _, err := Pin(nil); err == nil {
+		t.Error("Pin(nil) succeeded; an empty set must be refused")
+	}
+}

@@ -93,6 +93,7 @@ const (
 	BackendSimulate = "simulate"
 	BackendParallel = "parallel"
 	BackendSteal    = "steal"
+	BackendHybrid   = "hybrid"
 )
 
 // Failure describes one diverging (or crashing) backend run: which
@@ -176,7 +177,10 @@ func (h *Harness) Check(cfg Config) *Failure {
 	if f := h.checkParallel(cfg, e, par.RIPS, BackendParallel); f != nil {
 		return f
 	}
-	return h.checkParallel(cfg, e, par.Steal, BackendSteal)
+	if f := h.checkParallel(cfg, e, par.Steal, BackendSteal); f != nil {
+		return f
+	}
+	return h.checkParallel(cfg, e, par.Hybrid, BackendHybrid)
 }
 
 // guard converts an invariant violation escaping a backend run into a
@@ -229,6 +233,9 @@ func (h *Harness) checkParallel(cfg Config, e *appEntry, strat par.Strategy, bac
 			// detector) is exactly the machinery this harness exists to
 			// stress-test against the sequential truth.
 			ParallelApplyMin: -1,
+		}
+		if strat == par.Hybrid {
+			pc.Domains = cfg.Domains
 		}
 		res, err := par.Run(pc)
 		if err != nil {

@@ -59,7 +59,7 @@ func TestCheckRejectsBadConfig(t *testing.T) {
 func TestShrink(t *testing.T) {
 	start := Config{
 		App: "nq13", Topology: "hypercube", Workers: 8,
-		Local: ripsrt.Eager, Global: ripsrt.All, Seed: 21,
+		Local: ripsrt.Eager, Global: ripsrt.All, Domains: 3, Seed: 21,
 	}
 	// The "bug" needs the ALL policy and at least 2 workers; nothing
 	// else matters.
@@ -71,7 +71,7 @@ func TestShrink(t *testing.T) {
 	if !fails(min) {
 		t.Fatalf("Shrink returned a passing config %v", min)
 	}
-	want := Config{App: "mg", Topology: "mesh", Rows: 1, Cols: 2, Workers: 2, Global: ripsrt.All}
+	want := Config{App: "mg", Topology: "mesh", Rows: 1, Cols: 2, Workers: 2, Global: ripsrt.All, Domains: 1}
 	if min != want {
 		t.Fatalf("Shrink(%v) = %v, want %v", start, min, want)
 	}
@@ -114,6 +114,8 @@ func TestParseErrors(t *testing.T) {
 		"app=mg policy=sometimes-lazy",
 		"app=mg policy=any",
 		"app=mg seed=later",
+		"app=mg domains=x",
+		"app=mg domains=-1",
 		"app=mg color=blue",
 	} {
 		if _, err := Parse(s); err == nil {

@@ -27,6 +27,11 @@ type Config struct {
 	// Local and Global select the RIPS transfer policy.
 	Local  ripsrt.LocalPolicy
 	Global ripsrt.GlobalPolicy
+	// Domains is the hybrid backend's affinity-domain count (zero
+	// auto-detects, like par.Config.Domains). It only shapes the hybrid
+	// leg's phase-across/steal-within partition; the answer must not
+	// depend on it, which is exactly what the lattice asserts.
+	Domains int
 	// Seed feeds the simulator's node RNGs and the steal backend's
 	// victim selection. The answer must not depend on it.
 	Seed int64
@@ -43,8 +48,12 @@ func (c Config) String() string {
 	default:
 		shape = strconv.Itoa(c.Workers)
 	}
-	return fmt.Sprintf("app=%s topo=%s:%s policy=%s-%s seed=%d",
+	s := fmt.Sprintf("app=%s topo=%s:%s policy=%s-%s seed=%d",
 		c.App, c.Topology, shape, c.Global, c.Local, c.Seed)
+	if c.Domains > 0 {
+		s += fmt.Sprintf(" domains=%d", c.Domains)
+	}
+	return s
 }
 
 // Parse decodes the String form back into a Config, so a failure
@@ -107,6 +116,12 @@ func Parse(s string) (Config, error) {
 			default:
 				return c, fmt.Errorf("difftest: unknown local policy %q", l)
 			}
+		case "domains":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return c, fmt.Errorf("difftest: domains %q: %v", v, err)
+			}
+			c.Domains = n
 		case "seed":
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
@@ -145,6 +160,9 @@ func (c Config) validate() error {
 		}
 	default:
 		return fmt.Errorf("difftest: unknown topology %q", c.Topology)
+	}
+	if c.Domains < 0 {
+		return fmt.Errorf("difftest: negative domains %d", c.Domains)
 	}
 	return nil
 }
@@ -211,6 +229,10 @@ func Sample(n int, seed int64, smoke bool) []Config {
 		if rng.Intn(2) == 1 {
 			c.Global = ripsrt.All
 		}
+		// The domain axis only shapes the hybrid leg: zero auto-detects,
+		// the positive counts cover single-domain degeneration, even and
+		// non-divisible partitions (resolution clamps to the workers).
+		c.Domains = rng.Intn(4)
 		out = append(out, c)
 	}
 	return out

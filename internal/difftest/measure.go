@@ -19,6 +19,7 @@ type Measurement struct {
 	Sim    ripsrt.Result
 	RIPS   par.Result
 	Steal  par.Result
+	Hybrid par.Result
 }
 
 // Measure runs one configuration on the virtual-time simulator and on
@@ -55,17 +56,20 @@ func (h *Harness) Measure(cfg Config) (Measurement, error) {
 	}
 
 	for _, b := range []struct {
-		name  string
-		strat par.Strategy
-		into  *par.Result
+		name    string
+		strat   par.Strategy
+		domains int
+		into    *par.Result
 	}{
-		{BackendParallel, par.RIPS, &m.RIPS},
-		{BackendSteal, par.Steal, &m.Steal},
+		{BackendParallel, par.RIPS, 0, &m.RIPS},
+		{BackendSteal, par.Steal, 0, &m.Steal},
+		{BackendHybrid, par.Hybrid, cfg.Domains, &m.Hybrid},
 	} {
 		res, err := par.Run(par.Config{
 			Topo:     cfg.machine(),
 			App:      e.app,
 			Strategy: b.strat,
+			Domains:  b.domains,
 			Local:    cfg.Local,
 			Global:   cfg.Global,
 			Seed:     cfg.Seed,

@@ -38,6 +38,15 @@ func Shrink(cfg Config, fails func(Config) bool) Config {
 	cand.Local = ripsrt.Lazy
 	try(cand)
 
+	// Domains toward one: the single-domain hybrid degenerates to pure
+	// intra-domain stealing (no cross-domain phases), and pinning the
+	// count also removes the machine-dependent auto-detection of zero.
+	if cfg.Domains != 1 {
+		cand = cfg
+		cand.Domains = 1
+		try(cand)
+	}
+
 	// Topology toward the mesh (the paper's base machine), then the
 	// machine toward fewer workers. Candidate shapes are tried
 	// smallest-first and the first failing one wins, so the committed

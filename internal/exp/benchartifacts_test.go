@@ -46,12 +46,33 @@ func TestBenchParArtifactSchema(t *testing.T) {
 		if p.Workers < 1 {
 			t.Errorf("point with %d workers", p.Workers)
 		}
-		if p.RIPSWallNs <= 0 || p.StealWallNs <= 0 {
-			t.Errorf("workers=%d: non-positive wall times rips=%d steal=%d", p.Workers, p.RIPSWallNs, p.StealWallNs)
+		if p.RIPSWallNs <= 0 || p.StealWallNs <= 0 || p.HybridWallNs <= 0 {
+			t.Errorf("workers=%d: non-positive wall times rips=%d steal=%d hybrid=%d",
+				p.Workers, p.RIPSWallNs, p.StealWallNs, p.HybridWallNs)
 		}
-		if p.RIPSSpeedup <= 0 || p.StealSpeedup <= 0 {
+		if p.RIPSSpeedup <= 0 || p.StealSpeedup <= 0 || p.HybridSpeedup <= 0 {
 			t.Errorf("workers=%d: non-positive speedups", p.Workers)
 		}
+		if p.HybridDomains < 1 || p.HybridDomains > p.Workers {
+			t.Errorf("workers=%d: hybrid resolved %d domains", p.Workers, p.HybridDomains)
+		}
+		if n := len(p.HybridDomainSteals); n != 0 && n != p.HybridDomains {
+			t.Errorf("workers=%d: %d per-domain steal counters for %d domains", p.Workers, n, p.HybridDomains)
+		}
+		if n := len(p.HybridDomainMigrate); n != 0 && n != p.HybridDomains {
+			t.Errorf("workers=%d: %d per-domain migration counters for %d domains", p.Workers, n, p.HybridDomains)
+		}
+		if p.StealCrossSteals > p.StealSteals {
+			t.Errorf("workers=%d: cross-domain steals %d exceed total steals %d",
+				p.Workers, p.StealCrossSteals, p.StealSteals)
+		}
+	}
+	// The headline claim of the hierarchical backend: at the top of the
+	// sweep the hybrid is no slower than the better pure strategy.
+	last := doc.Points[len(doc.Points)-1]
+	if best := min(last.RIPSWallNs, last.StealWallNs); last.HybridWallNs > best {
+		t.Errorf("at %d workers hybrid wall %d exceeds best pure wall %d",
+			last.Workers, last.HybridWallNs, best)
 	}
 	if sp := doc.SystemPhase; sp != nil {
 		if sp.SerialNsPerPhase <= 0 || sp.ParallelNsPerPhase <= 0 {

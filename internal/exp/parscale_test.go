@@ -42,7 +42,7 @@ func TestParScaleCounts(t *testing.T) {
 
 func TestParScale(t *testing.T) {
 	a := nqueens.New(9, 3)
-	pts, err := ParScale(a, []int{1, 2}, 1, -1, 1)
+	pts, err := ParScale(a, []int{1, 2}, 1, -1, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,25 +50,39 @@ func TestParScale(t *testing.T) {
 		t.Fatalf("got %d points, want 2", len(pts))
 	}
 	for _, p := range pts {
-		if p.RIPS.AppResult != 352 || p.Steal.AppResult != 352 {
-			t.Errorf("%d workers: app results %d/%d, want 352 solutions",
-				p.Workers, p.RIPS.AppResult, p.Steal.AppResult)
+		if p.RIPS.AppResult != 352 || p.Steal.AppResult != 352 || p.Hybrid.AppResult != 352 {
+			t.Errorf("%d workers: app results %d/%d/%d, want 352 solutions",
+				p.Workers, p.RIPS.AppResult, p.Steal.AppResult, p.Hybrid.AppResult)
 		}
-		if p.RIPSSpeedup <= 0 || p.StealSpeedup <= 0 {
-			t.Errorf("%d workers: non-positive speedups %v/%v", p.Workers, p.RIPSSpeedup, p.StealSpeedup)
+		if p.RIPSSpeedup <= 0 || p.StealSpeedup <= 0 || p.HybridSpeedup <= 0 {
+			t.Errorf("%d workers: non-positive speedups %v/%v/%v",
+				p.Workers, p.RIPSSpeedup, p.StealSpeedup, p.HybridSpeedup)
 		}
-		if p.RIPSEff <= 0 || p.RIPSEff > 1 || p.StealEff <= 0 || p.StealEff > 1 {
-			t.Errorf("%d workers: efficiencies out of range %v/%v", p.Workers, p.RIPSEff, p.StealEff)
+		if p.RIPSEff <= 0 || p.RIPSEff > 1 || p.StealEff <= 0 || p.StealEff > 1 ||
+			p.HybridEff <= 0 || p.HybridEff > 1 {
+			t.Errorf("%d workers: efficiencies out of range %v/%v/%v",
+				p.Workers, p.RIPSEff, p.StealEff, p.HybridEff)
+		}
+		// The requested partition is clamped to the worker count, so the
+		// 1-worker point resolves to one domain and the 2-worker point
+		// to the requested two.
+		want := 2
+		if p.Workers < want {
+			want = p.Workers
+		}
+		if p.Hybrid.Domains != want {
+			t.Errorf("%d workers: hybrid resolved %d domains, want %d", p.Workers, p.Hybrid.Domains, want)
 		}
 	}
-	if pts[0].RIPSSpeedup != 1 || pts[0].StealSpeedup != 1 {
-		t.Errorf("1-worker speedups = %v/%v, want 1", pts[0].RIPSSpeedup, pts[0].StealSpeedup)
+	if pts[0].RIPSSpeedup != 1 || pts[0].StealSpeedup != 1 || pts[0].HybridSpeedup != 1 {
+		t.Errorf("1-worker speedups = %v/%v/%v, want 1",
+			pts[0].RIPSSpeedup, pts[0].StealSpeedup, pts[0].HybridSpeedup)
 	}
 
 	var buf strings.Builder
 	PrintParScale(&buf, a, pts)
 	out := buf.String()
-	for _, want := range []string{"9-queens", "rips wall", "steal wall", "352"} {
+	for _, want := range []string{"9-queens", "rips wall", "steal wall", "hyb wall", "352"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("PrintParScale output missing %q:\n%s", want, out)
 		}
@@ -117,10 +131,16 @@ func TestParScaleApp(t *testing.T) {
 func TestWriteParScaleJSON(t *testing.T) {
 	pts := []ParScalePoint{
 		{
-			Workers:     2,
-			RIPS:        par.Result{Wall: 3 * time.Millisecond, Overhead: 400 * time.Microsecond, Phases: 7, Waves: 5, Migrated: 120, AppResult: 352},
-			Steal:       par.Result{Wall: 2 * time.Millisecond, Steals: 17, AppResult: 352},
-			RIPSSpeedup: 1.8, StealSpeedup: 1.9, RIPSEff: 0.9, StealEff: 0.95,
+			Workers: 2,
+			RIPS:    par.Result{Wall: 3 * time.Millisecond, Overhead: 400 * time.Microsecond, Phases: 7, Waves: 5, Migrated: 120, AppResult: 352},
+			Steal:   par.Result{Wall: 2 * time.Millisecond, Steals: 17, CrossSteals: 6, AppResult: 352},
+			Hybrid: par.Result{
+				Wall: 1800 * time.Microsecond, Overhead: 300 * time.Microsecond,
+				Phases: 4, Waves: 3, Migrated: 30, Steals: 11, Domains: 2,
+				DomainSteals: []int64{7, 4}, DomainMigrated: []int64{18, 12}, AppResult: 352,
+			},
+			RIPSSpeedup: 1.8, StealSpeedup: 1.9, HybridSpeedup: 2.1,
+			RIPSEff: 0.9, StealEff: 0.95, HybridEff: 0.97,
 		},
 	}
 	sp := &SystemPhaseJSON{Workers: 16, TasksPerWorker: 64, Phases: 8, SerialNsPerPhase: 900, ParallelNsPerPhase: 400, ParallelWaves: 9}
@@ -141,8 +161,17 @@ func TestWriteParScaleJSON(t *testing.T) {
 	p := doc.Points[0]
 	if p.Workers != 2 || p.RIPSWallNs != 3e6 || p.RIPSOverheadNs != 4e5 ||
 		p.RIPSPhases != 7 || p.RIPSWaves != 5 || p.RIPSMigrated != 120 ||
-		p.StealWallNs != 2e6 || p.StealSteals != 17 {
+		p.StealWallNs != 2e6 || p.StealSteals != 17 || p.StealCrossSteals != 6 {
 		t.Errorf("point = %+v", p)
+	}
+	if p.HybridWallNs != 18e5 || p.HybridOverheadNs != 3e5 || p.HybridPhases != 4 ||
+		p.HybridWaves != 3 || p.HybridMigrated != 30 || p.HybridSteals != 11 ||
+		p.HybridDomains != 2 || p.HybridSpeedup != 2.1 || p.HybridEff != 0.97 {
+		t.Errorf("hybrid point = %+v", p)
+	}
+	if len(p.HybridDomainSteals) != 2 || p.HybridDomainSteals[0] != 7 || p.HybridDomainSteals[1] != 4 ||
+		len(p.HybridDomainMigrate) != 2 || p.HybridDomainMigrate[0] != 18 || p.HybridDomainMigrate[1] != 12 {
+		t.Errorf("hybrid per-domain counters = %v / %v", p.HybridDomainSteals, p.HybridDomainMigrate)
 	}
 	if doc.SystemPhase == nil || *doc.SystemPhase != *sp {
 		t.Errorf("system phase = %+v, want %+v", doc.SystemPhase, sp)
@@ -176,13 +205,17 @@ func TestPrintParScaleGolden(t *testing.T) {
 			Workers:     1,
 			RIPS:        par.Result{Wall: 8 * time.Millisecond, Phases: 9, AppResult: 352, Generated: 2352},
 			Steal:       par.Result{Wall: 7500 * time.Microsecond, AppResult: 352, Generated: 2352},
-			RIPSSpeedup: 1, StealSpeedup: 1, RIPSEff: 0.97, StealEff: 0.99,
+			Hybrid:      par.Result{Wall: 7800 * time.Microsecond, Phases: 2, Domains: 1, AppResult: 352, Generated: 2352},
+			RIPSSpeedup: 1, StealSpeedup: 1, HybridSpeedup: 1,
+			RIPSEff: 0.97, StealEff: 0.99, HybridEff: 0.98,
 		},
 		{
 			Workers:     4,
 			RIPS:        par.Result{Wall: 2200*time.Microsecond + 500*time.Nanosecond, Phases: 11, Migrated: 96, AppResult: 352, Generated: 2352},
-			Steal:       par.Result{Wall: 2 * time.Millisecond, Steals: 41, AppResult: 352, Generated: 2352},
-			RIPSSpeedup: 3.64, StealSpeedup: 3.75, RIPSEff: 0.88, StealEff: 0.93,
+			Steal:       par.Result{Wall: 2 * time.Millisecond, Steals: 41, CrossSteals: 19, AppResult: 352, Generated: 2352},
+			Hybrid:      par.Result{Wall: 1900 * time.Microsecond, Phases: 6, Migrated: 24, Steals: 28, Domains: 2, AppResult: 352, Generated: 2352},
+			RIPSSpeedup: 3.64, StealSpeedup: 3.75, HybridSpeedup: 4.11,
+			RIPSEff: 0.88, StealEff: 0.93, HybridEff: 0.95,
 		},
 	}
 	var buf strings.Builder

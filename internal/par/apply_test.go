@@ -172,29 +172,32 @@ func TestApplyModesAgree(t *testing.T) {
 // to the cap, productive phases fall back to the base, and the
 // constant/disabled Config overrides bypass adaptation entirely.
 func TestAdaptiveDetector(t *testing.T) {
-	r := &ripsRun{cfg: &Config{}, n: 64, wait: DefaultDetectInterval}
+	cfg := &Config{}
+	r := &ripsRun{cfg: cfg, n: 64, det: newDetector(cfg)}
 	for i := 0; i < 64; i++ {
 		r.phaseMoved = 0
 		r.updateDetector()
 	}
-	if want := adaptMaxFactor * DefaultDetectInterval; r.wait != want {
-		t.Errorf("starved detector wait = %v, want cap %v", r.wait, want)
+	if want := adaptMaxFactor * DefaultDetectInterval; r.det.wait != want {
+		t.Errorf("starved detector wait = %v, want cap %v", r.det.wait, want)
 	}
 	for i := 0; i < 64; i++ {
 		r.phaseMoved = 8 * r.n
 		r.updateDetector()
 	}
-	if r.wait != DefaultDetectInterval {
-		t.Errorf("productive detector wait = %v, want base %v", r.wait, DefaultDetectInterval)
+	if r.det.wait != DefaultDetectInterval {
+		t.Errorf("productive detector wait = %v, want base %v", r.det.wait, DefaultDetectInterval)
 	}
 
-	rc := &ripsRun{cfg: &Config{DetectInterval: time.Millisecond}, n: 64, wait: DefaultDetectInterval}
+	ccfg := &Config{DetectInterval: time.Millisecond}
+	rc := &ripsRun{cfg: ccfg, n: 64, det: newDetector(ccfg)}
 	rc.phaseMoved = 0
 	rc.updateDetector()
 	if got := rc.detectWait(); got != time.Millisecond {
 		t.Errorf("constant override wait = %v, want %v", got, time.Millisecond)
 	}
-	rd := &ripsRun{cfg: &Config{DetectInterval: -1}, n: 64}
+	dcfg := &Config{DetectInterval: -1}
+	rd := &ripsRun{cfg: dcfg, n: 64, det: newDetector(dcfg)}
 	if got := rd.detectWait(); got != 0 {
 		t.Errorf("disabled detector wait = %v, want 0", got)
 	}

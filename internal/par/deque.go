@@ -98,6 +98,30 @@ func (d *deque) pop() *task.Task {
 	return t
 }
 
+// takeTopInto removes up to len(dst) tasks from the top — the steal
+// end, so the oldest and typically largest subtrees leave first — into
+// dst, returning the count taken. Quiescent use only: the hybrid
+// system phases call it with the world stopped at the epoch barrier,
+// so no owner or thief is concurrently operating and the plain
+// top-store needs no CAS.
+func (d *deque) takeTopInto(dst []*task.Task) int {
+	tp := d.top.Load()
+	b := d.bottom.Load()
+	n := b - tp
+	if n <= 0 {
+		return 0
+	}
+	if n > int64(len(dst)) {
+		n = int64(len(dst))
+	}
+	r := d.buf.Load()
+	for i := int64(0); i < n; i++ {
+		dst[i] = r.slots[(tp+i)&r.mask].Load()
+	}
+	d.top.Store(tp + n)
+	return int(n)
+}
+
 // steal removes and returns the top task. A nil task with retry=true
 // means a concurrent operation claimed the slot first and the thief
 // may try again; retry=false means the deque looked empty.

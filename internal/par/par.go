@@ -63,11 +63,21 @@ const (
 	// Steal is the work-stealing comparator: no phases, idle workers
 	// steal from the top of random victims' Chase-Lev deques.
 	Steal
+	// Hybrid is the hierarchical combination: workers are partitioned
+	// into affinity domains (NUMA nodes by default, see Config.Domains);
+	// within a domain idle workers steal from their domain-mates'
+	// Chase-Lev deques, while the RIPS phase protocol — epoch barrier,
+	// leader-run system phases, the unchanged walking-algorithm
+	// planners — balances load across domains only.
+	Hybrid
 )
 
 func (s Strategy) String() string {
-	if s == Steal {
+	switch s {
+	case Steal:
 		return "steal"
+	case Hybrid:
+		return "hybrid"
 	}
 	return "rips"
 }
@@ -97,8 +107,20 @@ type Config struct {
 	Topo topo.Topology
 	// App is the workload; its Execute runs for real on the workers.
 	App app.App
-	// Strategy selects RIPS (default) or work stealing.
+	// Strategy selects RIPS (default), work stealing, or the
+	// hierarchical hybrid.
 	Strategy Strategy
+	// Domains partitions the workers into contiguous affinity domains
+	// for the Hybrid strategy: stealing stays within a domain, system
+	// phases balance across domains. Zero auto-detects the machine's
+	// NUMA domains (internal/affinity; one domain on machines without a
+	// visible NUMA topology); an explicit count is clamped to the
+	// worker count, and on hypercube machines rounded down to a power
+	// of two (the domain-level planner is cubewalk). Under Steal a
+	// positive count only classifies steals as intra- versus
+	// cross-domain in the Result — victim selection is unchanged.
+	// Rejected (when positive) under RIPS, which has no domains.
+	Domains int
 	// Local and Global select the RIPS transfer policy (ANY-Lazy, the
 	// paper's best combination, is the zero value). Ignored by Steal.
 	Local  ripsrt.LocalPolicy
@@ -168,8 +190,20 @@ func (c *Config) validate() error {
 	if c.Topo.Size() < 1 {
 		return fmt.Errorf("par: empty topology %s", c.Topo.Name())
 	}
+	if c.Domains < 0 {
+		return fmt.Errorf("par: negative Domains %d", c.Domains)
+	}
 	switch c.Strategy {
 	case RIPS:
+		if c.Domains > 0 {
+			return fmt.Errorf("par: Domains applies to the Hybrid and Steal strategies, not RIPS")
+		}
+		switch c.Topo.(type) {
+		case *topo.Mesh, *topo.Tree, *topo.Hypercube:
+		default:
+			return fmt.Errorf("par: no system-phase planner for %s", c.Topo.Name())
+		}
+	case Hybrid:
 		switch c.Topo.(type) {
 		case *topo.Mesh, *topo.Tree, *topo.Hypercube:
 		default:
@@ -217,6 +251,22 @@ type Result struct {
 	// Migrated counts task transfers applied by RIPS system phases;
 	// Steals counts successful steals of the Steal strategy.
 	Migrated, Steals int64
+	// Domains is the resolved affinity-domain count of a Hybrid run
+	// (also set under Steal when Config.Domains was positive, where it
+	// only classifies traffic). Zero when the run had no domain notion.
+	Domains int
+	// CrossSteals counts steals whose victim lived in another domain.
+	// Always zero under Hybrid — stealing is confined to the thief's
+	// own domain by construction — and meaningful under Steal with
+	// Config.Domains set, where it isolates the cross-domain traffic
+	// the hybrid strategy eliminates.
+	CrossSteals int64
+	// DomainSteals and DomainMigrated break Steals and Migrated down by
+	// domain (the thief's domain; the source domain of a migration).
+	// DomainSteals is nil when Domains is zero; DomainMigrated is
+	// additionally nil under Steal, which has no migrations.
+	DomainSteals   []int64
+	DomainMigrated []int64
 	// Phases is the number of RIPS system phases (0 under Steal), and
 	// Waves the number of parallel-apply waves those phases fanned out
 	// (0 when every plan was applied serially by the leader).
@@ -263,6 +313,8 @@ const (
 	MetricWaves      = "waves"
 	MetricPhaseSum   = "phase_sum"
 	MetricPhaseMax   = "phase_max"
+	MetricDomains    = "domains"
+	MetricXSteals    = "cross_steals"
 )
 
 // Metrics flattens the Result's measures into the stable name → value
@@ -286,6 +338,8 @@ func (r *Result) Metrics() map[string]int64 {
 		MetricWaves:      r.Waves,
 		MetricPhaseSum:   r.PhaseSum,
 		MetricPhaseMax:   int64(r.PhaseMax),
+		MetricDomains:    int64(r.Domains),
+		MetricXSteals:    r.CrossSteals,
 	}
 }
 
@@ -306,9 +360,12 @@ func Run(cfg Config) (Result, error) {
 func runOn(cfg *Config, d driver) (Result, error) {
 	var res Result
 	var err error
-	if cfg.Strategy == Steal {
+	switch cfg.Strategy {
+	case Steal:
 		res, err = runSteal(cfg, d)
-	} else {
+	case Hybrid:
+		res, err = runHybrid(cfg, d)
+	default:
 		res, err = runRIPS(cfg, d)
 	}
 	if err != nil {

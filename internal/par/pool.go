@@ -89,6 +89,13 @@ type Pool struct {
 	work []chan poolJob
 	wg   sync.WaitGroup
 
+	// Root-only: the affinity partition (NewPoolDomains). domOf maps a
+	// worker index to its domain; nd is the domain count. A plain
+	// NewPool pool is one domain, which makes the domain-aware lease
+	// placement degenerate to the historical lowest-numbered order.
+	domOf []int
+	nd    int
+
 	// Root: guards free and closed; cond signals workers returning to
 	// the free set. Sub-pool: serializes Run, Resize and Release, so a
 	// lease cannot change shape mid-run.
@@ -99,15 +106,31 @@ type Pool struct {
 }
 
 // NewPool starts workers resident goroutines and returns the root
-// pool.
+// pool. The pool is a single affinity domain; use NewPoolDomains to
+// make leases respect a domain partition.
 func NewPool(workers int) (*Pool, error) {
+	return NewPoolDomains(workers, 1)
+}
+
+// NewPoolDomains starts a root pool whose workers are partitioned into
+// domains contiguous affinity domains (zero auto-detects the machine's,
+// any count is clamped into [1, workers]), and whose leases respect the
+// partition: Split places a lease inside the fewest domains the free
+// set allows, preferring the tightest single domain that fits. A lease
+// that fits one domain shares that domain's cache hierarchy, which is
+// what makes a sub-pool a sensible substrate for a Hybrid run's
+// intra-domain stealing.
+func NewPoolDomains(workers, domains int) (*Pool, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("par: pool needs at least one worker, got %d", workers)
 	}
+	nd := resolveDomains(domains, workers, false)
 	p := &Pool{
-		ids:  make([]int, workers),
-		work: make([]chan poolJob, workers),
-		free: make([]int, workers),
+		ids:   make([]int, workers),
+		work:  make([]chan poolJob, workers),
+		free:  make([]int, workers),
+		domOf: workerDomains(domainBlocks(workers, nd), workers),
+		nd:    nd,
 	}
 	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < workers; i++ {
@@ -130,6 +153,15 @@ func NewPool(workers int) (*Pool, error) {
 		}()
 	}
 	return p, nil
+}
+
+// Domains returns the root pool's affinity-domain count (1 for a
+// NewPool pool). A sub-pool reports its root's partition.
+func (p *Pool) Domains() int {
+	if p.root != nil {
+		return p.root.nd
+	}
+	return p.nd
 }
 
 // Workers returns the pool's worker count: the resident total on a
@@ -235,15 +267,58 @@ func (p *Pool) Release() {
 }
 
 // takeLocked removes n worker indices from the free set; the caller
-// holds the root's mu. The lowest-numbered free workers are taken so
-// lease composition is deterministic given the lease history.
+// holds the root's mu. Placement is domain-aware and deterministic
+// given the lease history: the lease lands in the tightest single
+// domain whose free workers fit it (fewest free, then lowest domain
+// index), and only when no domain fits does it span several — whole
+// domains drained fullest-first, the final partial take again
+// best-fit. Within a domain the lowest-numbered free workers are
+// taken, so a single-domain pool reproduces the historical
+// lowest-numbered order exactly.
 func (p *Pool) takeLocked(n int) ([]int, error) {
 	if len(p.free) < n {
 		return nil, fmt.Errorf("%w: want %d but only %d of %d are free", ErrInsufficientWorkers, n, len(p.free), len(p.ids))
 	}
-	ids := make([]int, n)
-	copy(ids, p.free[:n])
-	p.free = append(p.free[:0], p.free[n:]...)
+	// Free workers grouped by domain; p.free is sorted, so each group
+	// is sorted too.
+	byDom := make([][]int, p.nd)
+	for _, id := range p.free {
+		d := p.domOf[id]
+		byDom[d] = append(byDom[d], id)
+	}
+	var ids []int
+	takeFrom := func(d, k int) {
+		ids = append(ids, byDom[d][:k]...)
+		byDom[d] = byDom[d][k:]
+	}
+	for need := n; need > 0; need = n - len(ids) {
+		// Tightest domain that covers the remaining need.
+		best := -1
+		for d, w := range byDom {
+			if len(w) >= need && (best < 0 || len(w) < len(byDom[best])) {
+				best = d
+			}
+		}
+		if best >= 0 {
+			takeFrom(best, need)
+			break
+		}
+		// No single domain covers it: drain the fullest whole domain
+		// (lowest index on ties) and go around again.
+		for d, w := range byDom {
+			if best < 0 || len(w) > len(byDom[best]) {
+				best = d
+			}
+		}
+		takeFrom(best, len(byDom[best]))
+	}
+	sort.Ints(ids)
+	rest := p.free[:0]
+	for _, w := range byDom {
+		rest = append(rest, w...)
+	}
+	sort.Ints(rest)
+	p.free = rest
 	return ids, nil
 }
 

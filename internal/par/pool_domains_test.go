@@ -1,0 +1,173 @@
+package par
+
+import (
+	"errors"
+	"testing"
+
+	"rips/internal/topo"
+)
+
+func wantIDs(t *testing.T, sub *Pool, want ...int) {
+	t.Helper()
+	if len(sub.ids) != len(want) {
+		t.Fatalf("lease ids = %v, want %v", sub.ids, want)
+	}
+	for i, id := range want {
+		if sub.ids[i] != id {
+			t.Fatalf("lease ids = %v, want %v", sub.ids, want)
+		}
+	}
+}
+
+// TestPoolDomainLeasePlacement pins the domain-aware lease placement:
+// a lease lands in the tightest single domain that fits it, so small
+// jobs stay inside one affinity domain while the free set allows.
+func TestPoolDomainLeasePlacement(t *testing.T) {
+	pool, err := NewPoolDomains(8, 2) // domains [0,4) and [4,8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if pool.Domains() != 2 {
+		t.Fatalf("Domains() = %d, want 2", pool.Domains())
+	}
+
+	// Equal free sets tie toward the lowest domain.
+	s1, err := pool.Split(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, s1, 0, 1, 2)
+	if s1.Domains() != 2 {
+		t.Fatalf("sub-pool Domains() = %d, want the root's 2", s1.Domains())
+	}
+
+	// Best fit: domain 0's single leftover worker is tighter than
+	// domain 1's four, so a 1-worker lease takes it.
+	s2, err := pool.Split(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, s2, 3)
+
+	// Only domain 1 can hold four workers now.
+	s3, err := pool.Split(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, s3, 4, 5, 6, 7)
+
+	// Released workers rejoin their domain and placement stays
+	// domain-local.
+	s3.Release()
+	s4, err := pool.Split(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, s4, 4, 5)
+
+	s1.Release()
+	s2.Release()
+	s4.Release()
+}
+
+// TestPoolDomainLeaseSpanning covers a lease too big for any single
+// domain: whole domains are drained fullest-first and the final
+// partial take is best-fit again — deterministic, and still as few
+// domains as the free set allows.
+func TestPoolDomainLeaseSpanning(t *testing.T) {
+	pool, err := NewPoolDomains(8, 4) // domains of 2: {0,1} {2,3} {4,5} {6,7}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	s1, err := pool.Split(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, s1, 0, 1, 2, 3, 4)
+
+	// The remainder of domain 2 is the tightest fit for one worker.
+	s2, err := pool.Split(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, s2, 5)
+
+	// Capacity refusals are unchanged by the partition.
+	if _, err := pool.Split(3); !errors.Is(err, ErrInsufficientWorkers) {
+		t.Fatalf("Split(3) with 2 free = %v, want ErrInsufficientWorkers", err)
+	}
+	s1.Release()
+	s2.Release()
+}
+
+// TestPoolDomainsResolve pins the constructor's domain resolution:
+// plain NewPool is one domain (and so keeps the historical
+// lowest-numbered lease order), counts clamp into [1, workers], and
+// zero auto-detects the machine.
+func TestPoolDomainsResolve(t *testing.T) {
+	plain, err := NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if plain.Domains() != 1 {
+		t.Fatalf("NewPool Domains() = %d, want 1", plain.Domains())
+	}
+	sub, err := plain.Split(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs(t, sub, 0, 1)
+	sub.Release()
+
+	clamped, err := NewPoolDomains(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clamped.Close()
+	if clamped.Domains() != 4 {
+		t.Fatalf("NewPoolDomains(4, 9).Domains() = %d, want clamped 4", clamped.Domains())
+	}
+
+	auto, err := NewPoolDomains(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer auto.Close()
+	if d := auto.Domains(); d < 1 || d > 4 {
+		t.Fatalf("auto-detected Domains() = %d, want within [1, 4]", d)
+	}
+}
+
+// TestPoolDomainLeaseRunsHybrid runs the Hybrid strategy on a
+// domain-placed lease and checks the answer matches a fresh-goroutine
+// run — the serving configuration the partition exists for.
+func TestPoolDomainLeaseRunsHybrid(t *testing.T) {
+	pool, err := NewPoolDomains(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	sub, err := pool.Split(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Release()
+
+	cfg := Config{Topo: topo.NewMesh(2, 2), App: queens8(), Strategy: Hybrid, Domains: 2}
+	direct := mustRun(t, cfg)
+	pooled, err := sub.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.AppResult != direct.AppResult || pooled.Generated != direct.Generated {
+		t.Fatalf("leased hybrid run: result %d tasks %d, direct %d/%d",
+			pooled.AppResult, pooled.Generated, direct.AppResult, direct.Generated)
+	}
+	if pooled.Domains != 2 {
+		t.Fatalf("leased hybrid run resolved %d domains, want 2", pooled.Domains)
+	}
+}

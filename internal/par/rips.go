@@ -113,12 +113,9 @@ type ripsRun struct {
 	moves    []applyMove
 	waveEnds []int
 
-	// Adaptive ANY detector state: an EWMA of tasks moved per system
-	// phase scales the detector wait, so near-empty phases back off
-	// automatically. Leader-written inside the barrier, worker-read
-	// during user phases.
-	ewmaMoved float64
-	wait      time.Duration
+	// det is the adaptive ANY detector (see detector.go): leader-written
+	// inside the barrier, worker-read during user phases.
+	det detector
 }
 
 // newRipsRun builds the run state and its workers without starting
@@ -133,7 +130,7 @@ func newRipsRun(cfg *Config) *ripsRun {
 		loads:   make([]int, n),
 		avail:   make([]int, n),
 		pend:    make([]int, n),
-		wait:    DefaultDetectInterval,
+		det:     newDetector(cfg),
 		workers: make([]*ripsWorker, 0, n),
 		start:   time.Now(),
 	}
@@ -346,40 +343,13 @@ func (r *ripsRun) initiate(w *ripsWorker, phase int64) {
 // yield (leader-written inside the barrier, so the read here is
 // ordered by the barrier release).
 func (r *ripsRun) detectWait() time.Duration {
-	if r.cfg.DetectInterval != 0 {
-		return r.cfg.detectInterval()
-	}
-	return r.wait
+	return r.det.current()
 }
 
-// Adaptive-detector constants: the EWMA keeps adaptEwmaOld of its
-// history per phase, and the wait stretches from DefaultDetectInterval
-// (phases moving >= one task per worker) up to adaptMaxFactor times
-// that as the moved-tasks EWMA approaches zero.
-const (
-	adaptEwmaOld   = 0.75
-	adaptMaxFactor = 32
-)
-
 // updateDetector folds the finished phase's migration volume into the
-// EWMA and re-derives the adaptive wait. Phases that move little work
-// are pure overhead, so a falling EWMA backs the next request off —
-// which removes the one tuning knob the backend had (ROADMAP
-// "Adaptive DetectInterval"). Only the wait's duration adapts; what is
-// computed never depends on it, which difftest cross-validates.
+// shared adaptive detector (see detector.go).
 func (r *ripsRun) updateDetector() {
-	r.ewmaMoved = adaptEwmaOld*r.ewmaMoved + (1-adaptEwmaOld)*float64(r.phaseMoved)
-	if r.cfg.DetectInterval != 0 {
-		return // constant override or disabled: nothing to adapt
-	}
-	f := float64(r.n) / (r.ewmaMoved + 1)
-	if f < 1 {
-		f = 1
-	}
-	if f > adaptMaxFactor {
-		f = adaptMaxFactor
-	}
-	r.wait = time.Duration(f * float64(DefaultDetectInterval))
+	r.det.update(r.phaseMoved, r.n)
 }
 
 // execute runs one task for real and files its children per the local
@@ -578,23 +548,32 @@ func (r *ripsRun) stageMoves(moves []sched.Move) {
 
 // partitionWaves splits the staged moves into two-phase waves: within
 // a wave, every take is satisfiable from the wave-start loads, so all
-// takes may run concurrently before any push. Waves are contiguous
-// prefixes of the plan; because the plan is sequentially feasible, the
-// first move after a wave boundary is always satisfiable, so every
-// wave makes progress and the wave count is bounded by the plan's
-// forwarding depth (at most the topology diameter).
+// takes may run concurrently before any push (see partitionInWaves,
+// shared with the domain-granular hybrid apply).
 func (r *ripsRun) partitionWaves() {
-	avail, pend := r.avail, r.pend
-	copy(avail, r.loads)
+	r.waveEnds = partitionInWaves(r.moves, r.loads, r.avail, r.pend, r.waveEnds)
+}
+
+// partitionInWaves partitions moves into contiguous-prefix waves over
+// loads, reusing avail/pend as scratch and appending the wave end
+// indices to waveEnds (whose backing array amortizes across phases).
+// Because the plan is sequentially feasible, the first move after a
+// wave boundary is always satisfiable, so every wave makes progress
+// and the wave count is bounded by the plan's forwarding depth (at
+// most the topology diameter). The node indices in moves address
+// whatever entity loads is indexed by: workers under RIPS, domains
+// under Hybrid.
+func partitionInWaves(moves []applyMove, loads, avail, pend []int, waveEnds []int) []int {
+	copy(avail, loads)
 	for i := range pend {
 		pend[i] = 0
 	}
-	for i := range r.moves {
-		mv := &r.moves[i]
+	for i := range moves {
+		mv := &moves[i]
 		if avail[mv.from] < mv.count {
 			// mv forwards tasks still in flight: close the wave (its
 			// pushes land at the boundary) and retry in the next one.
-			r.waveEnds = append(r.waveEnds, i) //ripslint:allow hotpath r.waveEnds retains its capacity across phases; growth amortizes to zero
+			waveEnds = append(waveEnds, i) //ripslint:allow hotpath waveEnds retains its capacity across phases; growth amortizes to zero
 			for n := range pend {
 				avail[n] += pend[n]
 				pend[n] = 0
@@ -607,16 +586,21 @@ func (r *ripsRun) partitionWaves() {
 		avail[mv.from] -= mv.count
 		pend[mv.to] += mv.count
 	}
-	r.waveEnds = append(r.waveEnds, len(r.moves)) //ripslint:allow hotpath r.waveEnds retains its capacity across phases; growth amortizes to zero
+	return append(waveEnds, len(moves)) //ripslint:allow hotpath waveEnds retains its capacity across phases; growth amortizes to zero
 }
 
 // waveRange returns the [lo, hi) index range of wave wv in r.moves.
 func (r *ripsRun) waveRange(wv int) (int, int) {
+	return waveBounds(r.waveEnds, wv)
+}
+
+// waveBounds returns the [lo, hi) move-index range of wave wv.
+func waveBounds(waveEnds []int, wv int) (int, int) {
 	lo := 0
 	if wv > 0 {
-		lo = r.waveEnds[wv-1]
+		lo = waveEnds[wv-1]
 	}
-	return lo, r.waveEnds[wv]
+	return lo, waveEnds[wv]
 }
 
 // applyTake is the take half of one wave from w's perspective: w

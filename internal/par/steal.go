@@ -20,6 +20,10 @@ type stealWorker struct {
 	d      *deque
 	rng    *rand.Rand // victim selection only; never affects the answer
 	steals int64
+	// xsteals counts steals whose victim sat in another affinity domain;
+	// tracked only when Config.Domains classified the workers (see
+	// stealRun.domOf), purely as measurement.
+	xsteals int64
 }
 
 func (w *stealWorker) newID() uint64 {
@@ -40,6 +44,12 @@ type stealRun struct {
 	// cancel is the abort flag mirrored from Config.Cancel; workers
 	// poll it between executions and head for the round barrier.
 	cancel atomic.Bool
+	// domOf maps worker → affinity domain when Config.Domains is
+	// positive, classifying steals as intra- versus cross-domain in the
+	// Result. Victim selection is deliberately unchanged — the
+	// classification measures exactly the cross-domain traffic the
+	// Hybrid strategy eliminates. Nil when Domains is zero.
+	domOf []int
 	// Leader-only state, ordered by the round barrier.
 	round   int
 	done    bool
@@ -48,6 +58,11 @@ type stealRun struct {
 
 func runSteal(cfg *Config, d driver) (Result, error) {
 	r := &stealRun{cfg: cfg, n: cfg.Topo.Size(), bar: newEpochBarrier(cfg.Topo.Size())}
+	var nd int
+	if cfg.Domains > 0 {
+		nd = resolveDomains(cfg.Domains, r.n, false)
+		r.domOf = workerDomains(domainBlocks(r.n, nd), r.n)
+	}
 	for i := 0; i < r.n; i++ {
 		r.workers = append(r.workers, &stealWorker{
 			id:  i,
@@ -65,9 +80,16 @@ func runSteal(cfg *Config, d driver) (Result, error) {
 	d.dispatch(r.n, r.workerMain)
 	wall := time.Since(start)
 
-	res := Result{Workers: r.n, Canceled: r.stopped}
+	res := Result{Workers: r.n, Canceled: r.stopped, Domains: nd}
+	if r.domOf != nil {
+		res.DomainSteals = make([]int64, nd)
+	}
 	for _, w := range r.workers {
 		res.Steals += w.steals
+		res.CrossSteals += w.xsteals
+		if r.domOf != nil {
+			res.DomainSteals[r.domOf[w.id]] += w.steals
+		}
 	}
 	assemble(&res, wall, r.workers, func(w *stealWorker) *counters { return &w.counters })
 	return res, nil
@@ -185,6 +207,9 @@ func (r *stealRun) stealOne(w *stealWorker) *task.Task {
 		for {
 			t, retry := r.workers[v].d.steal()
 			if t != nil {
+				if r.domOf != nil && r.domOf[v] != r.domOf[w.id] {
+					w.xsteals++
+				}
 				return t
 			}
 			if !retry {

@@ -31,6 +31,9 @@ func TestBenchLatticeArtifactSchema(t *testing.T) {
 		AdvisoryRIPSPrefix + par.MetricWaves,
 		AdvisoryStealPrefix + par.MetricWallNS,
 		AdvisoryStealPrefix + par.MetricSteals,
+		AdvisoryHybridPrefix + par.MetricWallNS,
+		AdvisoryHybridPrefix + par.MetricSteals,
+		AdvisoryHybridPrefix + par.MetricDomains,
 	}
 	seen := map[string]bool{}
 	for _, e := range doc.Entries {

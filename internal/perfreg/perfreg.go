@@ -59,8 +59,9 @@ const (
 // Advisory metric names are the par.Metric* vocabulary prefixed with
 // the backend that produced them.
 const (
-	AdvisoryRIPSPrefix  = "rips_"
-	AdvisoryStealPrefix = "steal_"
+	AdvisoryRIPSPrefix   = "rips_"
+	AdvisoryStealPrefix  = "steal_"
+	AdvisoryHybridPrefix = "hybrid_"
 )
 
 // Entry is one measured lattice point. Config is the canonical
@@ -118,15 +119,18 @@ func exactMetrics(r ripsrt.Result) map[string]int64 {
 	}
 }
 
-// advisoryMetrics merges both real-parallel backends' stable metric
+// advisoryMetrics merges the real-parallel backends' stable metric
 // maps (par.Result.Metrics) under backend prefixes.
 func advisoryMetrics(m difftest.Measurement) map[string]int64 {
-	out := make(map[string]int64, 2*13)
+	out := make(map[string]int64, 3*14)
 	for name, v := range m.RIPS.Metrics() {
 		out[AdvisoryRIPSPrefix+name] = v
 	}
 	for name, v := range m.Steal.Metrics() {
 		out[AdvisoryStealPrefix+name] = v
+	}
+	for name, v := range m.Hybrid.Metrics() {
+		out[AdvisoryHybridPrefix+name] = v
 	}
 	return out
 }

@@ -46,6 +46,11 @@ type Options struct {
 	// Workers sizes the shared Parallel worker pool (required, >= 1).
 	// A submission's machine must fit the pool.
 	Workers int
+	// Domains partitions the pool's workers into affinity domains
+	// (rips.NewPoolDomains): sub-pool leases for small jobs then land
+	// inside one domain's cache hierarchy whenever the free set allows.
+	// Zero auto-detects the machine's domains; negative is rejected.
+	Domains int
 	// QueueLimit bounds each tenant's queued (not yet running) jobs:
 	// submissions beyond the limit are rejected immediately (HTTP 503)
 	// instead of queueing without bound. The bound is per tenant — one
@@ -119,7 +124,7 @@ func NewServer(opts Options) (*Server, error) {
 	if opts.MaxBodyBytes == 0 {
 		opts.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	pool, err := rips.NewPool(opts.Workers)
+	pool, err := rips.NewPoolDomains(opts.Workers, opts.Domains)
 	if err != nil {
 		return nil, err
 	}
@@ -154,6 +159,13 @@ func NewServer(opts Options) (*Server, error) {
 // Workers returns the shared pool's size.
 func (s *Server) Workers() int { return s.pool.Workers() }
 
+// poolBacked reports whether a backend runs on real pool workers (and
+// so must be charged per node, wired to the shared pool, and leased a
+// sub-pool per attempt) rather than on the virtual-time simulator.
+func poolBacked(b rips.Backend) bool {
+	return b == rips.Parallel || b == rips.Hybrid
+}
+
 // Stats snapshots the serving state for GET /v1/stats.
 func (s *Server) Stats() (tenant.Stats, tenant.CacheStats, int) {
 	return s.arb.Stats(), s.cache.Stats(), s.pool.Free()
@@ -177,11 +189,11 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	// A Parallel run occupies one pool worker per machine node; a
-	// Simulate run's nodes are goroutines of the virtual-time engine,
-	// so it is charged a single admission slot.
+	// A pool-backed run (Parallel or Hybrid) occupies one pool worker
+	// per machine node; a Simulate run's nodes are goroutines of the
+	// virtual-time engine, so it is charged a single admission slot.
 	cost := 1
-	if cfg.Backend == rips.Parallel {
+	if poolBacked(cfg.Backend) {
 		if cost, err = cfg.Nodes(); err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
@@ -262,7 +274,7 @@ func (s *Server) resolve(spec *JobSpec) (rips.Config, rips.App, error) {
 	if cfg.Procs == 0 && cfg.Rows == 0 && cfg.Cols == 0 {
 		cfg.Procs = s.pool.Workers()
 	}
-	if cfg.Backend == rips.Parallel {
+	if poolBacked(cfg.Backend) {
 		cfg.Pool = s.pool
 	}
 	if err := cfg.Validate(); err != nil {
@@ -337,7 +349,7 @@ func (s *Server) runTicket(t *tenant.Ticket) {
 	cfg := job.cfg
 	cfg.OnPhase = job.appendPhase
 	var sub *rips.Pool
-	if cfg.Backend == rips.Parallel {
+	if poolBacked(cfg.Backend) {
 		var err error
 		if sub, err = s.pool.Split(t.Workers); err != nil {
 			// The arbiter's ledger guarantees the lease, so this is a

@@ -25,7 +25,7 @@ func Algorithms() []Algorithm {
 
 // Backends returns every defined Backend constant, in order.
 func Backends() []Backend {
-	return []Backend{Simulate, Parallel}
+	return []Backend{Simulate, Parallel, Hybrid}
 }
 
 func (a Algorithm) String() string {
@@ -52,6 +52,8 @@ func (b Backend) String() string {
 		return "simulate"
 	case Parallel:
 		return "parallel"
+	case Hybrid:
+		return "hybrid"
 	}
 	return fmt.Sprintf("backend(%d)", int(b))
 }
@@ -72,9 +74,9 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	return 0, fmt.Errorf("rips: unknown algorithm %q", s)
 }
 
-// ParseBackend is the inverse of Backend.String: "simulate" or
-// "parallel", case-insensitively with surrounding whitespace ignored.
-// Anything else is an error.
+// ParseBackend is the inverse of Backend.String: "simulate",
+// "parallel" or "hybrid", case-insensitively with surrounding
+// whitespace ignored. Anything else is an error.
 func ParseBackend(s string) (Backend, error) {
 	s = normalizeEnum(s)
 	for _, b := range Backends() {

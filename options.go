@@ -88,11 +88,25 @@ func WithAlgorithm(a Algorithm) Option {
 func WithBackend(b Backend) Option {
 	return func(c *Config) error {
 		switch b {
-		case Simulate, Parallel:
+		case Simulate, Parallel, Hybrid:
 			c.Backend = b
 			return nil
 		}
 		return fmt.Errorf("rips: WithBackend(%v): unknown backend", b)
+	}
+}
+
+// WithDomains sets the Hybrid backend's affinity-domain count: zero
+// (the default) auto-detects the host's NUMA nodes, any positive count
+// is clamped to the worker count (see Config.Domains). NewConfig's
+// final Validate rejects the option on other backends.
+func WithDomains(n int) Option {
+	return func(c *Config) error {
+		if n < 0 {
+			return fmt.Errorf("rips: WithDomains(%d): count must be non-negative", n)
+		}
+		c.Domains = n
+		return nil
 	}
 }
 

@@ -1,6 +1,10 @@
 package rips
 
-import "rips/internal/par"
+import (
+	"fmt"
+
+	"rips/internal/par"
+)
 
 // Pool is a set of resident worker goroutines that successive
 // Parallel-backend runs multiplex onto via Config.Pool — the serving
@@ -42,7 +46,7 @@ var (
 
 // NewPool starts a pool of the given size. Every Parallel run on the
 // pool must fit it: Config.Validate rejects machines larger than the
-// pool.
+// pool. The pool is a single affinity domain; see NewPoolDomains.
 func NewPool(workers int) (*Pool, error) {
 	p, err := par.NewPool(workers)
 	if err != nil {
@@ -50,6 +54,29 @@ func NewPool(workers int) (*Pool, error) {
 	}
 	return &Pool{p: p}, nil
 }
+
+// NewPoolDomains starts a pool whose workers are partitioned into the
+// given number of contiguous affinity domains (zero auto-detects the
+// machine's, any count is clamped into [1, workers]) and whose leases
+// respect the partition: Split places each lease inside the fewest
+// domains the free set allows, preferring the tightest single domain
+// that fits. Jobs small enough for one domain then share that domain's
+// cache hierarchy — the serving-side counterpart of the Hybrid
+// backend's intra-domain stealing.
+func NewPoolDomains(workers, domains int) (*Pool, error) {
+	if domains < 0 {
+		return nil, fmt.Errorf("rips: NewPoolDomains(%d, %d): domain count must be non-negative", workers, domains)
+	}
+	p, err := par.NewPoolDomains(workers, domains)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{p: p}, nil
+}
+
+// Domains returns the pool's affinity-domain count (1 unless built
+// with NewPoolDomains). A sub-pool reports its root's partition.
+func (p *Pool) Domains() int { return p.p.Domains() }
 
 // Workers returns the pool's worker count: the resident total on a
 // root pool, the current lease size on a sub-pool.

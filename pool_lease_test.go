@@ -9,6 +9,58 @@ import (
 	"rips"
 )
 
+// TestPoolDomains covers the public domain-partitioned pool: the
+// resolved partition is visible through Domains (clamped into
+// [1, workers], inherited by sub-pools), a negative count is rejected,
+// and a Hybrid run on a domain-placed lease returns the exact answer a
+// pool-less run does.
+func TestPoolDomains(t *testing.T) {
+	if _, err := rips.NewPoolDomains(4, -1); err == nil {
+		t.Fatal("NewPoolDomains(4, -1) succeeded, want error")
+	}
+	pool, err := rips.NewPoolDomains(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if pool.Domains() != 2 {
+		t.Fatalf("Domains() = %d, want 2", pool.Domains())
+	}
+	sub, err := pool.Split(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Release()
+	if sub.Domains() != 2 {
+		t.Fatalf("sub-pool Domains() = %d, want the root's 2", sub.Domains())
+	}
+
+	cfg, err := rips.NewConfig(
+		rips.WithWorkers(4),
+		rips.WithBackend(rips.Hybrid),
+		rips.WithDomains(2),
+		rips.WithPool(sub),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rips.NQueens(8)
+	got, err := rips.Run(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := cfg
+	bare.Pool = nil
+	want, err := rips.Run(a, bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AppResult != want.AppResult || got.Tasks != want.Tasks || got.Domains != 2 {
+		t.Fatalf("leased hybrid run = result %d tasks %d domains %d; pool-less run = %d/%d",
+			got.AppResult, got.Tasks, got.Domains, want.AppResult, want.Tasks)
+	}
+}
+
 // TestPoolLeaseEdgeCases pins the sub-pool leasing contract at its
 // boundaries through the public API: a zero- or negative-size Split is
 // ErrBadLeaseSize, over-capacity Split and Resize are

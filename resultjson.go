@@ -24,6 +24,7 @@ type ConfigJSON struct {
 	Topology         string  `json:"topology,omitempty"`
 	Algorithm        string  `json:"algorithm,omitempty"`
 	Backend          string  `json:"backend,omitempty"`
+	Domains          int     `json:"domains,omitempty"`
 	Eager            bool    `json:"eager,omitempty"`
 	All              bool    `json:"all,omitempty"`
 	PeriodicNS       int64   `json:"periodic_ns,omitempty"`
@@ -43,6 +44,7 @@ func EncodeConfig(cfg Config) ConfigJSON {
 		Topology:         cfg.Topology,
 		Algorithm:        cfg.Algorithm.String(),
 		Backend:          cfg.Backend.String(),
+		Domains:          cfg.Domains,
 		Eager:            cfg.Eager,
 		All:              cfg.All,
 		PeriodicNS:       int64(cfg.Periodic),
@@ -65,6 +67,7 @@ func (j ConfigJSON) Decode() (Config, error) {
 		Rows:            j.Rows,
 		Cols:            j.Cols,
 		Topology:        j.Topology,
+		Domains:         j.Domains,
 		Eager:           j.Eager,
 		All:             j.All,
 		Periodic:        Time(j.PeriodicNS),
@@ -108,6 +111,7 @@ type ResultJSON struct {
 	Speedup    float64    `json:"speedup,omitempty"`
 	WallNS     int64      `json:"wall_ns,omitempty"`
 	Steals     int64      `json:"steals,omitempty"`
+	Domains    int        `json:"domains,omitempty"`
 	AppResult  int64      `json:"app_result"`
 	Canceled   bool       `json:"canceled,omitempty"`
 }
@@ -129,6 +133,7 @@ func EncodeResult(cfg Config, res Result) ResultJSON {
 		Speedup:    res.Speedup,
 		WallNS:     int64(res.Wall),
 		Steals:     res.Steals,
+		Domains:    res.Domains,
 		AppResult:  res.AppResult,
 		Canceled:   res.Canceled,
 	}
@@ -157,6 +162,7 @@ func (j ResultJSON) Decode() (Config, Result, error) {
 		Speedup:    j.Speedup,
 		Wall:       time.Duration(j.WallNS),
 		Steals:     j.Steals,
+		Domains:    j.Domains,
 		AppResult:  j.AppResult,
 		Canceled:   j.Canceled,
 	}

@@ -113,6 +113,17 @@ const (
 	// shared memory (internal/par): real cores, real phase barriers,
 	// wall-clock results. Supports the RIPS and Steal algorithms.
 	Parallel
+	// Hybrid runs the workload for real like Parallel, but
+	// hierarchically: the workers are partitioned into affinity (NUMA)
+	// domains and pinned to their domain's CPUs, RIPS system phases
+	// balance load across domains only, and within a domain workers
+	// share tasks by Chase-Lev work stealing. The paper's global phase
+	// protocol pays its barrier cost once per imbalance instead of once
+	// per core, while the cheap intra-domain traffic never crosses a
+	// memory boundary. The algorithm is RIPS by construction
+	// (Config.Algorithm must be RIPS); Config.Domains shapes the
+	// partition.
+	Hybrid
 )
 
 // PhaseInfo is the per-system-phase progress snapshot delivered to
@@ -134,8 +145,17 @@ type Config struct {
 	// Algorithm selects the scheduler (default RIPS).
 	Algorithm Algorithm
 	// Backend selects the simulator (default) or real shared-memory
-	// parallel execution.
+	// parallel execution (flat Parallel, or the hierarchical Hybrid).
 	Backend Backend
+	// Domains is the Hybrid backend's affinity-domain count: how many
+	// contiguous worker blocks the machine is split into for the
+	// phase-across/steal-within hierarchy. Zero (the default)
+	// auto-detects the host's NUMA nodes; any positive count is clamped
+	// to the worker count, and on hypercube machines rounded down to a
+	// power of two (the domain-level planner is the hypercube walking
+	// algorithm). Hybrid backend only — Validate rejects it elsewhere.
+	// The partition never changes the answer, only where work runs.
+	Domains int
 	// Eager switches RIPS to the two-queue eager local policy.
 	Eager bool
 	// All switches RIPS to the ALL global transfer policy.
@@ -208,8 +228,13 @@ type Result struct {
 	// Wall is the elapsed real time of a Parallel-backend run (zero
 	// for simulated runs, whose time is the virtual Time above).
 	Wall time.Duration
-	// Steals counts successful steals of a Parallel Steal run.
+	// Steals counts successful steals of a Parallel Steal run, or the
+	// intra-domain steals of a Hybrid run.
 	Steals int64
+	// Domains is the resolved affinity-domain count of a Hybrid run —
+	// what Config.Domains = 0 auto-detected, or the clamped explicit
+	// request. Zero on the other backends.
+	Domains int
 	// AppResult is the aggregated application result (e.g. solutions
 	// found) for result-counting workloads.
 	AppResult int64
@@ -277,7 +302,9 @@ func (c Config) Validate() error {
 	if err != nil {
 		return err
 	}
-	if c.Backend != Simulate && c.Backend != Parallel {
+	switch c.Backend {
+	case Simulate, Parallel, Hybrid:
+	default:
 		return fmt.Errorf("rips: unknown backend %v", c.Backend)
 	}
 	switch c.Algorithm {
@@ -285,20 +312,49 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("rips: unknown algorithm %v", c.Algorithm)
 	}
-	if c.Backend == Parallel {
+	if c.Domains < 0 {
+		return fmt.Errorf("rips: Config.Domains must be non-negative, got %d", c.Domains)
+	}
+	if c.Domains > 0 && c.Backend != Hybrid {
+		return fmt.Errorf("rips: Config.Domains applies only to the Hybrid backend")
+	}
+	switch c.Backend {
+	case Parallel:
 		if c.Algorithm != RIPS && c.Algorithm != Steal {
 			return fmt.Errorf("rips: algorithm %v runs only on the Simulate backend", c.Algorithm)
 		}
 		if c.Periodic > 0 {
 			return fmt.Errorf("rips: the periodic detector is not available on the Parallel backend")
 		}
-		if c.Pool != nil {
-			if n := machine.Size(); n > c.Pool.Workers() {
-				return fmt.Errorf("rips: config needs %d workers but the pool has %d", n, c.Pool.Workers())
-			}
+		if err := c.poolFits(machine); err != nil {
+			return err
 		}
-	} else if c.Algorithm == Steal {
-		return fmt.Errorf("rips: the steal algorithm runs only on the Parallel backend")
+	case Hybrid:
+		if c.Algorithm != RIPS {
+			return fmt.Errorf("rips: the Hybrid backend embeds its own intra-domain stealing; Algorithm must be RIPS, got %v", c.Algorithm)
+		}
+		if c.Periodic > 0 {
+			return fmt.Errorf("rips: the periodic detector is not available on the Hybrid backend")
+		}
+		if err := c.poolFits(machine); err != nil {
+			return err
+		}
+	default: // Simulate
+		if c.Algorithm == Steal {
+			return fmt.Errorf("rips: the steal algorithm runs only on the Parallel backend")
+		}
+	}
+	return nil
+}
+
+// poolFits checks the machine fits the configured Pool's lease, when
+// one is set.
+func (c Config) poolFits(machine topo.Topology) error {
+	if c.Pool == nil {
+		return nil
+	}
+	if n := machine.Size(); n > c.Pool.Workers() {
+		return fmt.Errorf("rips: config needs %d workers but the pool has %d", n, c.Pool.Workers())
 	}
 	return nil
 }
@@ -343,7 +399,7 @@ func RunProfiledContext(ctx context.Context, a App, p Profile, cfg Config) (Resu
 	}
 	var out Result
 	out.SeqTime = p.Work
-	if cfg.Backend == Parallel {
+	if cfg.Backend == Parallel || cfg.Backend == Hybrid {
 		return runParallel(ctx, a, p, cfg, mesh)
 	}
 	switch cfg.Algorithm {
@@ -419,8 +475,9 @@ func ctxErr(ctx context.Context, fallback error) error {
 	return fallback
 }
 
-// runParallel dispatches a run to the real shared-memory backend —
-// fresh goroutines, or the configured Pool's resident workers.
+// runParallel dispatches a run to the real shared-memory backends
+// (Parallel and Hybrid) — fresh goroutines, or the configured Pool's
+// resident workers.
 func runParallel(ctx context.Context, a App, p Profile, cfg Config, machine topo.Topology) (Result, error) {
 	pc := par.Config{
 		Topo:           machine,
@@ -429,6 +486,10 @@ func runParallel(ctx context.Context, a App, p Profile, cfg Config, machine topo
 		Seed:           cfg.Seed,
 		Cancel:         ctx.Done(),
 		OnPhase:        cfg.OnPhase,
+	}
+	if cfg.Backend == Hybrid {
+		pc.Strategy = par.Hybrid
+		pc.Domains = cfg.Domains
 	}
 	switch cfg.Algorithm {
 	case RIPS:
@@ -462,6 +523,7 @@ func runParallel(ctx context.Context, a App, p Profile, cfg Config, machine topo
 		SeqTime:   p.Work,
 		Wall:      res.Wall,
 		Steals:    res.Steals,
+		Domains:   res.Domains,
 		AppResult: res.AppResult,
 	}
 	if res.Canceled {
