@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rips/internal/cluster"
+	"rips/internal/exp"
+)
+
+// clusterCmd measures the distributed transport's point-to-point
+// message cost and fits the paper's alpha + beta*size line through it
+// (see internal/exp.ClusterBench). The document is the committed
+// BENCH_cluster.json artifact.
+func clusterCmd(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	nodes := fs.Int("nodes", 3, "cluster width")
+	reps := fs.Int("reps", 32, "echoes per payload size; the best (minimum) RTT is kept")
+	mem := fs.Bool("mem", false, "measure the in-memory transport instead of localhost TCP")
+	jsonPath := fs.String("json", "", "write the rips-cluster/v1 document to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := exp.ClusterBenchOptions{Nodes: *nodes, Reps: *reps}
+	if *mem {
+		opts.Transport = cluster.NewMemTransport()
+		opts.TransportName = "mem"
+		opts.Addr = func(i int) string { return fmt.Sprintf("mem://bench%d", i) }
+	}
+	doc, err := exp.ClusterBench(opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("cluster wire calibration: %d nodes over %s, best of %d echoes per point\n",
+		doc.Nodes, doc.Transport, doc.Reps)
+	fmt.Printf("%10s  %12s\n", "bytes", "best RTT")
+	for _, p := range doc.Points {
+		fmt.Printf("%10d  %12v\n", p.Bytes, time.Duration(p.BestRTTNs))
+	}
+	fmt.Printf("one-way fit:  alpha = %v, beta = %.2f ns/byte\n",
+		time.Duration(doc.AlphaNs), doc.BetaNsPerByte)
+	fmt.Printf("model (sim.DefaultLatency): alpha = %v, beta = %.2f ns/byte\n",
+		time.Duration(doc.ModelAlphaNs), doc.ModelBetaNsPerByte)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
+}

@@ -31,6 +31,7 @@ func latticeCmd(args []string) error {
 		return err
 	}
 	h := difftest.NewHarness()
+	defer h.Close()
 
 	if *one != "" {
 		return latticeOne(h, *one, *baseline)

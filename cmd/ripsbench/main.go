@@ -68,6 +68,17 @@
 // -json writes the machine-readable BENCH_serve.json artifact (see
 // internal/exp.ServeBenchJSON for the rips-serve/v1 schema).
 //
+// The cluster experiment calibrates the distributed transport: it
+// stands up a small ripsd cluster (localhost TCP by default), echoes
+// payloads of increasing size through the rips-wire/v1 frames, and
+// fits the paper's alpha + beta*size message-cost line through the
+// best round-trips, next to the simulator's modelled constants:
+//
+//	ripsbench cluster [-nodes N] [-reps N] [-mem] [-json FILE]
+//
+// -json writes the machine-readable BENCH_cluster.json artifact (see
+// internal/exp.ClusterBenchJSON for the rips-cluster/v1 schema).
+//
 // The run experiment executes one workload through the public API and
 // optionally emits the rips-result/v1 document ripsd streams:
 //
@@ -103,7 +114,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ripsbench [flags] fig4|table1|table2|fig5|table3|ablation|topologies|taxonomy|detail|parscale|difftest|lattice|run|serve|all\n")
+		fmt.Fprintf(os.Stderr, "usage: ripsbench [flags] fig4|table1|table2|fig5|table3|ablation|topologies|taxonomy|detail|parscale|difftest|lattice|run|serve|cluster|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -112,7 +123,7 @@ func main() {
 		os.Exit(2)
 	}
 	what := flag.Arg(0)
-	if flag.NArg() > 1 && what != "parscale" && what != "difftest" && what != "lattice" && what != "run" && what != "serve" {
+	if flag.NArg() > 1 && what != "parscale" && what != "difftest" && what != "lattice" && what != "run" && what != "serve" && what != "cluster" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -155,6 +166,8 @@ func main() {
 		run("run", func() error { return runCmd(flag.Args()[1:]) })
 	case "serve":
 		run("serve", func() error { return serveCmd(flag.Args()[1:]) })
+	case "cluster":
+		run("cluster", func() error { return clusterCmd(flag.Args()[1:]) })
 	case "all":
 		run("fig4", fig4)
 		run("table1+table2+fig5", fig5) // fig5 subsumes tables I and II
@@ -378,6 +391,7 @@ func difftestCmd(args []string) error {
 		return err
 	}
 	h := difftest.NewHarness()
+	defer h.Close()
 	if *one != "" {
 		cfg, err := difftest.Parse(*one)
 		if err != nil {

@@ -11,6 +11,7 @@
 //
 //	ripsd [-addr HOST:PORT] [-workers N] [-domains N] [-queue N]
 //	      [-cache N] [-weight tenant=N]... [-drain-timeout D]
+//	      [-cluster HOST:PORT [-join HOST:PORT]]
 //
 // -queue bounds each tenant's queued (not running) jobs — one noisy
 // tenant gets 503s without starving the rest. -weight sets a tenant's
@@ -18,6 +19,13 @@
 // cache in entries. -domains partitions the pool into affinity domains
 // so small jobs' sub-pool leases land inside one domain's cache
 // hierarchy (0 auto-detects the machine's domains).
+//
+// -cluster makes the process a node of a ripsd cluster: it listens for
+// the rips-wire/v1 peer protocol on the given address, and -join merges
+// it into the cluster an existing node belongs to. Submissions with
+// "backend": "cluster" (to any node — the ring routes them) then run
+// the RIPS phase protocol across every member process, one executor
+// per node, and GET /v1/cluster reports the membership ring.
 //
 // Endpoints:
 //
@@ -55,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"rips/internal/cluster"
 	"rips/internal/serve"
 	"rips/internal/tenant"
 )
@@ -79,11 +88,34 @@ func main() {
 		return nil
 	})
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "grace period for in-flight jobs on shutdown")
+	clusterAddr := flag.String("cluster", "", "cluster listen address (HOST:PORT); makes this process a cluster node")
+	join := flag.String("join", "", "address of an existing cluster node to join (requires -cluster)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "ripsd: unexpected argument %q\n", flag.Arg(0))
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *join != "" && *clusterAddr == "" {
+		fmt.Fprintln(os.Stderr, "ripsd: -join requires -cluster")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var node *cluster.Node
+	if *clusterAddr != "" {
+		var err error
+		node, err = cluster.Start(cluster.Options{Addr: *clusterAddr})
+		if err != nil {
+			log.Fatalf("ripsd: %v", err)
+		}
+		defer func() { _ = node.Close() }()
+		if *join != "" {
+			if err := node.Join(*join); err != nil {
+				log.Fatalf("ripsd: %v", err)
+			}
+		}
+		log.Printf("ripsd: cluster node %s (%d members)", node.Addr(), len(node.Members()))
 	}
 
 	srv, err := serve.NewServer(serve.Options{
@@ -92,6 +124,7 @@ func main() {
 		QueueLimit:   *queue,
 		CacheEntries: *cacheEntries,
 		Weights:      weights,
+		Cluster:      node,
 	})
 	if err != nil {
 		log.Fatalf("ripsd: %v", err)

@@ -67,6 +67,33 @@ func ExecuteCount(a App, data any, emit func(Spawn)) (sim.Time, int64) {
 	return a.Execute(data, emit), 0 //ripslint:allow hotpath application payload execution is outside the scheduler's steady-state contract
 }
 
+// PayloadCodec is an optional App extension for workloads whose task
+// payloads can cross a process boundary: the distributed cluster
+// backend (internal/cluster) ships task batches between nodes as
+// rips-wire/v1 frames, serializing each payload through this codec.
+// The encoding must be canonical and self-contained — DecodePayload on
+// another process running the identically-constructed App must yield a
+// payload Execute treats exactly like the original, so a task executes
+// the same work wherever it lands. Apps without the extension run on
+// the single-process backends only.
+type PayloadCodec interface {
+	App
+	// AppendPayload appends data's canonical encoding to dst and
+	// returns the extended slice (append-style, so batch encoders reuse
+	// one buffer). Unknown payload types are errors, never panics.
+	AppendPayload(dst []byte, data any) ([]byte, error)
+	// DecodePayload decodes one payload produced by AppendPayload.
+	// Truncated or malformed input is an error, never a panic.
+	DecodePayload(p []byte) (any, error)
+}
+
+// WireSerializable reports whether a's task payloads can cross a
+// process boundary.
+func WireSerializable(a App) bool {
+	_, ok := a.(PayloadCodec)
+	return ok
+}
+
 // BlockDistributed marks apps whose root tasks start block-distributed
 // across the machine — the static SPMD decomposition a real code like
 // GROMOS performs at startup (each processor owns its atom block).

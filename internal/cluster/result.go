@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rips/internal/sim"
+)
+
+// Result is a cluster job's outcome: the same counters the in-process
+// backends report, summed over every member. The scheduling-invariance
+// contract carries over unchanged — Generated, Executed, AppResult and
+// VirtualWork must match the sequential profile bit for bit however
+// tasks moved between processes, and the difftest cluster leg holds
+// the protocol to exactly that.
+type Result struct {
+	// Workers is how many cluster nodes the job spanned.
+	Workers int
+	// Generated and Executed count tasks; they are equal iff the job
+	// ran to completion.
+	Generated, Executed int64
+	// Nonlocal counts tasks executed on a node other than the one
+	// that generated them — tasks that crossed the wire.
+	Nonlocal int64
+	// AppResult is the aggregated application result.
+	AppResult int64
+	// VirtualWork is the summed virtual compute time of executed
+	// tasks.
+	VirtualWork sim.Time
+	// Phases counts the stop-the-world system phases the coordinator
+	// drove.
+	Phases int64
+	// Wall is the job's elapsed real time at the coordinator; Busy is
+	// the summed real time members spent executing tasks.
+	Wall, Busy time.Duration
+	// Canceled reports the job stopped early — a node died, the
+	// submitter hung up, or the config's Timeout expired. The other
+	// fields then cover only the work completed before the stop.
+	Canceled bool
+}
+
+// NodeLostError reports that a cluster node died mid-job: its
+// connection failed or its heartbeats stopped for a full timeout. The
+// job's Result carries Canceled and partial counters.
+type NodeLostError struct {
+	Addr string
+}
+
+func (e *NodeLostError) Error() string {
+	return fmt.Sprintf("cluster: node %s lost mid-job (connection failed or heartbeats stopped)", e.Addr)
+}
+
+// encodeOutcome folds a (Result, error) pair into the wire form, so
+// the submitting node can reconstruct both.
+func encodeOutcome(res Result, err error) resultMsg {
+	m := resultMsg{
+		Workers:   res.Workers,
+		Generated: res.Generated,
+		Executed:  res.Executed,
+		Nonlocal:  res.Nonlocal,
+		AppResult: res.AppResult,
+		Work:      int64(res.VirtualWork),
+		Phases:    res.Phases,
+		WallNS:    int64(res.Wall),
+		BusyNS:    int64(res.Busy),
+		Canceled:  res.Canceled,
+	}
+	var lost *NodeLostError
+	switch {
+	case err == nil:
+	case errors.As(err, &lost):
+		m.ErrKind, m.ErrDetail = errNodeLost, lost.Addr
+	case errors.Is(err, context.DeadlineExceeded):
+		m.ErrKind = errDeadline
+	case errors.Is(err, context.Canceled):
+		m.ErrKind = errCanceled
+	default:
+		m.ErrKind, m.ErrDetail = errOther, err.Error()
+	}
+	return m
+}
+
+// decodeOutcome is encodeOutcome's inverse.
+func decodeOutcome(m resultMsg) (Result, error) {
+	res := Result{
+		Workers:     m.Workers,
+		Generated:   m.Generated,
+		Executed:    m.Executed,
+		Nonlocal:    m.Nonlocal,
+		AppResult:   m.AppResult,
+		VirtualWork: sim.Time(m.Work),
+		Phases:      m.Phases,
+		Wall:        time.Duration(m.WallNS),
+		Busy:        time.Duration(m.BusyNS),
+		Canceled:    m.Canceled,
+	}
+	switch m.ErrKind {
+	case errNone:
+		return res, nil
+	case errNodeLost:
+		return res, &NodeLostError{Addr: m.ErrDetail}
+	case errDeadline:
+		return res, context.DeadlineExceeded
+	case errCanceled:
+		return res, context.Canceled
+	default:
+		return res, errors.New(m.ErrDetail)
+	}
+}

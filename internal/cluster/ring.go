@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// The membership structure is a consistent-hash ring: every node
+// hashes its address onto a 64-bit circle, and a job hashes its
+// encoded rips-job/v1 document onto the same circle. The job's
+// coordinator is the ring successor of the job's point — the first
+// node clockwise — so every node with the same membership view routes
+// a submission to the same coordinator, with no external coordinator
+// service and no election traffic: the hash IS the election.
+
+// ringHash places an address or a job document on the ring.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	// hash.Hash's Write is documented to never return an error.
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// ringSort orders addresses by ring position (hash, then address to
+// break the astronomically-unlikely collision deterministically). The
+// sorted order doubles as the job's member indexing: member i of a
+// K-wide job is the i-th node on the ring.
+func ringSort(addrs []string) {
+	sort.Slice(addrs, func(i, j int) bool {
+		hi, hj := ringHash(addrs[i]), ringHash(addrs[j])
+		if hi != hj {
+			return hi < hj
+		}
+		return addrs[i] < addrs[j]
+	})
+}
+
+// successor returns the first member at or clockwise of point h.
+// members must be ring-sorted and non-empty.
+func successor(members []string, h uint64) string {
+	i := sort.Search(len(members), func(i int) bool {
+		return ringHash(members[i]) >= h
+	})
+	if i == len(members) {
+		i = 0 // wrap: the ring has no end
+	}
+	return members[i]
+}

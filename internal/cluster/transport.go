@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport abstracts how nodes reach each other, so the whole
+// protocol stack runs identically over real TCP sockets (production)
+// and synchronous in-memory pipes (the -race cluster tests, which need
+// multi-process topology without ports).
+type Transport interface {
+	// Listen binds the node's address and returns its listener.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to a peer's address within the timeout.
+	Dial(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// tcpTransport is the production transport: plain TCP.
+type tcpTransport struct{}
+
+// TCP returns the production transport.
+func TCP() Transport { return tcpTransport{} }
+
+func (tcpTransport) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+func (tcpTransport) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// MemTransport is an in-memory transport: listeners register under
+// arbitrary address strings, dials produce net.Pipe pairs. Pipes are
+// synchronous and support deadlines, so heartbeat and failure paths
+// exercise for real — closing a node's listener and conns looks
+// exactly like a process dying.
+type MemTransport struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+// NewMemTransport returns an empty in-memory network.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{listeners: map[string]*memListener{}}
+}
+
+func (t *MemTransport) Listen(addr string) (net.Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.listeners[addr]; ok {
+		return nil, fmt.Errorf("cluster: memory address %q already bound", addr)
+	}
+	l := &memListener{t: t, addr: addr, accept: make(chan net.Conn), closed: make(chan struct{})}
+	t.listeners[addr] = l
+	return l, nil
+}
+
+func (t *MemTransport) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	t.mu.Lock()
+	l := t.listeners[addr]
+	t.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("cluster: memory address %q: connection refused", addr)
+	}
+	client, server := net.Pipe()
+	timer := time.NewTimer(timeout) //ripslint:allow sleep dial timeout on the in-memory transport mirrors net.DialTimeout; it bounds I/O, not scheduling
+	defer timer.Stop()
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.closed:
+		_ = client.Close()
+		_ = server.Close()
+		return nil, fmt.Errorf("cluster: memory address %q: connection refused", addr)
+	case <-timer.C:
+		_ = client.Close()
+		_ = server.Close()
+		return nil, fmt.Errorf("cluster: memory address %q: dial timed out", addr)
+	}
+}
+
+type memListener struct {
+	t      *MemTransport
+	addr   string
+	accept chan net.Conn
+	once   sync.Once
+	closed chan struct{}
+}
+
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.t.mu.Lock()
+		delete(l.t.listeners, l.addr)
+		l.t.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() net.Addr { return memAddr(l.addr) }
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return string(a) }

@@ -1,0 +1,159 @@
+// Package cluster runs the RIPS phase protocol across ripsd processes:
+// one node per process, a coordinator elected by consistent-hash ring
+// position per job, and the unchanged pure planners (MWA, the tree
+// walk, the cube walk) planning over a mirror topology whose "nodes"
+// are whole processes — the cluster-level analogue of the hybrid
+// backend's affinity domains.
+//
+// Everything on the wire is a rips-wire/v1 frame: a fixed header
+// (magic, version, type, payload length, CRC-32) followed by a
+// canonical big-endian payload. Decoding is total — truncated input,
+// checksum mismatches and version skew are typed errors, never panics,
+// so a node survives any bytes a peer (or a port scanner) throws at
+// it.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// WireSchema names the frame format; it appears in docs and status
+// output, and the version byte below is its authoritative encoding.
+const WireSchema = "rips-wire/v1"
+
+const (
+	wireVersion = 1
+	headerSize  = 4 + 1 + 1 + 4 + 4
+	// maxPayload bounds a frame so a corrupt length field cannot make
+	// a reader allocate unbounded memory. Task batches dominate frame
+	// sizes and stay far below this.
+	maxPayload = 16 << 20
+)
+
+var wireMagic = [4]byte{'R', 'I', 'P', 'W'}
+
+// frameType tags a frame's payload encoding.
+type frameType byte
+
+const (
+	fInvalid   frameType = iota
+	fJoin                // addr — announce membership
+	fMembers             // []addr — full membership reply
+	fPing                // addr — liveness probe, replied with fMembers
+	fEcho                // opaque bytes — latency probe
+	fEchoReply           // the echoed bytes
+	fSubmit              // rips-job/v1 document
+	fResult              // job outcome (resultMsg)
+	fError               // string — request-level failure
+	fHeartbeat           // empty — keeps per-frame read deadlines alive
+	fAttach              // attachMsg — coordinator recruits a member
+	fAttachOK            // loadsMsg — member attached, reports its load
+	fDrained             // jobMsg — member's queue ran dry
+	fPhase               // jobMsg — stop-the-world: pause and report load
+	fLoads               // loadsMsg — member's queue length, paused
+	fTake                // takeMsg — give count tasks to member `to`
+	fBatch               // batchMsg — serialized tasks, member → coordinator
+	fPut                 // batchMsg — serialized tasks, coordinator → member
+	fPutOK               // loadsMsg — tasks installed, new load
+	fRound               // roundMsg — advance to round r, restage roots
+	fResume              // jobMsg — phase over, execute again
+	fFinish              // jobMsg — job complete, report counters
+	fCounters            // countersMsg — member's final tallies
+	fCancel              // cancelMsg — abandon the job
+)
+
+var frameNames = map[frameType]string{
+	fJoin: "join", fMembers: "members", fPing: "ping", fEcho: "echo",
+	fEchoReply: "echo-reply", fSubmit: "submit", fResult: "result",
+	fError: "error", fHeartbeat: "heartbeat", fAttach: "attach",
+	fAttachOK: "attach-ok", fDrained: "drained", fPhase: "phase",
+	fLoads: "loads", fTake: "take", fBatch: "batch", fPut: "put",
+	fPutOK: "put-ok", fRound: "round", fResume: "resume",
+	fFinish: "finish", fCounters: "counters", fCancel: "cancel",
+}
+
+func (t frameType) String() string {
+	if s, ok := frameNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("frame(%d)", byte(t))
+}
+
+// Typed wire errors. Readers distinguish a peer speaking another
+// protocol (bad magic), a peer from the future (version skew), line
+// corruption (checksum) and a short read (truncation) because each
+// demands a different reaction — and because the difference is what
+// the corruption tests pin down.
+var (
+	// ErrBadMagic: the stream does not start with a rips-wire frame.
+	ErrBadMagic = errors.New("cluster: bad frame magic (peer is not speaking rips-wire)")
+	// ErrChecksum: the payload arrived but its CRC-32 disagrees.
+	ErrChecksum = errors.New("cluster: frame checksum mismatch (payload corrupted in transit)")
+	// ErrFrameTooLarge: the length field exceeds maxPayload.
+	ErrFrameTooLarge = errors.New("cluster: frame exceeds the rips-wire payload bound")
+	// ErrTruncated: the stream ended inside a frame.
+	ErrTruncated = errors.New("cluster: truncated frame")
+)
+
+// VersionError reports a frame from an incompatible protocol version.
+type VersionError struct {
+	Got byte
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("cluster: peer speaks rips-wire version %d, this node speaks %d", e.Got, wireVersion)
+}
+
+// writeFrame writes one frame. The payload may be nil (length 0).
+func writeFrame(w io.Writer, t frameType, payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	hdr := make([]byte, headerSize, headerSize+len(payload))
+	copy(hdr[0:4], wireMagic[:])
+	hdr[4] = wireVersion
+	hdr[5] = byte(t)
+	binary.BigEndian.PutUint32(hdr[6:10], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[10:14], crc32.ChecksumIEEE(payload))
+	// One Write call per frame so frames interleave atomically under
+	// the peer's write lock.
+	_, err := w.Write(append(hdr, payload...))
+	return err
+}
+
+// readFrame reads one frame, verifying magic, version and checksum.
+// io.EOF is returned bare only at a clean frame boundary; inside a
+// frame the error wraps ErrTruncated.
+func readFrame(r io.Reader) (frameType, []byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return fInvalid, nil, io.EOF
+		}
+		return fInvalid, nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if [4]byte(hdr[0:4]) != wireMagic {
+		return fInvalid, nil, ErrBadMagic
+	}
+	if hdr[4] != wireVersion {
+		return fInvalid, nil, &VersionError{Got: hdr[4]}
+	}
+	t := frameType(hdr[5])
+	n := binary.BigEndian.Uint32(hdr[6:10])
+	sum := binary.BigEndian.Uint32(hdr[10:14])
+	if n > maxPayload {
+		return fInvalid, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fInvalid, nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return fInvalid, nil, ErrChecksum
+	}
+	return t, payload, nil
+}

@@ -26,15 +26,18 @@
 package difftest
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
 
+	"rips"
 	"rips/internal/app"
 	"rips/internal/apps/gromos"
 	"rips/internal/apps/kernels"
 	"rips/internal/apps/nqueens"
 	"rips/internal/apps/puzzle"
+	"rips/internal/cluster"
 	"rips/internal/invariant"
 	"rips/internal/par"
 	"rips/internal/ripsrt"
@@ -94,6 +97,7 @@ const (
 	BackendParallel = "parallel"
 	BackendSteal    = "steal"
 	BackendHybrid   = "hybrid"
+	BackendCluster  = "cluster"
 )
 
 // Failure describes one diverging (or crashing) backend run: which
@@ -123,6 +127,14 @@ type truth struct {
 type Harness struct {
 	mu   sync.Mutex
 	apps map[string]*appEntry
+
+	// The cluster leg's 3-process in-memory cluster, started lazily on
+	// the first cluster check and shared by every configuration — a
+	// cluster is membership state, not per-job state, and reusing it is
+	// exactly how a real ripsd fleet runs its jobs. Close releases it.
+	clusterOnce sync.Once
+	clusterErr  error
+	nodes       []*cluster.Node
 }
 
 type appEntry struct {
@@ -180,7 +192,10 @@ func (h *Harness) Check(cfg Config) *Failure {
 	if f := h.checkParallel(cfg, e, par.Steal, BackendSteal); f != nil {
 		return f
 	}
-	return h.checkParallel(cfg, e, par.Hybrid, BackendHybrid)
+	if f := h.checkParallel(cfg, e, par.Hybrid, BackendHybrid); f != nil {
+		return f
+	}
+	return h.checkCluster(cfg, e)
 }
 
 // guard converts an invariant violation escaping a backend run into a
@@ -242,6 +257,97 @@ func (h *Harness) checkParallel(cfg Config, e *appEntry, strat par.Strategy, bac
 			return &Failure{Config: cfg, Backend: backend, Reason: err.Error()}
 		}
 		return compare(cfg, backend, e.truth,
+			res.AppResult, res.Generated, res.Executed, res.VirtualWork)
+	})
+}
+
+// clusterWidth is the cluster leg's process count: a coordinator plus
+// two distinct members, the smallest ring where the phase protocol's
+// routing, batching and counter aggregation are all non-trivial.
+const clusterWidth = 3
+
+// clusterNodes lazily starts the harness's shared in-memory cluster:
+// clusterWidth nodes on one MemTransport, joined into a ring, with a
+// resolver serving the harness's cached app instances. The cluster is
+// membership state, not per-job state — every configuration's cluster
+// check submits to the same ring, exactly as jobs share a ripsd fleet.
+func (h *Harness) clusterNodes() ([]*cluster.Node, error) {
+	h.clusterOnce.Do(func() {
+		resolver := func(name string, size int) (app.App, error) {
+			e, err := h.entry(name)
+			if err != nil {
+				return nil, err
+			}
+			return e.app, nil
+		}
+		tr := cluster.NewMemTransport()
+		for i := 0; i < clusterWidth; i++ {
+			n, err := cluster.Start(cluster.Options{
+				Addr:      fmt.Sprintf("mem://difftest%d", i),
+				Transport: tr,
+				Resolver:  resolver,
+			})
+			if err != nil {
+				h.clusterErr = fmt.Errorf("difftest: start cluster node %d: %w", i, err)
+				return
+			}
+			h.nodes = append(h.nodes, n)
+			if i > 0 {
+				if err := n.Join(h.nodes[0].Addr()); err != nil {
+					h.clusterErr = fmt.Errorf("difftest: join cluster node %d: %w", i, err)
+					return
+				}
+			}
+		}
+	})
+	if h.clusterErr != nil {
+		return nil, h.clusterErr
+	}
+	return h.nodes, nil
+}
+
+// Close releases the harness's cluster nodes. Safe on a harness whose
+// cluster leg never ran, and idempotent.
+func (h *Harness) Close() {
+	h.clusterOnce.Do(func() {}) // bar a post-Close lazy start
+	for _, n := range h.nodes {
+		_ = n.Close()
+	}
+	h.nodes = nil
+}
+
+// checkCluster runs the configuration across the shared 3-process
+// cluster. The cluster mirrors the configured topology family at the
+// ring's width, so the machine shape axes (Rows, Cols, Workers) do not
+// transfer — which is the point: the answer must not depend on them,
+// and this leg holds the distributed protocol to the same sequential
+// truth at a machine size the config never mentioned.
+func (h *Harness) checkCluster(cfg Config, e *appEntry) *Failure {
+	nodes, err := h.clusterNodes()
+	if err != nil {
+		return &Failure{Config: cfg, Backend: BackendCluster, Reason: err.Error()}
+	}
+	return guard(cfg, BackendCluster, func() *Failure {
+		spec := rips.JobSpec{
+			App: cfg.App,
+			Config: rips.ConfigJSON{
+				Backend:  BackendCluster,
+				Topology: cfg.Topology,
+				Eager:    cfg.Local == ripsrt.Eager,
+				All:      cfg.Global == ripsrt.All,
+				Seed:     cfg.Seed,
+			},
+		}
+		// Any node accepts a submission and the ring routes it to the
+		// job's coordinator; rotating the entry point by seed exercises
+		// local coordination and peer forwarding alike.
+		k := int64(len(nodes))
+		entry := nodes[(cfg.Seed%k+k)%k]
+		res, err := entry.Submit(context.Background(), spec)
+		if err != nil {
+			return &Failure{Config: cfg, Backend: BackendCluster, Reason: err.Error()}
+		}
+		return compare(cfg, BackendCluster, e.truth,
 			res.AppResult, res.Generated, res.Executed, res.VirtualWork)
 	})
 }

@@ -23,6 +23,7 @@ func TestLatticeSmoke(t *testing.T) {
 		n = 14
 	}
 	h := NewHarness()
+	defer h.Close()
 	rep := h.Run(Sample(n, 1, true), nil)
 	if rep.Configs != n {
 		t.Fatalf("checked %d configs, want %d", rep.Configs, n)
@@ -41,6 +42,7 @@ func TestLatticeSmoke(t *testing.T) {
 // as config failures, not panics deep in a backend.
 func TestCheckRejectsBadConfig(t *testing.T) {
 	h := NewHarness()
+	defer h.Close()
 	for _, cfg := range []Config{
 		{App: "nope", Topology: "mesh", Rows: 1, Cols: 1, Workers: 1},
 		{App: "mg", Topology: "hypercube", Workers: 3},

@@ -118,3 +118,38 @@ func TestBenchServeArtifactSchema(t *testing.T) {
 		t.Errorf("cache hit rate %v outside [0,1]", doc.CacheRate)
 	}
 }
+
+func TestBenchClusterArtifactSchema(t *testing.T) {
+	var doc ClusterBenchJSON
+	decodeStrict(t, "../../BENCH_cluster.json", &doc)
+	if doc.Schema != ClusterBenchSchema {
+		t.Fatalf("schema = %q, want %q", doc.Schema, ClusterBenchSchema)
+	}
+	if doc.Nodes < 2 || doc.Reps < 1 || doc.Transport == "" {
+		t.Errorf("missing run provenance: nodes=%d reps=%d transport=%q", doc.Nodes, doc.Reps, doc.Transport)
+	}
+	if len(doc.Points) < 2 {
+		t.Fatalf("artifact has %d calibration points, want >= 2 for a line fit", len(doc.Points))
+	}
+	prev := -1
+	for _, p := range doc.Points {
+		if p.Bytes <= prev {
+			t.Errorf("payload ladder not strictly increasing at %d bytes", p.Bytes)
+		}
+		prev = p.Bytes
+		if p.BestRTTNs <= 0 {
+			t.Errorf("%d bytes: non-positive best RTT %d", p.Bytes, p.BestRTTNs)
+		}
+	}
+	if doc.AlphaNs <= 0 {
+		t.Errorf("fitted alpha %v ns is not positive", doc.AlphaNs)
+	}
+	if doc.BetaNsPerByte < 0 {
+		t.Errorf("fitted beta %v ns/byte is negative", doc.BetaNsPerByte)
+	}
+	// The modelled constants are pinned by sim.DefaultLatency; the
+	// artifact must carry the model it was compared against.
+	if doc.ModelAlphaNs <= 0 || doc.ModelBetaNsPerByte <= 0 {
+		t.Errorf("model constants missing: alpha=%v beta=%v", doc.ModelAlphaNs, doc.ModelBetaNsPerByte)
+	}
+}

@@ -1,0 +1,186 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+
+	"rips/internal/cluster"
+	"rips/internal/sim"
+)
+
+// The cluster benchmark calibrates the distributed transport against
+// the simulator's cost model. The paper prices a message as
+// alpha + beta*size (startup plus per-byte transmission); the
+// simulator's sim.DefaultLatency encodes the mid-90s Paragon numbers.
+// This experiment measures the same two constants for the rips-wire/v1
+// transport ripsd clusters actually run on — echo round-trips at a
+// ladder of payload sizes, best-of-reps to shed scheduler noise, and a
+// least-squares line through the points — and commits both the
+// measured and the modelled constants side by side in
+// BENCH_cluster.json, so the artifact records how far a localhost (or
+// in-memory) deployment sits from the machine the paper assumed.
+
+// ClusterBenchSchema names the current BENCH_cluster.json schema.
+const ClusterBenchSchema = "rips-cluster/v1"
+
+// ClusterPointJSON is one calibration point: an echo payload size and
+// the best (minimum) round-trip time observed at it.
+type ClusterPointJSON struct {
+	Bytes     int   `json:"bytes"`
+	BestRTTNs int64 `json:"best_rtt_ns"`
+}
+
+// ClusterBenchJSON is the BENCH_cluster.json document: the
+// environment, the calibration points, and the fitted one-way message
+// cost alpha + beta*size next to the simulator's modelled constants.
+type ClusterBenchJSON struct {
+	Schema    string             `json:"schema"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	Cores     int                `json:"cores"`
+	Transport string             `json:"transport"`
+	Nodes     int                `json:"nodes"`
+	Reps      int                `json:"reps"`
+	Points    []ClusterPointJSON `json:"points"`
+	// AlphaNs and BetaNsPerByte are the least-squares fit of one-way
+	// message cost over the points (half the round-trip line: an echo
+	// crosses the wire twice).
+	AlphaNs       float64 `json:"alpha_ns"`
+	BetaNsPerByte float64 `json:"beta_ns_per_byte"`
+	// ModelAlphaNs and ModelBetaNsPerByte are the simulator's
+	// constants for the same quantities: per-message startup
+	// (Base + SendOverhead + RecvOverhead) and per-byte transmission.
+	ModelAlphaNs       float64 `json:"model_alpha_ns"`
+	ModelBetaNsPerByte float64 `json:"model_beta_ns_per_byte"`
+}
+
+// ClusterBenchOptions configures the calibration run. The zero value
+// measures a 3-node localhost TCP cluster with 32 echoes per point
+// over the default payload ladder.
+type ClusterBenchOptions struct {
+	// Nodes is the cluster width; default 3.
+	Nodes int
+	// Reps is how many echoes each point sends; the minimum RTT is
+	// kept. Default 32.
+	Reps int
+	// Sizes is the payload ladder in bytes; default
+	// 0, 256, 1Ki, 4Ki, 16Ki, 64Ki.
+	Sizes []int
+	// Transport carries the frames; nil means localhost TCP.
+	Transport cluster.Transport
+	// TransportName labels the transport in the document; default
+	// "tcp" ("mem" when injecting the in-memory transport).
+	TransportName string
+	// Addr names node i's listen address; default "127.0.0.1:0".
+	Addr func(i int) string
+}
+
+func (o *ClusterBenchOptions) setDefaults() {
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.Reps <= 0 {
+		o.Reps = 32
+	}
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{0, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10}
+	}
+	if o.Transport == nil {
+		o.Transport = cluster.TCP()
+	}
+	if o.TransportName == "" {
+		o.TransportName = "tcp"
+	}
+	if o.Addr == nil {
+		o.Addr = func(int) string { return "127.0.0.1:0" }
+	}
+}
+
+// ClusterBench stands up a cluster on the configured transport, pings
+// a peer through the rips-wire/v1 echo frames at each payload size,
+// and returns the calibration document.
+func ClusterBench(opts ClusterBenchOptions) (ClusterBenchJSON, error) {
+	opts.setDefaults()
+	if opts.Nodes < 2 {
+		return ClusterBenchJSON{}, fmt.Errorf("exp: cluster bench needs at least 2 nodes, got %d", opts.Nodes)
+	}
+	nodes := make([]*cluster.Node, 0, opts.Nodes)
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+	for i := 0; i < opts.Nodes; i++ {
+		n, err := cluster.Start(cluster.Options{Addr: opts.Addr(i), Transport: opts.Transport})
+		if err != nil {
+			return ClusterBenchJSON{}, fmt.Errorf("exp: start cluster node %d: %w", i, err)
+		}
+		nodes = append(nodes, n)
+		if i > 0 {
+			if err := n.Join(nodes[0].Addr()); err != nil {
+				return ClusterBenchJSON{}, fmt.Errorf("exp: join cluster node %d: %w", i, err)
+			}
+		}
+	}
+
+	doc := ClusterBenchJSON{
+		Schema:    ClusterBenchSchema,
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Cores:     runtime.NumCPU(),
+		Transport: opts.TransportName,
+		Nodes:     opts.Nodes,
+		Reps:      opts.Reps,
+	}
+	for _, size := range opts.Sizes {
+		rtts, err := nodes[0].EchoRTT(nodes[1].Addr(), make([]byte, size), opts.Reps)
+		if err != nil {
+			return ClusterBenchJSON{}, fmt.Errorf("exp: echo %d bytes: %w", size, err)
+		}
+		best := rtts[0]
+		for _, r := range rtts[1:] {
+			if r < best {
+				best = r
+			}
+		}
+		doc.Points = append(doc.Points, ClusterPointJSON{Bytes: size, BestRTTNs: best.Nanoseconds()})
+	}
+
+	// Fit RTT = a + b*size by least squares, then halve: an echo is
+	// two wire crossings, so the one-way line is (a/2, b/2).
+	a, b := fitLine(doc.Points)
+	doc.AlphaNs, doc.BetaNsPerByte = a/2, b/2
+
+	model := sim.DefaultLatency()
+	doc.ModelAlphaNs = float64(model.Base + model.SendOverhead + model.RecvOverhead)
+	doc.ModelBetaNsPerByte = float64(model.PerByte)
+	return doc, nil
+}
+
+// fitLine is the ordinary least-squares line y = a + b*x through the
+// calibration points. A single point degenerates to a horizontal line
+// through it.
+func fitLine(points []ClusterPointJSON) (a, b float64) {
+	n := float64(len(points))
+	if n == 0 {
+		return 0, 0
+	}
+	var meanX, meanY float64
+	for _, p := range points {
+		meanX += float64(p.Bytes)
+		meanY += float64(p.BestRTTNs)
+	}
+	meanX /= n
+	meanY /= n
+	var cov, varX float64
+	for _, p := range points {
+		dx := float64(p.Bytes) - meanX
+		cov += dx * (float64(p.BestRTTNs) - meanY)
+		varX += dx * dx
+	}
+	if varX == 0 {
+		return meanY, 0
+	}
+	b = cov / varX
+	return meanY - b*meanX, b
+}

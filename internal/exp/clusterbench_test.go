@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rips/internal/cluster"
+)
+
+// TestClusterBenchMem runs the calibration end to end on the in-memory
+// transport: real frames, real peer echo handling, no sockets.
+func TestClusterBenchMem(t *testing.T) {
+	doc, err := ClusterBench(ClusterBenchOptions{
+		Nodes:         2,
+		Reps:          4,
+		Sizes:         []int{0, 1 << 10, 16 << 10},
+		Transport:     cluster.NewMemTransport(),
+		TransportName: "mem",
+		Addr:          func(i int) string { return fmt.Sprintf("mem://cb%d", i) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != ClusterBenchSchema {
+		t.Errorf("schema = %q, want %q", doc.Schema, ClusterBenchSchema)
+	}
+	if doc.Transport != "mem" || doc.Nodes != 2 || doc.Reps != 4 {
+		t.Errorf("provenance wrong: %+v", doc)
+	}
+	if len(doc.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(doc.Points))
+	}
+	for _, p := range doc.Points {
+		if p.BestRTTNs <= 0 {
+			t.Errorf("%d bytes: best RTT %d not positive", p.Bytes, p.BestRTTNs)
+		}
+	}
+	if doc.AlphaNs <= 0 {
+		t.Errorf("fitted alpha %v not positive", doc.AlphaNs)
+	}
+	if doc.ModelAlphaNs != 110_000 || doc.ModelBetaNsPerByte != 100 {
+		t.Errorf("model constants = (%v, %v), want (110000, 100)", doc.ModelAlphaNs, doc.ModelBetaNsPerByte)
+	}
+}
+
+// TestFitLine pins the least-squares fit on exact lines and the
+// degenerate single-point case.
+func TestFitLine(t *testing.T) {
+	pts := []ClusterPointJSON{}
+	for _, x := range []int{0, 100, 1000, 5000} {
+		pts = append(pts, ClusterPointJSON{Bytes: x, BestRTTNs: 700 + 3*int64(x)})
+	}
+	a, b := fitLine(pts)
+	if math.Abs(a-700) > 1e-6 || math.Abs(b-3) > 1e-9 {
+		t.Errorf("fitLine = (%v, %v), want (700, 3)", a, b)
+	}
+	a, b = fitLine([]ClusterPointJSON{{Bytes: 64, BestRTTNs: 42}})
+	if a != 42 || b != 0 {
+		t.Errorf("single-point fit = (%v, %v), want (42, 0)", a, b)
+	}
+}

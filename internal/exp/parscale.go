@@ -7,10 +7,8 @@ import (
 	"runtime"
 	"time"
 
+	"rips"
 	"rips/internal/app"
-	"rips/internal/apps/gromos"
-	"rips/internal/apps/nqueens"
-	"rips/internal/apps/puzzle"
 	"rips/internal/metrics"
 	"rips/internal/par"
 	"rips/internal/topo"
@@ -28,43 +26,20 @@ import (
 // cores, and the hybrid column shows where the hierarchy beats both
 // pure strategies.
 
-// ParScaleApp constructs a workload for the scaling experiment by
-// family name, reproducing the Table I workload contrast on real
-// cores: "nq" is highly parallel uniform search (size = board, 0 means
+// ParScaleApp resolves a workload for the scaling experiment by family
+// name: "nq" is highly parallel uniform search (size = board, 0 means
 // 13), "ida" is irregular iterative deepening with wildly varying
 // round sizes (size = paper configuration 1..3, 0 means 1), and
 // "gromos" is the static near-uniform pair-list computation (size =
 // cutoff radius in angstroms, 0 means 8). The three families stress
 // the scheduler in the three ways the paper's taxonomy distinguishes,
 // so their curves are directly comparable.
+//
+// The registry this name vocabulary introduced is public now —
+// rips.RegisterApp/rips.LookupApp/rips.Apps — and ParScaleApp is a
+// thin forwarding shim kept for its internal callers.
 func ParScaleApp(family string, size int) (app.App, error) {
-	switch family {
-	case "nq":
-		if size == 0 {
-			size = 13
-		}
-		if size < 4 {
-			return nil, fmt.Errorf("parscale: nq size %d (want a board of at least 4)", size)
-		}
-		return nqueens.New(size, 4), nil
-	case "ida":
-		if size == 0 {
-			size = 1
-		}
-		if size < 1 || size > 3 {
-			return nil, fmt.Errorf("parscale: ida size %d (want a paper configuration 1..3)", size)
-		}
-		return puzzle.Config(size), nil
-	case "gromos":
-		if size == 0 {
-			size = 8
-		}
-		if size < 1 {
-			return nil, fmt.Errorf("parscale: gromos size %d (want a positive cutoff in angstroms)", size)
-		}
-		return gromos.New(float64(size)), nil
-	}
-	return nil, fmt.Errorf("parscale: unknown app family %q (want nq, ida or gromos)", family)
+	return rips.LookupApp(family, size)
 }
 
 // ParScalePoint is one worker count of the scaling curve.

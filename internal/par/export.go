@@ -1,0 +1,34 @@
+// Exports of the planning primitives the distributed cluster backend
+// (internal/cluster) shares with the in-process runtime: a cluster
+// coordinator plans phases over a mirror topology of its member
+// processes exactly the way the hierarchical hybrid backend plans over
+// its affinity domains, so both call through these wrappers into the
+// same pure planners.
+package par
+
+import (
+	"rips/internal/sched"
+	"rips/internal/topo"
+)
+
+// PlanLoads runs the topology's incremental scheduling planner (MWA on
+// meshes, the tree walk on trees, the cube walk on hypercubes) over one
+// load vector and returns the move plan and the global total.
+func PlanLoads(t topo.Topology, loads []int) (sched.Plan, int, error) {
+	return planLoads(t, loads)
+}
+
+// MirrorTopology returns the n-node topology of the machine's own
+// family that a coordinator plans over when the machine's nodes are
+// groups (affinity domains in-process, whole processes in a cluster)
+// rather than single workers.
+func MirrorTopology(machine topo.Topology, n int) topo.Topology {
+	return domainTopology(machine, n)
+}
+
+// BalancedCanonical reports whether the load vector already is the
+// canonical balanced distribution of the given total — the fixed point
+// at which a planner has no moves left to make.
+func BalancedCanonical(loads []int, total int) bool {
+	return balancedCanonical(loads, total)
+}

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rips"
+	"rips/internal/app"
+	"rips/internal/cluster"
+)
+
+// startServeCluster brings up a k-node in-memory cluster for serve
+// tests, joined into a ring, and returns the nodes.
+func startServeCluster(t *testing.T, k int) []*cluster.Node {
+	t.Helper()
+	tr := cluster.NewMemTransport()
+	nodes := make([]*cluster.Node, 0, k)
+	for i := 0; i < k; i++ {
+		n, err := cluster.Start(cluster.Options{
+			Addr:              fmt.Sprintf("mem://serve%d", i),
+			Transport:         tr,
+			HeartbeatInterval: 20 * time.Millisecond,
+			HeartbeatTimeout:  500 * time.Millisecond,
+			StabilizeInterval: 40 * time.Millisecond,
+			DialTimeout:       500 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("start cluster node %d: %v", i, err)
+		}
+		t.Cleanup(func() { _ = n.Close() })
+		nodes = append(nodes, n)
+		if i > 0 {
+			if err := n.Join(nodes[0].Addr()); err != nil {
+				t.Fatalf("join node %d: %v", i, err)
+			}
+		}
+	}
+	return nodes
+}
+
+// TestServeClusterJob is the unified-API acceptance test at the serve
+// layer: a submission with "backend": "cluster" runs through the
+// server's cluster node across three processes and settles done with
+// the exact sequential answer in its rips-result/v1 document.
+func TestServeClusterJob(t *testing.T) {
+	nodes := startServeCluster(t, 3)
+	s := newTestServer(t, Options{Workers: 2, Cluster: nodes[0]})
+
+	a, err := rips.LookupApp("nq", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := app.Measure(a)
+
+	job, err := s.Submit(JobSpec{App: "nq", Size: 8, Config: rips.ConfigJSON{Backend: "cluster"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitTerminal(t, job)
+	if snap.State != StateDone {
+		t.Fatalf("cluster job ended %q (err %q)", snap.State, snap.Err)
+	}
+	if snap.Result == nil {
+		t.Fatal("done cluster job has no result document")
+	}
+	if snap.Result.AppResult != prof.Result {
+		t.Errorf("app result %d, want %d", snap.Result.AppResult, prof.Result)
+	}
+	if snap.Result.Tasks != int64(prof.Tasks) {
+		t.Errorf("tasks %d, want %d", snap.Result.Tasks, prof.Tasks)
+	}
+	if snap.Result.Config.Backend != "cluster" {
+		t.Errorf("result config echoes backend %q", snap.Result.Config.Backend)
+	}
+
+	// An identical resubmission must come straight from the result
+	// cache: cluster results are cached like local ones.
+	again, err := s.Submit(JobSpec{App: "nq", Size: 8, Config: rips.ConfigJSON{Backend: "cluster"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap = waitTerminal(t, again)
+	if snap.State != StateDone || !snap.CacheHit {
+		t.Errorf("resubmission state %q cacheHit %v, want done from cache", snap.State, snap.CacheHit)
+	}
+}
+
+// TestServeClusterNotConfigured pins the failure mode of a cluster
+// submission to a stand-alone ripsd: a descriptive rejection at
+// submit, and 404 from GET /v1/cluster.
+func TestServeClusterNotConfigured(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 2})
+	_, err := s.Submit(JobSpec{App: "nq", Size: 8, Config: rips.ConfigJSON{Backend: "cluster"}})
+	if err == nil || !strings.Contains(err.Error(), "not part of a cluster") {
+		t.Errorf("submit to a non-cluster server: %v", err)
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/cluster = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServeClusterEndpoint pins GET /v1/cluster on a clustered server:
+// the ring membership document with this node marked self.
+func TestServeClusterEndpoint(t *testing.T) {
+	nodes := startServeCluster(t, 3)
+	s := newTestServer(t, Options{Workers: 2, Cluster: nodes[1]})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/cluster = %d, want 200", resp.StatusCode)
+	}
+	var st cluster.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Addr != nodes[1].Addr() || st.Wire == "" {
+		t.Errorf("status header wrong: %+v", st)
+	}
+	if len(st.Members) != 3 {
+		t.Fatalf("status lists %d members, want 3", len(st.Members))
+	}
+	selfs := 0
+	for _, m := range st.Members {
+		if m.Self {
+			selfs++
+			if m.Addr != nodes[1].Addr() {
+				t.Errorf("self marker on %q, want %q", m.Addr, nodes[1].Addr())
+			}
+		}
+		if m.RingID == "" {
+			t.Errorf("member %q has no ring position", m.Addr)
+		}
+	}
+	if selfs != 1 {
+		t.Errorf("%d members marked self, want exactly 1", selfs)
+	}
+}
+
+// TestServeSubmitStrictDecode pins that POST /v1/jobs uses the strict
+// rips-job/v1 decoder: unknown fields, schema skew and trailing bytes
+// are 400s, not silently-defaulted runs.
+func TestServeSubmitStrictDecode(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for name, body := range map[string]string{
+		"unknown field":  `{"app": "nq", "procs": 4}`,
+		"schema skew":    `{"schema": "rips-job/v9", "app": "nq"}`,
+		"trailing bytes": `{"app": "nq"}{}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -85,6 +86,7 @@ func encodePhase(pi rips.PhaseInfo) PhaseEvent {
 //	GET  /healthz                  liveness
 //	GET  /metrics                  Prometheus text exposition
 //	GET  /v1/stats                 tenant queues, lanes, pool, cache
+//	GET  /v1/cluster               ring membership (404 when not clustered)
 //	GET  /v1/jobs                  list jobs in submission order
 //	POST /v1/jobs                  submit a JobSpec (202, 400, 503)
 //	GET  /v1/jobs/{id}             one job
@@ -95,6 +97,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -138,6 +141,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleCluster reports the node's view of the ring — address, wire
+// schema, ring-ordered members with their hash positions, running
+// cluster jobs. A server started without -cluster has no ring to
+// report: 404.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Cluster == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: this server is not part of a cluster"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.opts.Cluster.Status())
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -172,10 +187,17 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec JobSpec
-	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad submission body: %w", err))
+		return
+	}
+	// The strict rips-job/v1 decoder: unknown fields, schema skew and
+	// trailing bytes are 400s, identically here and on a cluster peer
+	// receiving the forwarded document.
+	spec, err := rips.DecodeJobSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	job, err := s.Submit(spec)

@@ -31,19 +31,16 @@ const DefaultTenant = "default"
 // the cap still receive every phase live.
 const maxPhaseHistory = 4096
 
-// JobSpec is the submission body for POST /v1/jobs: a named workload
-// from the parscale registry (nq, ida, gromos) at a size, plus a
-// rips-result/v1 config object, attributed to a tenant in a priority
-// lane. Zero-value fields take server defaults: the family's default
-// size, the Parallel backend, a machine the size of the whole pool,
-// the "default" tenant, the normal lane.
-type JobSpec struct {
-	App      string          `json:"app"`
-	Size     int             `json:"size,omitempty"`
-	Config   rips.ConfigJSON `json:"config"`
-	Tenant   string          `json:"tenant,omitempty"`
-	Priority string          `json:"priority,omitempty"`
-}
+// JobSpec is the submission body for POST /v1/jobs: the rips-job/v1
+// document — a workload family from the rips app registry at a size,
+// plus a rips-result/v1 config object, attributed to a tenant in a
+// priority lane. Zero-value fields take server defaults: the family's
+// default size, the Parallel backend, a machine the size of the whole
+// pool, the "default" tenant, the normal lane. The alias makes the
+// sharing literal: the HTTP surface and cluster peer-forwarding
+// (internal/cluster) decode the identical document, so a ripsd can
+// forward a submission verbatim to a cluster coordinator.
+type JobSpec = rips.JobSpec
 
 // Job is one submitted run. The exported fields are immutable after
 // Submit; everything mutable lives behind mu and is read via Snapshot.

@@ -37,7 +37,8 @@ import (
 	"time"
 
 	"rips"
-	"rips/internal/exp"
+	"rips/internal/cluster"
+	"rips/internal/metrics"
 	"rips/internal/tenant"
 )
 
@@ -67,6 +68,11 @@ type Options struct {
 	// MaxBodyBytes bounds a submission's JSON body. Zero means
 	// DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// Cluster, when set, is this process's cluster node: submissions
+	// with "backend": "cluster" run through it (Node.Submit routes to
+	// the job's ring coordinator), and GET /v1/cluster reports its
+	// membership. Nil means cluster submissions are rejected.
+	Cluster *cluster.Node
 }
 
 // Defaults for Options zero values.
@@ -258,7 +264,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 // pool. The returned Config carries no hooks yet — runTicket wires
 // those, and swaps the root pool for the job's sub-pool lease.
 func (s *Server) resolve(spec *JobSpec) (rips.Config, rips.App, error) {
-	a, err := exp.ParScaleApp(spec.App, spec.Size)
+	a, err := rips.LookupApp(spec.App, spec.Size)
 	if err != nil {
 		return rips.Config{}, nil, fmt.Errorf("serve: %w", err)
 	}
@@ -270,6 +276,9 @@ func (s *Server) resolve(spec *JobSpec) (rips.Config, rips.App, error) {
 		// The server's raison d'être is the shared pool; simulation is
 		// opt-in ("backend": "simulate").
 		cfg.Backend = rips.Parallel
+	}
+	if cfg.Backend == rips.Cluster && s.opts.Cluster == nil {
+		return rips.Config{}, nil, fmt.Errorf("serve: this server is not part of a cluster (start ripsd with -cluster)")
 	}
 	if cfg.Procs == 0 && cfg.Rows == 0 && cfg.Cols == 0 {
 		cfg.Procs = s.pool.Workers()
@@ -347,6 +356,10 @@ func (s *Server) runTicket(t *tenant.Ticket) {
 	}
 	runCtx := job.beginAttempt()
 	cfg := job.cfg
+	if cfg.Backend == rips.Cluster {
+		s.runClusterAttempt(t, job, runCtx)
+		return
+	}
 	cfg.OnPhase = job.appendPhase
 	var sub *rips.Pool
 	if poolBacked(cfg.Backend) {
@@ -384,6 +397,55 @@ func (s *Server) runTicket(t *tenant.Ticket) {
 		s.cache.Put(job.cacheKey, doc)
 		s.finish(t, job, StateDone, &doc, nil)
 	}
+}
+
+// runClusterAttempt executes one attempt of a cluster-backend job:
+// the node's Submit routes the rips-job/v1 document to its ring
+// coordinator and blocks until the cluster answers. The job occupies
+// one admission slot, not a pool lease — the work runs on the cluster
+// processes, not the local pool — and streams no phase events: the
+// phase protocol runs between processes, out of OnPhase's reach.
+// Cancellation still travels the same context path, surfacing as a
+// Canceled partial result.
+func (s *Server) runClusterAttempt(t *tenant.Ticket, job *Job, runCtx context.Context) {
+	p := s.profile(job.Spec, job.app)
+	cres, err := s.opts.Cluster.Submit(runCtx, job.Spec)
+	res := clusterResult(cres, p)
+	doc := rips.EncodeResult(job.cfg, res)
+	preempted := job.endAttempt()
+	switch {
+	case res.Canceled && preempted && job.ctx.Err() == nil:
+		job.markRequeued()
+		s.arb.Yielded(t)
+	case res.Canceled:
+		s.finish(t, job, StateCanceled, &doc, err)
+	case err != nil:
+		s.finish(t, job, StateFailed, nil, err)
+	default:
+		s.cache.Put(job.cacheKey, doc)
+		s.finish(t, job, StateDone, &doc, nil)
+	}
+}
+
+// clusterResult folds a cluster outcome into the rips-result/v1 shape:
+// counters come from the members' sums, the sequential baseline from
+// the cached profile, and the wall-clock efficiency uses the same
+// busy/(N*wall) definition as the Parallel backend.
+func clusterResult(c cluster.Result, p rips.Profile) rips.Result {
+	res := rips.Result{
+		Tasks:     c.Generated,
+		Nonlocal:  c.Nonlocal,
+		Phases:    c.Phases,
+		SeqTime:   p.Work,
+		Wall:      c.Wall,
+		AppResult: c.AppResult,
+		Canceled:  c.Canceled,
+	}
+	if !c.Canceled {
+		res.Efficiency = metrics.WallEfficiency(c.Busy, c.Workers, c.Wall)
+		res.Speedup = res.Efficiency * float64(c.Workers)
+	}
+	return res
 }
 
 // finish settles a job terminally and retires its ticket.

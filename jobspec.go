@@ -1,0 +1,73 @@
+package rips
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// JobSpecSchema identifies the versioned job-submission document. The
+// ripsd HTTP surface (POST /v1/jobs) and cluster peer-forwarding
+// (internal/cluster's SUBMIT frames) decode the identical document, so
+// a job can be re-submitted verbatim to any node of a cluster.
+const JobSpecSchema = "rips-job/v1"
+
+// JobSpec is the rips-job/v1 document: a registered workload family at
+// a size, a rips-result/v1 config object, attributed to a tenant in a
+// priority lane. Zero-valued fields take the receiving server's
+// defaults (the family's default size, its default backend and machine
+// size, the "default" tenant, the normal lane). The schema field is
+// optional on input — a bare {"app": "nq"} submission is version 1 —
+// and stamped on output.
+type JobSpec struct {
+	Schema   string     `json:"schema,omitempty"`
+	App      string     `json:"app"`
+	Size     int        `json:"size,omitempty"`
+	Config   ConfigJSON `json:"config"`
+	Tenant   string     `json:"tenant,omitempty"`
+	Priority string     `json:"priority,omitempty"`
+}
+
+// Encode renders the document with its schema stamped — the form to
+// POST to a server or forward to a cluster peer.
+func (s JobSpec) Encode() ([]byte, error) {
+	s.Schema = JobSpecSchema
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Marshal of a struct of strings, numbers and bools cannot fail.
+		return nil, fmt.Errorf("rips: encoding job spec: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeJobSpec parses a rips-job/v1 document. Decoding is strict —
+// unknown fields and unknown schemas are errors, so a client's typo
+// ("procs" at the top level instead of inside "config") fails loudly
+// instead of silently running a default — but structural only: enum
+// values inside the config decode later (ConfigJSON.Decode), and the
+// semantic defaults are the receiving server's to fill in.
+func DecodeJobSpec(data []byte) (JobSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s JobSpec
+	if err := dec.Decode(&s); err != nil {
+		return JobSpec{}, fmt.Errorf("rips: bad job spec: %w", err)
+	}
+	if s.Schema != "" && s.Schema != JobSpecSchema {
+		return JobSpec{}, fmt.Errorf("rips: job spec schema %q, want %q", s.Schema, JobSpecSchema)
+	}
+	if err := trailingGarbage(dec); err != nil {
+		return JobSpec{}, err
+	}
+	s.Schema = JobSpecSchema
+	return s, nil
+}
+
+// trailingGarbage rejects bytes after the document — a concatenation
+// accident a lenient decoder would silently drop.
+func trailingGarbage(dec *json.Decoder) error {
+	if _, err := dec.Token(); err == nil {
+		return fmt.Errorf("rips: bad job spec: trailing data after document")
+	}
+	return nil
+}

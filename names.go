@@ -25,7 +25,7 @@ func Algorithms() []Algorithm {
 
 // Backends returns every defined Backend constant, in order.
 func Backends() []Backend {
-	return []Backend{Simulate, Parallel, Hybrid}
+	return []Backend{Simulate, Parallel, Hybrid, Cluster}
 }
 
 func (a Algorithm) String() string {
@@ -54,6 +54,8 @@ func (b Backend) String() string {
 		return "parallel"
 	case Hybrid:
 		return "hybrid"
+	case Cluster:
+		return "cluster"
 	}
 	return fmt.Sprintf("backend(%d)", int(b))
 }
@@ -75,8 +77,8 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 }
 
 // ParseBackend is the inverse of Backend.String: "simulate",
-// "parallel" or "hybrid", case-insensitively with surrounding
-// whitespace ignored. Anything else is an error.
+// "parallel", "hybrid" or "cluster", case-insensitively with
+// surrounding whitespace ignored. Anything else is an error.
 func ParseBackend(s string) (Backend, error) {
 	s = normalizeEnum(s)
 	for _, b := range Backends() {

@@ -88,7 +88,7 @@ func WithAlgorithm(a Algorithm) Option {
 func WithBackend(b Backend) Option {
 	return func(c *Config) error {
 		switch b {
-		case Simulate, Parallel, Hybrid:
+		case Simulate, Parallel, Hybrid, Cluster:
 			c.Backend = b
 			return nil
 		}
@@ -173,6 +173,20 @@ func WithInitBackoff(d Time) Option {
 func WithDetectInterval(d time.Duration) Option {
 	return func(c *Config) error {
 		c.DetectInterval = d
+		return nil
+	}
+}
+
+// WithTimeout bounds the run's real elapsed time (see Config.Timeout):
+// the run cancels itself at the next phase boundary once the budget
+// expires. The duration must be positive — omit the option for an
+// unbounded run.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Config) error {
+		if d <= 0 {
+			return fmt.Errorf("rips: WithTimeout(%v): duration must be positive (omit the option for no bound)", d)
+		}
+		c.Timeout = d
 		return nil
 	}
 }

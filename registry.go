@@ -1,0 +1,108 @@
+package rips
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rips/internal/apps/gromos"
+	"rips/internal/apps/nqueens"
+	"rips/internal/apps/puzzle"
+)
+
+// AppBuilder constructs a registered workload family's App at a size.
+// The size knob's meaning is the family's own (board size, paper
+// configuration, cutoff radius); builders must treat 0 as the family's
+// documented default and reject unusable sizes with a descriptive
+// error.
+type AppBuilder func(size int) (App, error)
+
+// appRegistry is the process-wide family-name → builder table behind
+// RegisterApp/LookupApp/Apps. Every surface that resolves a workload
+// by name — ripsd submissions, cluster peers re-resolving a forwarded
+// job, ripsbench and the difftest harness — goes through this one
+// table, so a name means the same workload everywhere.
+var appRegistry = struct {
+	sync.RWMutex
+	m map[string]AppBuilder
+}{m: map[string]AppBuilder{}}
+
+// RegisterApp registers a workload family under a name, making it
+// resolvable by LookupApp (and thereby submittable to ripsd and
+// runnable on cluster peers, which re-resolve forwarded jobs by name —
+// a family must be registered identically in every process of a
+// cluster). Registration is typically done from an init function; the
+// name must be non-empty and not yet taken, and the builder non-nil —
+// violations panic, like duplicate http.Handle patterns, because they
+// are programmer errors no caller can meaningfully handle.
+func RegisterApp(name string, build AppBuilder) {
+	if name == "" || build == nil {
+		panic("rips: RegisterApp with an empty name or nil builder")
+	}
+	appRegistry.Lock()
+	defer appRegistry.Unlock()
+	if _, dup := appRegistry.m[name]; dup {
+		panic(fmt.Sprintf("rips: RegisterApp(%q): family already registered", name))
+	}
+	appRegistry.m[name] = build
+}
+
+// LookupApp resolves a registered workload family at a size (0 means
+// the family's default). Unknown names are errors listing the known
+// families, so a mistyped submission tells the client what exists.
+func LookupApp(name string, size int) (App, error) {
+	appRegistry.RLock()
+	build, ok := appRegistry.m[name]
+	appRegistry.RUnlock()
+	if !ok {
+		known := Apps()
+		return nil, fmt.Errorf("rips: unknown app family %q (registered: %v)", name, known)
+	}
+	return build(size)
+}
+
+// Apps returns the registered family names, sorted — the stable
+// vocabulary a server can advertise.
+func Apps() []string {
+	appRegistry.RLock()
+	defer appRegistry.RUnlock()
+	names := make([]string, 0, len(appRegistry.m))
+	for name := range appRegistry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// The built-in families: the paper's three applications, under the
+// names the parscale experiment introduced. Their size semantics are
+// part of the serving API surface (see JobSpec).
+func init() {
+	RegisterApp("nq", func(size int) (App, error) {
+		if size == 0 {
+			size = 13
+		}
+		if size < 4 {
+			return nil, fmt.Errorf("rips: nq size %d (want a board of at least 4)", size)
+		}
+		return nqueens.New(size, 4), nil
+	})
+	RegisterApp("ida", func(size int) (App, error) {
+		if size == 0 {
+			size = 1
+		}
+		if size < 1 || size > 3 {
+			return nil, fmt.Errorf("rips: ida size %d (want a paper configuration 1..3)", size)
+		}
+		return puzzle.Config(size), nil
+	})
+	RegisterApp("gromos", func(size int) (App, error) {
+		if size == 0 {
+			size = 8
+		}
+		if size < 1 {
+			return nil, fmt.Errorf("rips: gromos size %d (want a positive cutoff in angstroms)", size)
+		}
+		return gromos.New(float64(size)), nil
+	})
+}

@@ -32,6 +32,7 @@ type ConfigJSON struct {
 	RIDUpdateFactor  float64 `json:"rid_update_factor,omitempty"`
 	InitBackoffNS    int64   `json:"init_backoff_ns,omitempty"`
 	DetectIntervalNS int64   `json:"detect_interval_ns,omitempty"`
+	TimeoutNS        int64   `json:"timeout_ns,omitempty"`
 	Seed             int64   `json:"seed,omitempty"`
 }
 
@@ -52,6 +53,7 @@ func EncodeConfig(cfg Config) ConfigJSON {
 		RIDUpdateFactor:  cfg.RIDUpdateFactor,
 		InitBackoffNS:    int64(cfg.InitBackoff),
 		DetectIntervalNS: int64(cfg.DetectInterval),
+		TimeoutNS:        int64(cfg.Timeout),
 		Seed:             cfg.Seed,
 	}
 }
@@ -75,6 +77,7 @@ func (j ConfigJSON) Decode() (Config, error) {
 		RIDUpdateFactor: j.RIDUpdateFactor,
 		InitBackoff:     Time(j.InitBackoffNS),
 		DetectInterval:  time.Duration(j.DetectIntervalNS),
+		Timeout:         time.Duration(j.TimeoutNS),
 		Seed:            j.Seed,
 	}
 	if j.Algorithm != "" {

@@ -124,6 +124,17 @@ const (
 	// (Config.Algorithm must be RIPS); Config.Domains shapes the
 	// partition.
 	Hybrid
+	// Cluster runs the workload across several ripsd processes: every
+	// cluster node plays one node of a cluster-level mirror topology,
+	// the job's coordinator (elected by consistent-hash ring position)
+	// runs the unchanged pure planners over length-prefixed rips-wire/v1
+	// frames, and task moves ship as serialized batches over persistent
+	// TCP connections (internal/cluster). The algorithm is RIPS by
+	// construction; Domains, Pool and Periodic do not apply (Validate
+	// rejects them). A Cluster config is not locally runnable —
+	// RunContext refuses it; submit the job to a ripsd started with
+	// -cluster instead.
+	Cluster
 )
 
 // PhaseInfo is the per-system-phase progress snapshot delivered to
@@ -184,6 +195,14 @@ type Config struct {
 	// and backing off as phases move fewer tasks. Only phase timing
 	// depends on this, never the answer. Parallel backend only.
 	DetectInterval time.Duration
+	// Timeout bounds a run's real elapsed time: when positive,
+	// RunContext derives a deadline that far in the future from its
+	// context, so the run cancels itself at the next phase boundary
+	// once the budget expires (Result.Canceled set, the error is
+	// context.DeadlineExceeded). Zero means no time bound. On the
+	// Cluster backend the coordinator applies the same bound to the
+	// distributed job.
+	Timeout time.Duration
 	// Seed makes runs reproducible; simulated runs are deterministic
 	// per seed (the Parallel backend's answer is seed- and
 	// timing-independent, but steal orders are not).
@@ -303,7 +322,7 @@ func (c Config) Validate() error {
 		return err
 	}
 	switch c.Backend {
-	case Simulate, Parallel, Hybrid:
+	case Simulate, Parallel, Hybrid, Cluster:
 	default:
 		return fmt.Errorf("rips: unknown backend %v", c.Backend)
 	}
@@ -317,6 +336,9 @@ func (c Config) Validate() error {
 	}
 	if c.Domains > 0 && c.Backend != Hybrid {
 		return fmt.Errorf("rips: Config.Domains applies only to the Hybrid backend")
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("rips: Config.Timeout must be non-negative, got %v", c.Timeout)
 	}
 	switch c.Backend {
 	case Parallel:
@@ -338,6 +360,20 @@ func (c Config) Validate() error {
 		}
 		if err := c.poolFits(machine); err != nil {
 			return err
+		}
+	case Cluster:
+		// The cluster's per-process executor embeds the phase protocol;
+		// there is no Steal or baseline variant of it, and no local pool
+		// or affinity partition to configure — each dimension is a
+		// different process, not a different goroutine.
+		if c.Algorithm != RIPS {
+			return fmt.Errorf("rips: the Cluster backend runs the phase protocol only; Algorithm must be RIPS, got %v", c.Algorithm)
+		}
+		if c.Periodic > 0 {
+			return fmt.Errorf("rips: the periodic detector is not available on the Cluster backend")
+		}
+		if c.Pool != nil {
+			return fmt.Errorf("rips: the Cluster backend runs on cluster nodes, not a local worker pool")
 		}
 	default: // Simulate
 		if c.Algorithm == Steal {
@@ -393,9 +429,17 @@ func RunProfiledContext(ctx context.Context, a App, p Profile, cfg Config) (Resu
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	if cfg.Backend == Cluster {
+		return Result{}, fmt.Errorf("rips: the Cluster backend runs through a cluster node, not in-process; submit the job to a ripsd started with -cluster (internal/cluster executes it)")
+	}
 	mesh, err := cfg.machine()
 	if err != nil {
 		return Result{}, err
+	}
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
 	}
 	var out Result
 	out.SeqTime = p.Work
